@@ -1,0 +1,78 @@
+// §5.3.2 reproduction — PMC identification accuracy.
+//
+// "After testing the kernel for a week, 3743.1K concurrent inputs were tested, of which
+// 784.9K (22%) actually exercised predicted PMCs. Among all tested concurrent inputs,
+// 2153.5K were generated based on predicted PMCs ... the precision of the PMC
+// identification is about 36%."
+//
+// This bench runs PMC-generated inputs and baseline-generated inputs with the same budgets
+// and reports the same two ratios: overall exercised fraction and PMC-generation precision.
+// The shape claim: precision is well above zero (PMCs are real predictions) and well below
+// 100% (mispredictions from allocator divergence and control-flow change, §5.3.2), and
+// PMC-generated inputs vastly out-exercise random pairings.
+#include "bench/bench_common.h"
+
+namespace snowboard {
+namespace {
+
+int Run() {
+  bench::PrintHeader("§5.3.2 — PMC identification accuracy");
+  const size_t kPmcBudget = 400;
+  const size_t kBaselineBudget = 200;
+
+  PreparedCampaign campaign =
+      PrepareCampaign(bench::CanonicalOptions(Strategy::kSInsPair, kPmcBudget, 4));
+  PmcMatcher matcher(&campaign.pmcs);
+
+  // PMC-generated inputs (prioritized by S-INS-PAIR, as the paper's mix was).
+  PipelineOptions pmc_options = bench::CanonicalOptions(Strategy::kSInsPair, kPmcBudget, 4);
+  size_t clusters = 0;
+  std::vector<ConcurrentTest> pmc_tests =
+      GenerateTestsForStrategy(campaign, pmc_options, &clusters);
+  PipelineResult pmc_result;
+  ExecuteCampaign(pmc_tests, /*use_pmc_hints=*/true, &matcher, pmc_options, &pmc_result);
+
+  // Baseline inputs (Random + Duplicate pairing): no PMC, so by definition they exercise
+  // no *predicted* channel.
+  PipelineOptions random_options =
+      bench::CanonicalOptions(Strategy::kRandomPairing, kBaselineBudget, 4);
+  std::vector<ConcurrentTest> random_tests =
+      GenerateTestsForStrategy(campaign, random_options, nullptr);
+  PipelineResult random_result;
+  ExecuteCampaign(random_tests, false, nullptr, random_options, &random_result);
+
+  size_t total_tested = pmc_result.tests_executed + random_result.tests_executed;
+  size_t total_exercised = pmc_result.channel_exercised;
+  double overall = 100.0 * static_cast<double>(total_exercised) /
+                   static_cast<double>(total_tested);
+  double precision = 100.0 * static_cast<double>(pmc_result.channel_exercised) /
+                     static_cast<double>(pmc_result.tests_executed);
+
+  std::printf("identified PMCs:                   %zu unique keys (%llu test pairs)\n",
+              campaign.pmcs.size(), [&] {
+                unsigned long long pairs = 0;
+                for (const Pmc& pmc : campaign.pmcs) {
+                  pairs += pmc.total_pairs;
+                }
+                return pairs;
+              }());
+  std::printf("concurrent inputs tested:          %zu (%zu PMC-generated, %zu baseline)\n",
+              total_tested, pmc_result.tests_executed, random_result.tests_executed);
+  std::printf("inputs exercising predicted PMC:   %zu\n", total_exercised);
+  std::printf("overall exercised fraction:        %.1f%%   (paper: 22%%)\n", overall);
+  std::printf("PMC-generation precision:          %.1f%%   (paper: ~36%%)\n", precision);
+  std::printf("\nmisprediction causes (§5.3.2): concurrent allocation divergence and "
+              "control-flow change\nfrom earlier exercised PMCs — both present in this "
+              "substrate.\nNote: \"Snowboard does not produce any false positive bug "
+              "reports\" — channels are tested dynamically.\n");
+
+  bool shape_holds = precision > 5.0 && precision < 95.0;
+  std::printf("shape check: 5%% < precision < 95%% ... %s\n",
+              shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace snowboard
+
+int main() { return snowboard::Run(); }

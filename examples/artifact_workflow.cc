@@ -1,0 +1,79 @@
+// The artifact workflow: the paper's deployment splits the pipeline into stages connected
+// by stored artifacts (profiled corpus -> PMC database -> distributed test queue), and
+// ships reproducible bug reports. This example walks that lifecycle on disk:
+//
+//   1. build a corpus and SAVE it,
+//   2. reload it (as a separate identification job would), identify + SAVE the PMCs,
+//   3. reload the PMCs, generate concurrent tests, and explore,
+//   4. capture the first panic as a replayable BugCapsule and REPLAY it from the recording
+//      (the §6 "deterministic reproduction" workflow a bug report would use).
+#include <cstdio>
+
+#include "src/snowboard/pipeline.h"
+#include "src/snowboard/replay.h"
+#include "src/snowboard/serialize.h"
+
+using namespace snowboard;
+
+int main() {
+  const std::string dir = "/tmp";
+  const std::string corpus_path = dir + "/snowboard_corpus.txt";
+  const std::string pmcs_path = dir + "/snowboard_pmcs.txt";
+
+  // Stage 1: fuzz a corpus and persist it.
+  KernelVm vm;
+  CorpusOptions corpus_options;
+  corpus_options.seed = 42;
+  corpus_options.max_iterations = 200;
+  corpus_options.target_size = 60;
+  std::vector<Program> corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
+  if (!WriteStringToFile(corpus_path, SerializeCorpus(corpus))) {
+    std::printf("cannot write %s\n", corpus_path.c_str());
+    return 1;
+  }
+  std::printf("stage 1: saved %zu sequential tests -> %s\n", corpus.size(),
+              corpus_path.c_str());
+
+  // Stage 2: a fresh "identification job" reloads the corpus, profiles, identifies, saves.
+  std::optional<std::vector<Program>> loaded_corpus =
+      DeserializeCorpus(*ReadFileToString(corpus_path));
+  std::vector<SequentialProfile> profiles = ProfileCorpus(vm, *loaded_corpus);
+  std::vector<Pmc> pmcs = IdentifyPmcs(profiles);
+  WriteStringToFile(pmcs_path, SerializePmcs(pmcs));
+  std::printf("stage 2: identified and saved %zu PMCs -> %s\n", pmcs.size(),
+              pmcs_path.c_str());
+
+  // Stage 3: a "worker" reloads the PMC database and explores S-INS-PAIR exemplars.
+  std::optional<std::vector<Pmc>> loaded_pmcs = DeserializePmcs(*ReadFileToString(pmcs_path));
+  std::vector<PmcCluster> clusters = ClusterPmcs(*loaded_pmcs, Strategy::kSInsPair);
+  SelectOptions select;
+  select.max_tests = 200;
+  std::vector<ConcurrentTest> tests =
+      SelectConcurrentTests(*loaded_pmcs, clusters, *loaded_corpus, select);
+  std::printf("stage 3: %zu clusters -> %zu concurrent tests; exploring...\n",
+              clusters.size(), tests.size());
+
+  // Stage 4: find a panicking trial and capture + replay it.
+  for (size_t i = 0; i < tests.size(); i++) {
+    for (int trial = 0; trial < 24; trial++) {
+      BugCapsule capsule;
+      Engine::RunResult result =
+          ReproduceTrial(vm, tests[i], /*seed=*/2021 + i * 1000003ull, trial, &capsule);
+      if (!result.panicked) {
+        continue;
+      }
+      std::printf("stage 4: test %zu trial %d panicked:\n  %s\n", i, trial,
+                  result.panic_message.c_str());
+      std::printf("  recorded schedule: %zu decisions, %zu switches\n",
+                  capsule.schedule.switch_after.size(),
+                  static_cast<size_t>(std::count(capsule.schedule.switch_after.begin(),
+                                                 capsule.schedule.switch_after.end(), true)));
+      bool replayed = ReplayCapsule(vm, capsule);
+      std::printf("  replay from recording: %s\n",
+                  replayed ? "IDENTICAL PANIC REPRODUCED" : "failed");
+      return replayed ? 0 : 1;
+    }
+  }
+  std::printf("no panic found within the budget\n");
+  return 1;
+}

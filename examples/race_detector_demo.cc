@@ -1,0 +1,77 @@
+// Demonstrates the execution engine and data-race oracle directly, without the Snowboard
+// pipeline: runs the Figure 3 MAC-address test pair under an aggressive preemption schedule
+// and prints the detector's view — including the torn 4-new/2-old MAC the user receives.
+#include <cstdio>
+
+#include "src/kernel/net/netdev.h"
+#include "src/kernel/task.h"
+#include "src/sim/site.h"
+#include "src/snowboard/detectors.h"
+
+using namespace snowboard;
+
+namespace {
+
+// Preempts the writer right between its two MAC copy chunks.
+class TornMacScheduler : public Scheduler {
+ public:
+  explicit TornMacScheduler(GuestAddr dev_addr) : dev_addr_(dev_addr) {}
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    return vcpu == 0 && access.type == AccessType::kWrite && access.addr == dev_addr_ &&
+           access.len == 4;
+  }
+
+ private:
+  GuestAddr dev_addr_;
+};
+
+}  // namespace
+
+int main() {
+  KernelVm vm;
+  const KernelGlobals& g = vm.globals();
+
+  GuestAddr dev = kGuestNull;
+  vm.engine().RunSequential([&](Ctx& ctx) {
+    TaskEnter(ctx, g.tasks[0]);
+    dev = DevGetByIndex(ctx, g, 0);
+  });
+  vm.RestoreSnapshot();
+
+  std::printf("eth0 boot MAC: AA:AA:AA:AA:AA:AA\n");
+  std::printf("writer: ioctl(SIOCSIFHWADDR) -> eth_commit_mac_addr_change() under "
+              "rtnl_lock\nreader: ioctl(SIOCGIFHWADDR) -> dev_ifsioc_locked() under "
+              "rcu_read_lock — a DIFFERENT lock\n\n");
+
+  TornMacScheduler scheduler(dev + kDevAddr);
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  int64_t observed = 0;
+  Engine::RunResult result = vm.engine().Run(
+      {[&](Ctx& ctx) {
+         TaskEnter(ctx, g.tasks[0]);
+         DevIoctlSetMac(ctx, g, 0, 3);  // New MAC pattern 43:44:45:46:47:48.
+       },
+       [&](Ctx& ctx) {
+         TaskEnter(ctx, g.tasks[1]);
+         observed = DevIoctlGetMac(ctx, g, 0);
+       }},
+      opts);
+
+  std::printf("reader observed MAC: %02llX:%02llX:%02llX:%02llX:%02llX:%02llX   <- torn!\n\n",
+              (static_cast<unsigned long long>(observed) >> 0) & 0xFF,
+              (static_cast<unsigned long long>(observed) >> 8) & 0xFF,
+              (static_cast<unsigned long long>(observed) >> 16) & 0xFF,
+              (static_cast<unsigned long long>(observed) >> 24) & 0xFF,
+              (static_cast<unsigned long long>(observed) >> 32) & 0xFF,
+              (static_cast<unsigned long long>(observed) >> 40) & 0xFF);
+
+  DetectorResult detectors = RunDetectors(result);
+  std::printf("race detector reports (%zu):\n", detectors.races.size());
+  for (const RaceReport& race : detectors.races) {
+    std::printf("  %s  %s  /  %s  @0x%x\n", race.write_write ? "W/W" : "W/R",
+                SiteName(race.write_site).c_str(), SiteName(race.other_site).c_str(),
+                race.addr);
+  }
+  return detectors.races.empty() ? 1 : 0;
+}

@@ -1,0 +1,84 @@
+#include "src/fuzz/corpus.h"
+
+#include <unordered_set>
+
+#include "src/util/log.h"
+
+namespace snowboard {
+
+namespace {
+
+// Sequentially executes `program` from the fixed initial state; returns the trace edges, or
+// nullopt-like empty set + false if the run did not complete (a broken test).
+bool RunSequentialForCoverage(KernelVm& vm, const Program& program, EdgeSet* edges) {
+  vm.RestoreSnapshot();
+  Engine::RunOptions opts;
+  opts.max_instructions = 1'000'000;
+  Engine::RunResult result =
+      vm.engine().Run({MakeProgramRunner(vm.globals(), program, /*task_index=*/0)}, opts);
+  if (!result.completed) {
+    return false;
+  }
+  *edges = CollectEdges(result.trace, /*vcpu=*/0);
+  return true;
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> BuildCorpus(KernelVm& vm, const CorpusOptions& options) {
+  std::vector<CorpusEntry> corpus;
+  CoverageMap coverage;
+  std::unordered_set<uint64_t> seen_programs;
+  Generator generator(options.seed);
+
+  auto consider = [&](const Program& program) {
+    if (static_cast<int>(corpus.size()) >= options.target_size) {
+      return;
+    }
+    if (!seen_programs.insert(program.Hash()).second) {
+      return;
+    }
+    EdgeSet edges;
+    if (!RunSequentialForCoverage(vm, program, &edges)) {
+      return;
+    }
+    size_t fresh = coverage.Merge(edges);
+    if (fresh == 0) {
+      return;  // Redundant behavior: "low overlap" filter.
+    }
+    corpus.push_back(CorpusEntry{program, std::move(edges), fresh});
+  };
+
+  if (options.use_seeds) {
+    for (const Program& seed : SeedPrograms()) {
+      consider(seed);
+    }
+  }
+
+  for (int iter = 0; iter < options.max_iterations &&
+                     static_cast<int>(corpus.size()) < options.target_size;
+       iter++) {
+    Program candidate;
+    if (!corpus.empty() && generator.rng().Chance(1, 2)) {
+      const CorpusEntry& base = corpus[generator.rng().Below(corpus.size())];
+      candidate = generator.Mutate(base.program);
+    } else {
+      candidate = generator.Generate();
+    }
+    consider(candidate);
+  }
+
+  SB_LOG(kInfo) << "corpus: " << corpus.size() << " tests, " << "seed=" << options.seed;
+  return corpus;
+}
+
+std::vector<Program> CorpusPrograms(const std::vector<CorpusEntry>& corpus) {
+  std::vector<Program> programs;
+  programs.reserve(corpus.size());
+  for (const CorpusEntry& entry : corpus) {
+    programs.push_back(entry.program);
+  }
+  return programs;
+}
+
+}  // namespace snowboard

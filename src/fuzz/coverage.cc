@@ -1,0 +1,33 @@
+#include "src/fuzz/coverage.h"
+
+#include "src/util/hash.h"
+
+namespace snowboard {
+
+EdgeSet CollectEdges(const Trace& trace, VcpuId vcpu) {
+  EdgeSet edges;
+  SiteId prev = kInvalidSite;
+  for (const Event& event : trace) {
+    if (event.kind != EventKind::kAccess || event.vcpu != vcpu) {
+      continue;
+    }
+    SiteId site = event.access.site;
+    if (prev != kInvalidSite && site != prev) {
+      edges.insert(HashCombine(prev, site));
+    }
+    prev = site;
+  }
+  return edges;
+}
+
+size_t CoverageMap::Merge(const EdgeSet& edges) {
+  size_t fresh = 0;
+  for (uint64_t edge : edges) {
+    if (edges_.insert(edge).second) {
+      fresh++;
+    }
+  }
+  return fresh;
+}
+
+}  // namespace snowboard

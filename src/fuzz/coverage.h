@@ -1,0 +1,38 @@
+// Edge coverage over instruction sites.
+//
+// §4.1: "Snowboard uses a coverage metric exported by the generator (e.g., edge coverage)
+// to select a subset of the generated tests that provide high coverage but low overlap."
+// Our edges are consecutive (site -> site) transitions within one vCPU's access stream —
+// the moral equivalent of KCOV's basic-block edges at the granularity our tracer sees.
+#ifndef SRC_FUZZ_COVERAGE_H_
+#define SRC_FUZZ_COVERAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/access.h"
+
+namespace snowboard {
+
+using EdgeSet = std::unordered_set<uint64_t>;
+
+// Extracts the edge set of `vcpu`'s execution from a trace.
+EdgeSet CollectEdges(const Trace& trace, VcpuId vcpu);
+
+// Cumulative coverage map with new-edge detection.
+class CoverageMap {
+ public:
+  // Merges `edges`; returns how many were previously unseen.
+  size_t Merge(const EdgeSet& edges);
+  bool Covers(uint64_t edge) const { return edges_.count(edge) != 0; }
+  size_t size() const { return edges_.size(); }
+
+ private:
+  EdgeSet edges_;
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_FUZZ_COVERAGE_H_

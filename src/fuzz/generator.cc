@@ -1,0 +1,237 @@
+#include "src/fuzz/generator.h"
+
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/ipc/msg.h"
+#include "src/kernel/net/netdev.h"
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+namespace {
+
+// Index of a prior call whose result can satisfy `type`, or -1.
+int FindProducer(const Program& prefix, ArgType type, Rng& rng) {
+  std::vector<int> candidates;
+  for (size_t i = 0; i < prefix.calls.size(); i++) {
+    const SyscallDesc& desc = GetSyscallDesc(prefix.calls[i].nr);
+    if ((type == ArgType::kFd && desc.makes_fd) || (type == ArgType::kKey && desc.makes_key)) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  if (candidates.empty()) {
+    return -1;
+  }
+  return candidates[rng.Below(candidates.size())];
+}
+
+}  // namespace
+
+Call Generator::RandomCall(const Program& prefix) {
+  Call call;
+  call.nr = static_cast<uint32_t>(rng_.Below(kNumSyscalls));
+  const SyscallDesc& desc = GetSyscallDesc(call.nr);
+  for (int a = 0; a < desc.nargs; a++) {
+    ArgType type = desc.types[a];
+    if (type == ArgType::kFd || type == ArgType::kKey) {
+      int producer = FindProducer(prefix, type, rng_);
+      // Thread resources through the program most of the time, as syzkaller does.
+      if (producer >= 0 && rng_.Chance(9, 10)) {
+        call.args[a] = Arg::Result(producer);
+        continue;
+      }
+    }
+    call.args[a] = Arg::Const(SampleArgValue(type, rng_));
+  }
+  return call;
+}
+
+Program Generator::Generate() {
+  Program program;
+  int ncalls = static_cast<int>(rng_.Range(1, kMaxGenCalls));
+  for (int i = 0; i < ncalls; i++) {
+    program.calls.push_back(RandomCall(program));
+  }
+  FixupResources(program);
+  return program;
+}
+
+Program Generator::Mutate(const Program& base) {
+  Program program = base;
+  bool changed = false;
+  while (!changed) {
+    switch (rng_.Below(4)) {
+      case 0: {  // Insert a call.
+        if (program.calls.size() >= kMaxCallsPerProgram) {
+          break;
+        }
+        size_t pos = rng_.Below(program.calls.size() + 1);
+        Program prefix;
+        prefix.calls.assign(program.calls.begin(),
+                            program.calls.begin() + static_cast<long>(pos));
+        program.calls.insert(program.calls.begin() + static_cast<long>(pos),
+                             RandomCall(prefix));
+        changed = true;
+        break;
+      }
+      case 1: {  // Remove a call.
+        if (program.calls.size() <= 1) {
+          break;
+        }
+        size_t pos = rng_.Below(program.calls.size());
+        program.calls.erase(program.calls.begin() + static_cast<long>(pos));
+        changed = true;
+        break;
+      }
+      case 2: {  // Replace a call.
+        size_t pos = rng_.Below(program.calls.size());
+        Program prefix;
+        prefix.calls.assign(program.calls.begin(),
+                            program.calls.begin() + static_cast<long>(pos));
+        program.calls[pos] = RandomCall(prefix);
+        changed = true;
+        break;
+      }
+      case 3: {  // Tweak one argument.
+        size_t pos = rng_.Below(program.calls.size());
+        Call& call = program.calls[pos];
+        const SyscallDesc& desc = GetSyscallDesc(call.nr);
+        if (desc.nargs == 0) {
+          break;
+        }
+        int a = static_cast<int>(rng_.Below(static_cast<uint64_t>(desc.nargs)));
+        call.args[a] = Arg::Const(SampleArgValue(desc.types[a], rng_));
+        changed = true;
+        break;
+      }
+    }
+  }
+  FixupResources(program);
+  return program;
+}
+
+void Generator::FixupResources(Program& program) {
+  // Repair dangling result references (mutations may remove producers).
+  for (size_t i = 0; i < program.calls.size(); i++) {
+    Call& call = program.calls[i];
+    const SyscallDesc& desc = GetSyscallDesc(call.nr);
+    for (int a = 0; a < desc.nargs; a++) {
+      Arg& arg = call.args[a];
+      if (arg.kind != Arg::kResult) {
+        continue;
+      }
+      if (arg.value < 0 || arg.value >= static_cast<int64_t>(i)) {
+        arg = Arg::Const(SampleArgValue(desc.types[a], rng_));
+      }
+    }
+  }
+}
+
+std::vector<Program> SeedPrograms() {
+  std::vector<Program> seeds;
+  auto add = [&seeds](std::vector<Call> calls) {
+    Program p;
+    p.calls = std::move(calls);
+    seeds.push_back(std::move(p));
+  };
+  auto c = [](uint32_t nr, std::vector<Arg> args) {
+    Call call;
+    call.nr = nr;
+    for (size_t i = 0; i < args.size() && i < kMaxSyscallArgs; i++) {
+      call.args[i] = args[i];
+    }
+    return call;
+  };
+  const Arg r0 = Arg::Result(0);
+
+  // --- Figure 1 (issue #12): the l2tp writer and reader tests. ---
+  add({c(kSysSocket, {Arg::Const(kPxProtoOl2tp), Arg::Const(0)}),
+       c(kSysSocket, {Arg::Const(kAfInet), Arg::Const(0)}),
+       c(kSysConnect, {r0, Arg::Const(1)})});
+  add({c(kSysSocket, {Arg::Const(kPxProtoOl2tp), Arg::Const(0)}),
+       c(kSysSocket, {Arg::Const(kAfInet), Arg::Const(0)}),
+       c(kSysConnect, {r0, Arg::Const(1)}), c(kSysSendmsg, {r0, Arg::Const(64)})});
+
+  // --- Figure 3 (issue #9): MAC writer (ioctl SIOCSIFHWADDR) and reader (SIOCGIFHWADDR). ---
+  add({c(kSysSocket, {Arg::Const(kAfInet), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlSetMacAddr), Arg::Const(2)})});
+  add({c(kSysSocket, {Arg::Const(kAfInet), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlGetMacAddr), Arg::Const(0)})});
+
+  // --- Issue #8: e1000 MAC set vs packet_getname. ---
+  add({c(kSysSocket, {Arg::Const(kAfInet), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlE1000SetMac), Arg::Const(4)})});
+  add({c(kSysSocket, {Arg::Const(kAfPacket), Arg::Const(0)}),
+       c(kSysBind, {r0, Arg::Const(0)}), c(kSysGetsockname, {r0})});
+
+  // --- Issue #7: mtu writer vs rawv6 sender (both on ifindex 0). ---
+  add({c(kSysSocket, {Arg::Const(kAfInet), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlSetMtu), Arg::Const(8)})});
+  add({c(kSysSocket, {Arg::Const(kAfInet6), Arg::Const(0)}),
+       c(kSysBind, {r0, Arg::Const(0)}), c(kSysSendmsg, {r0, Arg::Const(256)})});
+
+  // --- Figure 4 (issue #1): msgget vs msgget+msgctl(IPC_RMID). ---
+  add({c(kSysMsgget, {Arg::Const(2)})});
+  add({c(kSysMsgget, {Arg::Const(2)}), c(kSysMsgctl, {r0, Arg::Const(0)})});
+  add({c(kSysMsgget, {Arg::Const(2)}), c(kSysMsgsnd, {r0, Arg::Const(32)})});
+
+  // --- Issues #2/#3/#4: sbfs write / swap-boot / truncate. ---
+  add({c(kSysOpen, {Arg::Const(0), Arg::Const(0)}),
+       c(kSysWrite, {r0, Arg::Const(900), Arg::Const(0x1234)})});
+  // A write crossing the 1024-byte block boundary triggers the extent-tree rebuild (the
+  // issue #3 writer's invalidate/restore window).
+  add({c(kSysOpen, {Arg::Const(0), Arg::Const(0)}),
+       c(kSysWrite, {r0, Arg::Const(2000), Arg::Const(0x77)})});
+  add({c(kSysOpen, {Arg::Const(0), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlSwapBootLoader), Arg::Const(0)})});
+  add({c(kSysOpen, {Arg::Const(0), Arg::Const(0)}), c(kSysFtruncate, {r0, Arg::Const(0)})});
+  add({c(kSysOpen, {Arg::Const(0), Arg::Const(0)}), c(kSysRead, {r0, Arg::Const(64)})});
+
+  // --- Issues #5/#6: block device. ---
+  add({c(kSysOpen, {Arg::Const(3), Arg::Const(0)}), c(kSysRead, {r0, Arg::Const(1)})});
+  // Blocksize 2048 differs from the boot default (1024), so the store is a value-changing
+  // write — PMC material against the mpage reader.
+  add({c(kSysOpen, {Arg::Const(3), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlSetBlocksize), Arg::Const(2)})});
+  add({c(kSysOpen, {Arg::Const(3), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlSetReadahead), Arg::Const(16)})});
+  add({c(kSysOpen, {Arg::Const(3), Arg::Const(0)}), c(kSysFadvise, {r0, Arg::Const(1)})});
+
+  // --- Issue #11: configfs lookup/readdir vs rmdir. ---
+  add({c(kSysOpen, {Arg::Const(4), Arg::Const(0)})});
+  add({c(kSysRmdir, {Arg::Const(0)})});
+  add({c(kSysMkdir, {Arg::Const(2)})});
+  add({c(kSysOpen, {Arg::Const(4), Arg::Const(0)}), c(kSysGetdents, {r0})});
+
+  // --- Issue #14: tty open vs autoconfig. ---
+  add({c(kSysOpen, {Arg::Const(6), Arg::Const(0)})});
+  add({c(kSysOpen, {Arg::Const(6), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlSerialAutoconf), Arg::Const(0)})});
+
+  // --- Issue #15: sound control add. ---
+  add({c(kSysOpen, {Arg::Const(7), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlSndElemAdd), Arg::Const(8)})});
+
+  // --- Issue #16: congestion-control default writer/reader. ---
+  add({c(kSysSysctl, {Arg::Const(0), Arg::Const(1)})});
+  add({c(kSysSocket, {Arg::Const(kAfInet), Arg::Const(0)}),
+       c(kSysSetsockopt, {r0, Arg::Const(kSoTcpCongestion), Arg::Const(0)}),
+       c(kSysSendmsg, {r0, Arg::Const(128)})});
+
+  // --- Issue #17: fanout join+send vs leave. ---
+  add({c(kSysSocket, {Arg::Const(kAfPacket), Arg::Const(0)}),
+       c(kSysSetsockopt, {r0, Arg::Const(kSoPacketFanout), Arg::Const(0)}),
+       c(kSysSendmsg, {r0, Arg::Const(33)})});
+  add({c(kSysSocket, {Arg::Const(kAfPacket), Arg::Const(0)}),
+       c(kSysSetsockopt, {r0, Arg::Const(kSoPacketFanout), Arg::Const(0)}),
+       c(kSysSetsockopt, {r0, Arg::Const(kSoPacketFanoutLeave), Arg::Const(0)})});
+
+  // --- Issue #10: fib6 cookie read vs route flush. ---
+  add({c(kSysSocket, {Arg::Const(kAfInet6), Arg::Const(0)}),
+       c(kSysConnect, {r0, Arg::Const(1)})});
+  add({c(kSysSocket, {Arg::Const(kAfInet6), Arg::Const(0)}),
+       c(kSysIoctl, {r0, Arg::Const(kIoctlRtFlush), Arg::Const(0)})});
+
+  return seeds;
+}
+
+}  // namespace snowboard

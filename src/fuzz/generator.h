@@ -1,0 +1,46 @@
+// Program generation and mutation — the Syzkaller-analog front end (§4.1.1).
+//
+// The generator produces random well-typed syscall programs and mutates existing ones
+// (insert/remove/replace a call, tweak arguments), wiring fd/key arguments to earlier
+// producing calls the way syzkaller threads resources through a program. SeedPrograms()
+// supplies the canonical per-subsystem snippets a long-running coverage-guided fuzzer
+// accumulates (our corpus bootstrap, since we run minutes rather than CPU-weeks).
+#ifndef SRC_FUZZ_GENERATOR_H_
+#define SRC_FUZZ_GENERATOR_H_
+
+#include <vector>
+
+#include "src/fuzz/program.h"
+#include "src/fuzz/syscall_desc.h"
+#include "src/util/rng.h"
+
+namespace snowboard {
+
+class Generator {
+ public:
+  explicit Generator(uint64_t seed) : rng_(seed) {}
+
+  // Fresh random program of 1..kMaxGenCalls calls.
+  Program Generate();
+
+  // Mutated copy of `base` (at least one change).
+  Program Mutate(const Program& base);
+
+  Rng& rng() { return rng_; }
+
+  static constexpr int kMaxGenCalls = 5;
+
+ private:
+  Call RandomCall(const Program& prefix);
+  void FixupResources(Program& program);
+
+  Rng rng_;
+};
+
+// Hand-written seed programs covering each subsystem's entry points (the corpus a mature
+// fuzzer would reach; see file comment).
+std::vector<Program> SeedPrograms();
+
+}  // namespace snowboard
+
+#endif  // SRC_FUZZ_GENERATOR_H_

@@ -1,0 +1,74 @@
+#include "src/fuzz/program.h"
+
+#include <sstream>
+
+#include "src/kernel/task.h"
+#include "src/util/hash.h"
+#include "src/util/strings.h"
+
+namespace snowboard {
+
+uint64_t Program::Hash() const {
+  uint64_t h = 0x5b5b5b5b5b5b5b5bull;
+  for (const Call& call : calls) {
+    h = HashCombine(h, call.nr);
+    for (const Arg& arg : call.args) {
+      h = HashCombine(h, static_cast<uint64_t>(arg.kind));
+      h = HashCombine(h, static_cast<uint64_t>(arg.value));
+    }
+  }
+  return h;
+}
+
+std::string Program::Format() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < calls.size(); i++) {
+    const Call& call = calls[i];
+    os << "r" << i << " = " << SyscallName(call.nr) << "(";
+    for (int a = 0; a < kMaxSyscallArgs; a++) {
+      if (a > 0) {
+        os << ", ";
+      }
+      const Arg& arg = call.args[a];
+      if (arg.kind == Arg::kResult) {
+        os << "r" << arg.value;
+      } else {
+        os << "0x" << std::hex << arg.value << std::dec;
+      }
+    }
+    os << ")";
+    if (i + 1 < calls.size()) {
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+ProgramResult RunProgram(Ctx& ctx, const KernelGlobals& g, const Program& program) {
+  ProgramResult result;
+  result.call_results.reserve(program.calls.size());
+  for (const Call& call : program.calls) {
+    int64_t args[kMaxSyscallArgs] = {0, 0, 0, 0};
+    for (int a = 0; a < kMaxSyscallArgs; a++) {
+      const Arg& arg = call.args[a];
+      if (arg.kind == Arg::kResult) {
+        size_t index = static_cast<size_t>(arg.value);
+        args[a] = index < result.call_results.size() ? result.call_results[index] : -1;
+      } else {
+        args[a] = arg.value;
+      }
+    }
+    result.call_results.push_back(DoSyscall(ctx, g, call.nr, args));
+  }
+  return result;
+}
+
+Engine::GuestFn MakeProgramRunner(const KernelGlobals& g, const Program& program,
+                                  int task_index) {
+  return [&g, program, task_index](Ctx& ctx) {
+    TaskEnter(ctx, g.tasks[task_index]);
+    RunProgram(ctx, g, program);
+  };
+}
+
+}  // namespace snowboard

@@ -1,0 +1,90 @@
+#include "src/fuzz/syscall_desc.h"
+
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/net/netdev.h"
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+namespace {
+
+constexpr SyscallDesc kDescs[kNumSyscalls] = {
+    {kSysOpen, 2, {ArgType::kPath, ArgType::kFlags}, true, false},
+    {kSysClose, 1, {ArgType::kFd}, false, false},
+    {kSysRead, 2, {ArgType::kFd, ArgType::kLen}, false, false},
+    {kSysWrite, 3, {ArgType::kFd, ArgType::kLen, ArgType::kValue}, false, false},
+    {kSysFtruncate, 2, {ArgType::kFd, ArgType::kLen}, false, false},
+    {kSysRename, 2, {ArgType::kPath, ArgType::kPath}, false, false},
+    {kSysIoctl, 3, {ArgType::kFd, ArgType::kIoctlCmd, ArgType::kIoctlArg}, false, false},
+    {kSysFadvise, 2, {ArgType::kFd, ArgType::kAdvice}, false, false},
+    {kSysSocket, 2, {ArgType::kSockFamily, ArgType::kProto}, true, false},
+    {kSysConnect, 2, {ArgType::kFd, ArgType::kConnectArg}, false, false},
+    {kSysBind, 2, {ArgType::kFd, ArgType::kIfindex}, false, false},
+    {kSysSendmsg, 2, {ArgType::kFd, ArgType::kLen}, false, false},
+    {kSysRecvmsg, 1, {ArgType::kFd}, false, false},
+    {kSysGetsockname, 1, {ArgType::kFd}, false, false},
+    {kSysSetsockopt, 3, {ArgType::kFd, ArgType::kSockOpt, ArgType::kOptVal}, false, false},
+    {kSysMsgget, 1, {ArgType::kKey}, false, true},
+    {kSysMsgctl, 2, {ArgType::kKey, ArgType::kMsgCmd}, false, false},
+    {kSysMsgsnd, 2, {ArgType::kKey, ArgType::kLen}, false, false},
+    {kSysSysctl, 2, {ArgType::kSysctlId, ArgType::kOptVal}, false, false},
+    {kSysMkdir, 1, {ArgType::kPath}, false, false},
+    {kSysRmdir, 1, {ArgType::kPath}, false, false},
+    {kSysDup, 1, {ArgType::kFd}, true, false},
+    {kSysFstat, 1, {ArgType::kFd}, false, false},
+    {kSysGetdents, 1, {ArgType::kFd}, false, false},
+};
+
+}  // namespace
+
+const SyscallDesc& GetSyscallDesc(uint32_t nr) {
+  SB_CHECK(nr < kNumSyscalls);
+  SB_CHECK(kDescs[nr].nr == nr);
+  return kDescs[nr];
+}
+
+int64_t SampleArgValue(ArgType type, Rng& rng) {
+  switch (type) {
+    case ArgType::kNone:
+      return 0;
+    case ArgType::kFd:
+      return rng.Range(0, 3);  // Blind fd guess (when no producer is available).
+    case ArgType::kPath:
+      return rng.Range(0, kNumPaths - 1);
+    case ArgType::kLen:
+      return rng.Range(0, 4096);
+    case ArgType::kValue:
+      return static_cast<int64_t>(rng.Next() & 0xFFFF);
+    case ArgType::kFlags:
+      return rng.Range(0, 3);
+    case ArgType::kIoctlCmd:
+      return rng.Range(1, 10);  // IoctlCmd values.
+    case ArgType::kIoctlArg:
+      return rng.Range(0, 63);
+    case ArgType::kSockFamily: {
+      static constexpr uint32_t kFamilies[] = {kAfInet, kAfInet6, kAfPacket, kPxProtoOl2tp};
+      return kFamilies[rng.Below(4)];
+    }
+    case ArgType::kProto:
+      return rng.Range(0, 2);
+    case ArgType::kConnectArg:
+      return rng.Range(0, 7);
+    case ArgType::kIfindex:
+      return rng.Range(0, 1);
+    case ArgType::kSockOpt:
+      return rng.Range(1, 4);  // SockOpt values.
+    case ArgType::kOptVal:
+      return rng.Range(0, 7);
+    case ArgType::kKey:
+      return rng.Range(0, 7);
+    case ArgType::kMsgCmd:
+      return rng.Range(0, 5);
+    case ArgType::kSysctlId:
+      return 0;
+    case ArgType::kAdvice:
+      return rng.Range(0, 3);
+  }
+  return 0;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,51 @@
+// Syscall descriptions: argument typing that lets the generator build well-formed calls —
+// the analog of Syzkaller's syscall description language (syzlang), reduced to the argument
+// domains our kernel actually consumes.
+#ifndef SRC_FUZZ_SYSCALL_DESC_H_
+#define SRC_FUZZ_SYSCALL_DESC_H_
+
+#include <cstdint>
+
+#include "src/fuzz/program.h"
+#include "src/util/rng.h"
+
+namespace snowboard {
+
+enum class ArgType : uint8_t {
+  kNone = 0,
+  kFd,          // File descriptor: resolved to a prior fd-producing call when possible.
+  kPath,        // Path id in [0, kNumPaths).
+  kLen,         // Byte length.
+  kValue,       // Free-form data value.
+  kFlags,       // Open/misc flags.
+  kIoctlCmd,    // IoctlCmd enum values.
+  kIoctlArg,    // ioctl argument.
+  kSockFamily,  // kAfInet / kAfInet6 / kAfPacket / kPxProtoOl2tp.
+  kProto,       // Socket protocol.
+  kConnectArg,  // Tunnel id / peer.
+  kIfindex,
+  kSockOpt,     // SockOpt enum values.
+  kOptVal,
+  kKey,         // IPC key.
+  kMsgCmd,      // msgctl cmd selector.
+  kSysctlId,
+  kAdvice,      // fadvise advice.
+};
+
+struct SyscallDesc {
+  uint32_t nr;
+  int nargs;
+  ArgType types[kMaxSyscallArgs];
+  bool makes_fd;    // Result usable as an fd argument.
+  bool makes_key;   // Result usable as an IPC key/id argument.
+};
+
+// The full table, indexed by syscall number (kNumSyscalls entries).
+const SyscallDesc& GetSyscallDesc(uint32_t nr);
+
+// Draws a random constant from `type`'s domain.
+int64_t SampleArgValue(ArgType type, Rng& rng);
+
+}  // namespace snowboard
+
+#endif  // SRC_FUZZ_SYSCALL_DESC_H_

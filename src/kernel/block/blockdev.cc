@@ -1,0 +1,88 @@
+#include "src/kernel/block/blockdev.h"
+
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+#include "src/util/strings.h"
+
+namespace snowboard {
+
+GuestAddr BlockDevInit(Memory& mem) {
+  GuestAddr bd = mem.StaticAlloc(24, 8);
+  mem.WriteRaw(bd + kBdLock, 4, 0);
+  mem.WriteRaw(bd + kBdBlocksize, 4, 1024);
+  mem.WriteRaw(bd + kBdNrSectors, 4, kBdDefaultSectors);
+  mem.WriteRaw(bd + kBdRaPages, 4, 32);
+  mem.WriteRaw(bd + kBdIoErrors, 4, 0);
+  mem.WriteRaw(bd + kBdSectorsWritten, 4, 0);
+  return bd;
+}
+
+bool SubmitBio(Ctx& ctx, const KernelGlobals& g, uint32_t sector, bool is_write) {
+  GuestAddr bd = g.blockdevs;
+  uint32_t nr_sectors = ctx.Load32(bd + kBdNrSectors, SB_SITE());
+  if (sector >= nr_sectors) {
+    // blk_update_request() failing the request: the issue #4 console oracle.
+    uint32_t errors = ctx.Load32(bd + kBdIoErrors, SB_SITE());
+    ctx.Store32(bd + kBdIoErrors, errors + 1, SB_SITE());
+    ctx.Printk(StrPrintf("blk_update_request: I/O error, dev sbd0, sector %u", sector));
+    return false;
+  }
+  if (is_write) {
+    SpinLock(ctx, bd + kBdLock);
+    uint32_t written = ctx.Load32(bd + kBdSectorsWritten, SB_SITE());
+    ctx.Store32(bd + kBdSectorsWritten, written + 1, SB_SITE());
+    SpinUnlock(ctx, bd + kBdLock);
+  }
+  return true;
+}
+
+int64_t MpageReadpage(Ctx& ctx, const KernelGlobals& g, uint32_t page_index) {
+  GuestAddr bd = g.blockdevs;
+  // Issue #6 reader: do_mpage_readpage derives the block mapping from two separate PLAIN
+  // loads of the blocksize; set_blocksize can slip between them.
+  uint32_t bs_first = ctx.Load32(bd + kBdBlocksize, SB_SITE());
+  if (bs_first == 0) {
+    return kEIO;
+  }
+  uint32_t blocks_per_page = kPageBytes / bs_first;
+  uint32_t first_block = page_index * blocks_per_page;
+  // ... intervening mapping work ...
+  uint32_t bs_again = ctx.Load32(bd + kBdBlocksize, SB_SITE());
+  if (bs_again == 0) {
+    return kEIO;
+  }
+  uint32_t last_block = first_block + (kPageBytes / bs_again) - 1;
+  if (!SubmitBio(ctx, g, first_block % kBdDefaultSectors, /*is_write=*/false)) {
+    return kEIO;
+  }
+  return static_cast<int64_t>(last_block);
+}
+
+int64_t BlkdevSetBlocksize(Ctx& ctx, const KernelGlobals& g, uint32_t blocksize) {
+  if (blocksize < 512 || blocksize > 4096 || (blocksize & (blocksize - 1)) != 0) {
+    return kEINVAL;
+  }
+  GuestAddr bd = g.blockdevs;
+  // Issue #6 writer: set_blocksize stores bd_block_size with a plain write (no bd_lock in
+  // the read path's view, no READ_ONCE/WRITE_ONCE pairing).
+  ctx.Store32(bd + kBdBlocksize, blocksize, SB_SITE());
+  return 0;
+}
+
+int64_t BlkdevSetReadahead(Ctx& ctx, const KernelGlobals& g, uint32_t ra_pages) {
+  GuestAddr bd = g.blockdevs;
+  // Issue #5 writer: blkdev_ioctl holds the device lock, but the fadvise reader takes no
+  // lock, so this plain store still races.
+  SpinLock(ctx, bd + kBdLock);
+  ctx.Store32(bd + kBdRaPages, ra_pages & 0xFFFF, SB_SITE());
+  SpinUnlock(ctx, bd + kBdLock);
+  return 0;
+}
+
+int64_t BlkdevWrite(Ctx& ctx, const KernelGlobals& g, uint32_t sector) {
+  GuestAddr bd = g.blockdevs;
+  uint32_t nr_sectors = ctx.Load32(bd + kBdNrSectors, SB_SITE());
+  return SubmitBio(ctx, g, sector % (nr_sectors * 2), /*is_write=*/true) ? 0 : kEIO;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,56 @@
+// Block layer: a single block device (sbd0) plus the request-completion path.
+//
+// Carries two Table 2 issues:
+//   #5 (DR) — BlkdevSetReadahead (blkdev_ioctl(BLKRASET)) writes ra_pages under bd_lock
+//      while GenericFadvise (mm/pagecache.h) reads it with no lock at all.
+//   #6 (DR) — MpageReadpage (do_mpage_readpage) reads the device blocksize twice with plain
+//      loads to derive a page mapping, racing SetBlocksize's plain store.
+// It also provides SubmitBio, whose bounds check is the console oracle for issue #4
+// ("blk_update_request: I/O error").
+#ifndef SRC_KERNEL_BLOCK_BLOCKDEV_H_
+#define SRC_KERNEL_BLOCK_BLOCKDEV_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Device block:
+//   +0  bd_lock
+//   +4  blocksize       (512 / 1024 / 2048 / 4096)
+//   +8  nr_sectors
+//   +12 ra_pages        (readahead window)
+//   +16 io_errors
+//   +20 sectors_written
+inline constexpr uint32_t kBdLock = 0;
+inline constexpr uint32_t kBdBlocksize = 4;
+inline constexpr uint32_t kBdNrSectors = 8;
+inline constexpr uint32_t kBdRaPages = 12;
+inline constexpr uint32_t kBdIoErrors = 16;
+inline constexpr uint32_t kBdSectorsWritten = 20;
+
+inline constexpr uint32_t kBdDefaultSectors = 128;
+inline constexpr uint32_t kPageBytes = 4096;
+
+GuestAddr BlockDevInit(Memory& mem);
+
+// Submits one request; returns false and logs "blk_update_request: I/O error" if the sector
+// is out of range (issue #4's oracle).
+bool SubmitBio(Ctx& ctx, const KernelGlobals& g, uint32_t sector, bool is_write);
+
+// read(/dev/sbd0): do_mpage_readpage analog — the issue #6 reader (double plain load of
+// blocksize while computing the page's block mapping).
+int64_t MpageReadpage(Ctx& ctx, const KernelGlobals& g, uint32_t page_index);
+
+// ioctl(BLKBSZSET): set_blocksize analog — the issue #6 writer (plain store).
+int64_t BlkdevSetBlocksize(Ctx& ctx, const KernelGlobals& g, uint32_t blocksize);
+
+// ioctl(BLKRASET): the issue #5 writer (store under bd_lock).
+int64_t BlkdevSetReadahead(Ctx& ctx, const KernelGlobals& g, uint32_t ra_pages);
+
+// write(/dev/sbd0): raw sector write through SubmitBio.
+int64_t BlkdevWrite(Ctx& ctx, const KernelGlobals& g, uint32_t sector);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_BLOCK_BLOCKDEV_H_

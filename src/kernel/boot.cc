@@ -1,0 +1,64 @@
+// Kernel boot: constructs every subsystem inside the arena and produces the layout. The
+// KernelVm wrapper takes the post-boot snapshot — the paper's fixed initial kernel state.
+#include "src/kernel/kernel.h"
+
+#include "src/kernel/block/blockdev.h"
+#include "src/kernel/fs/configfs.h"
+#include "src/kernel/fs/sbfs.h"
+#include "src/kernel/ipc/msg.h"
+#include "src/kernel/kalloc.h"
+#include "src/kernel/net/fib6.h"
+#include "src/kernel/net/l2tp.h"
+#include "src/kernel/net/netdev.h"
+#include "src/kernel/net/packet.h"
+#include "src/kernel/net/tcp_cong.h"
+#include "src/kernel/sound/ctl.h"
+#include "src/kernel/task.h"
+#include "src/kernel/tty/serial.h"
+#include "src/sim/sync.h"
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+KernelGlobals BootKernel(Engine& engine) {
+  Memory& mem = engine.mem();
+  KernelGlobals g;
+
+  // Core machinery.
+  g.rcu_readers = mem.StaticAlloc(4, 4);
+  RcuInit(mem, g.rcu_readers);
+  g.kheap = KallocInit(mem, /*heap_bytes=*/192 * 1024);
+  for (int i = 0; i < kMaxTestVcpus; i++) {
+    g.tasks[i] = TaskInit(mem, /*tid=*/static_cast<uint32_t>(i) + 1);
+  }
+
+  // Subsystems.
+  g.netdevs = NetdevInit(mem, &g.rtnl_lock);
+  g.l2tp = L2tpInit(mem);
+  g.packet = PacketInit(mem);
+  g.fib6 = Fib6Init(mem);
+  g.tcp_cong = TcpCongInit(mem);
+  g.sbfs = SbfsInit(mem);
+  g.configfs = ConfigfsInit(mem);
+  g.blockdevs = BlockDevInit(mem);
+  g.msgipc = MsgIpcInit(mem);
+  g.tty = TtyInit(mem);
+  g.sndcard = SndInit(mem);
+
+  // Pre-populate configfs with the /cfg/a and /cfg/b dirents so lookups from the fixed
+  // initial state have something to walk (and rmdir has something to race against).
+  for (uint32_t name_id = 1; name_id <= 2; name_id++) {
+    GuestAddr dirent = mem.StaticAlloc(kDirentSize, 8);
+    GuestAddr inode = mem.StaticAlloc(kCfgInodeSize, 8);
+    ConfigfsBootMkdir(mem, g.configfs, dirent, inode, name_id);
+  }
+
+  return g;
+}
+
+KernelVm::KernelVm() : engine_(1u << 20) {
+  globals_ = BootKernel(engine_);
+  snapshot_ = engine_.mem().TakeSnapshot();
+}
+
+}  // namespace snowboard

@@ -1,0 +1,128 @@
+#include "src/kernel/fs/configfs.h"
+
+#include "src/kernel/kalloc.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+GuestAddr ConfigfsInit(Memory& mem) {
+  GuestAddr cfg = mem.StaticAlloc(12, 8);
+  mem.WriteRaw(cfg + kConfigfsMutex, 4, 0);
+  mem.WriteRaw(cfg + kConfigfsHead, 4, 0);
+  mem.WriteRaw(cfg + kConfigfsNextIno, 4, 100);
+  return cfg;
+}
+
+void ConfigfsBootMkdir(Memory& mem, GuestAddr cfg, GuestAddr dirent_mem, GuestAddr inode_mem,
+                       uint32_t name_id) {
+  mem.WriteRaw(inode_mem + kCfgInodeIno, 4, mem.ReadRaw(cfg + kConfigfsNextIno, 4));
+  mem.WriteRaw(cfg + kConfigfsNextIno, 4, mem.ReadRaw(cfg + kConfigfsNextIno, 4) + 1);
+  mem.WriteRaw(inode_mem + kCfgInodeNlink, 4, 2);
+  mem.WriteRaw(inode_mem + kCfgInodeMode, 4, 0755);
+  mem.WriteRaw(dirent_mem + kDirentNameId, 4, name_id);
+  mem.WriteRaw(dirent_mem + kDirentInode, 4, inode_mem);
+  mem.WriteRaw(dirent_mem + kDirentFlags, 4, 1);
+  mem.WriteRaw(dirent_mem + kDirentNext, 4, mem.ReadRaw(cfg + kConfigfsHead, 4));
+  mem.WriteRaw(cfg + kConfigfsHead, 4, dirent_mem);
+}
+
+int64_t ConfigfsMkdir(Ctx& ctx, const KernelGlobals& g, uint32_t name_id) {
+  GuestAddr cfg = g.configfs;
+  SpinLock(ctx, cfg + kConfigfsMutex);
+  // Reject duplicates.
+  GuestAddr cur = ctx.Load32(cfg + kConfigfsHead, SB_SITE());
+  while (cur != kGuestNull) {
+    if (ctx.Load32(cur + kDirentNameId, SB_SITE()) == name_id) {
+      SpinUnlock(ctx, cfg + kConfigfsMutex);
+      return kEEXIST;
+    }
+    cur = ctx.Load32(cur + kDirentNext, SB_SITE());
+  }
+  GuestAddr inode = Kmalloc(ctx, g.kheap, kCfgInodeSize);
+  GuestAddr dirent = Kmalloc(ctx, g.kheap, kDirentSize);
+  if (inode == kGuestNull || dirent == kGuestNull) {
+    SpinUnlock(ctx, cfg + kConfigfsMutex);
+    return kENOMEM;
+  }
+  uint32_t ino = ctx.Load32(cfg + kConfigfsNextIno, SB_SITE());
+  ctx.Store32(cfg + kConfigfsNextIno, ino + 1, SB_SITE());
+  ctx.Store32(inode + kCfgInodeIno, ino, SB_SITE());
+  ctx.Store32(inode + kCfgInodeNlink, 2, SB_SITE());
+  ctx.Store32(inode + kCfgInodeMode, 0755, SB_SITE());
+  ctx.Store32(dirent + kDirentNameId, name_id, SB_SITE());
+  ctx.Store32(dirent + kDirentInode, inode, SB_SITE());
+  ctx.Store32(dirent + kDirentFlags, 1, SB_SITE());
+  GuestAddr head = ctx.Load32(cfg + kConfigfsHead, SB_SITE());
+  ctx.Store32(dirent + kDirentNext, head, SB_SITE());
+  ctx.Store32(cfg + kConfigfsHead, dirent, SB_SITE());
+  SpinUnlock(ctx, cfg + kConfigfsMutex);
+  return 0;
+}
+
+int64_t ConfigfsRmdir(Ctx& ctx, const KernelGlobals& g, uint32_t name_id) {
+  GuestAddr cfg = g.configfs;
+  SpinLock(ctx, cfg + kConfigfsMutex);
+  GuestAddr prev_slot = cfg + kConfigfsHead;
+  GuestAddr cur = ctx.Load32(prev_slot, SB_SITE());
+  while (cur != kGuestNull) {
+    uint32_t cur_name = ctx.Load32(cur + kDirentNameId, SB_SITE());
+    if (cur_name == name_id) {
+      GuestAddr next = ctx.Load32(cur + kDirentNext, SB_SITE());
+      ctx.Store32(prev_slot, next, SB_SITE());
+      GuestAddr inode = ctx.Load32(cur + kDirentInode, SB_SITE());
+      // Poison before free (SLAB-poisoning analog): a lockless lookup holding a stale
+      // dirent pointer will now read a null inode pointer — issue #11's crash source.
+      ctx.Store32(cur + kDirentInode, kGuestNull, SB_SITE());
+      ctx.Store32(cur + kDirentNameId, 0, SB_SITE());
+      ctx.Store32(cur + kDirentFlags, 0, SB_SITE());
+      Kfree(ctx, g.kheap, inode, kCfgInodeSize);
+      Kfree(ctx, g.kheap, cur, kDirentSize);
+      SpinUnlock(ctx, cfg + kConfigfsMutex);
+      return 0;
+    }
+    prev_slot = cur + kDirentNext;
+    cur = ctx.Load32(prev_slot, SB_SITE());
+  }
+  SpinUnlock(ctx, cfg + kConfigfsMutex);
+  return kENOENT;
+}
+
+int64_t ConfigfsReaddir(Ctx& ctx, const KernelGlobals& g) {
+  GuestAddr cfg = g.configfs;
+  // Like ConfigfsLookup: no parent mutex — the same #11 bug family. A concurrent rmdir can
+  // poison the dirent under the cursor; the ino read below then chases a null pointer.
+  int64_t count = 0;
+  GuestAddr cur = ctx.Load32(cfg + kConfigfsHead, SB_SITE());
+  while (cur != kGuestNull && count < 64) {
+    GuestAddr inode = ctx.Load32(cur + kDirentInode, SB_SITE());
+    if (inode != kGuestNull) {
+      ctx.Load32(inode + kCfgInodeIno, SB_SITE());  // Emit the directory record.
+      count++;
+    }
+    cur = ctx.Load32(cur + kDirentNext, SB_SITE());
+  }
+  return count;
+}
+
+GuestAddr ConfigfsLookup(Ctx& ctx, const KernelGlobals& g, uint32_t name_id) {
+  GuestAddr cfg = g.configfs;
+  // Issue #11: the original configfs_lookup() iterated the parent's children without
+  // holding the parent mutex. No lock here — that IS the bug.
+  GuestAddr cur = ctx.Load32(cfg + kConfigfsHead, SB_SITE());
+  while (cur != kGuestNull) {
+    uint32_t cur_name = ctx.Load32(cur + kDirentNameId, SB_SITE());
+    if (cur_name == name_id) {
+      GuestAddr inode = ctx.Load32(cur + kDirentInode, SB_SITE());
+      // d_instantiate path: bump the inode link count. If rmdir poisoned the dirent after
+      // the name check, `inode` is null and this faults — the #11 panic.
+      uint32_t nlink = ctx.Load32(inode + kCfgInodeNlink, SB_SITE());
+      ctx.Store32(inode + kCfgInodeNlink, nlink, SB_SITE());
+      return inode;
+    }
+    cur = ctx.Load32(cur + kDirentNext, SB_SITE());
+  }
+  return kGuestNull;
+}
+
+}  // namespace snowboard

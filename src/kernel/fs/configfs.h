@@ -1,0 +1,61 @@
+// configfs: the directory tree behind /cfg.
+//
+// Carries issue #11 of Table 2 (the real configfs_lookup() race, fixed by commit c42dd069):
+// ConfigfsLookup walks the parent's dirent list WITHOUT the parent mutex, while
+// ConfigfsRmdir unlinks a dirent, poisons (zeroes) it, and frees it under the mutex. A
+// lookup that has read a dirent pointer can then dereference the poisoned entry and chase a
+// null inode pointer: "BUG: kernel NULL pointer dereference".
+#ifndef SRC_KERNEL_FS_CONFIGFS_H_
+#define SRC_KERNEL_FS_CONFIGFS_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Subsystem block:
+//   +0  dir_mutex (the lock ConfigfsLookup FAILS to take)
+//   +4  dirent list head
+//   +8  next_ino
+inline constexpr uint32_t kConfigfsMutex = 0;
+inline constexpr uint32_t kConfigfsHead = 4;
+inline constexpr uint32_t kConfigfsNextIno = 8;
+
+// Dirent (kmalloc'd, 32 bytes):
+//   +0  next
+//   +4  name_id
+//   +8  inode  (pointer to a small inode blob; zeroed on rmdir — the poison)
+//   +12 flags
+inline constexpr uint32_t kDirentNext = 0;
+inline constexpr uint32_t kDirentNameId = 4;
+inline constexpr uint32_t kDirentInode = 8;
+inline constexpr uint32_t kDirentFlags = 12;
+inline constexpr uint32_t kDirentSize = 32;
+
+// Configfs inode blob (kmalloc'd, 16 bytes): +0 ino, +4 nlink, +8 mode.
+inline constexpr uint32_t kCfgInodeIno = 0;
+inline constexpr uint32_t kCfgInodeNlink = 4;
+inline constexpr uint32_t kCfgInodeMode = 8;
+inline constexpr uint32_t kCfgInodeSize = 16;
+
+GuestAddr ConfigfsInit(Memory& mem);
+
+// Creates a dirent named `name_id` under the root (boot-time variant writes raw memory).
+int64_t ConfigfsMkdir(Ctx& ctx, const KernelGlobals& g, uint32_t name_id);
+void ConfigfsBootMkdir(Memory& mem, GuestAddr cfg, GuestAddr dirent_mem, GuestAddr inode_mem,
+                       uint32_t name_id);
+
+// Removes the dirent named `name_id`: unlink, poison, free — all under the mutex (#11 writer).
+int64_t ConfigfsRmdir(Ctx& ctx, const KernelGlobals& g, uint32_t name_id);
+
+// open("/cfg/<name>") path: walks the dirent list with NO lock (#11 reader). Returns the
+// configfs inode address, or kGuestNull if absent.
+GuestAddr ConfigfsLookup(Ctx& ctx, const KernelGlobals& g, uint32_t name_id);
+
+// getdents() on /cfg: enumerates the dirent list — ALSO without the parent mutex, a second
+// reader path of the same #11 bug family. Returns the number of live entries.
+int64_t ConfigfsReaddir(Ctx& ctx, const KernelGlobals& g);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_FS_CONFIGFS_H_

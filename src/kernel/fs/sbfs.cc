@@ -1,0 +1,223 @@
+#include "src/kernel/fs/sbfs.h"
+
+#include "src/kernel/block/blockdev.h"
+#include "src/kernel/task.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+#include "src/util/assert.h"
+#include "src/util/strings.h"
+
+namespace snowboard {
+
+namespace {
+
+// Block-number scheme: inode i owns sectors [i*16+1, i*16+2]; all < kBdDefaultSectors.
+uint32_t InodeBlockNumber(uint32_t ino, uint32_t index) { return ino * 16 + 1 + index; }
+
+uint32_t InodeNumberOf(Ctx& ctx, GuestAddr sbfs, GuestAddr inode) {
+  // Inodes are laid out contiguously after the superblock header (boot-fixed layout).
+  GuestAddr first = static_cast<GuestAddr>(
+      ctx.mem().ReadRaw(sbfs + kSbfsInodes, 4));
+  return (inode - first) / kInodeStructSize;
+}
+
+}  // namespace
+
+GuestAddr SbfsInit(Memory& mem) {
+  GuestAddr sbfs = mem.StaticAlloc(kSbfsInodes + 4 * kSbfsNumInodes, 8);
+  mem.WriteRaw(sbfs + kSbfsLock, 4, 0);
+  mem.WriteRaw(sbfs + kSbfsNinodes, 4, kSbfsNumInodes);
+  for (uint32_t ino = 0; ino < kSbfsNumInodes; ino++) {
+    GuestAddr inode = mem.StaticAlloc(kInodeStructSize, 8);
+    mem.WriteRaw(sbfs + kSbfsInodes + 4 * ino, 4, inode);
+    mem.WriteRaw(inode + kInodeLock, 4, 0);
+    mem.WriteRaw(inode + kInodeSize, 4, 0);
+    mem.WriteRaw(inode + kInodeBlock0, 4, InodeBlockNumber(ino, 0));
+    mem.WriteRaw(inode + kInodeBlock1, 4, InodeBlockNumber(ino, 1));
+    mem.WriteRaw(inode + kInodeExtMagic, 4, kSbfsExtMagic);
+    mem.WriteRaw(inode + kInodeData, 4, 0x5b5b0000u + ino);
+    mem.WriteRaw(inode + kInodeNrpages, 4, 0);
+    mem.WriteRaw(inode + kInodeDirty, 4, 0);
+    // Consistent initial checksum: size + block0 + block1 + data.
+    uint32_t checksum = 0 + InodeBlockNumber(ino, 0) + InodeBlockNumber(ino, 1) +
+                        (0x5b5b0000u + ino);
+    mem.WriteRaw(inode + kInodeChecksum, 4, checksum);
+  }
+  return sbfs;
+}
+
+GuestAddr SbfsInodeAddr(Ctx& ctx, GuestAddr sbfs, uint32_t ino) {
+  if (ino >= kSbfsNumInodes) {
+    return kGuestNull;
+  }
+  return ctx.Load32(sbfs + kSbfsInodes + 4 * ino, SB_SITE());
+}
+
+uint32_t SbfsComputeChecksum(Ctx& ctx, GuestAddr inode) {
+  uint32_t size = ctx.Load32(inode + kInodeSize, SB_SITE());
+  uint32_t b0 = ctx.Load32(inode + kInodeBlock0, SB_SITE());
+  uint32_t b1 = ctx.Load32(inode + kInodeBlock1, SB_SITE());
+  uint32_t data = ctx.Load32(inode + kInodeData, SB_SITE());
+  return size + b0 + b1 + data;
+}
+
+int64_t SbfsRead(Ctx& ctx, const KernelGlobals& g, GuestAddr inode, uint32_t len) {
+  uint32_t ino = InodeNumberOf(ctx, g.sbfs, inode);
+
+  // ext4_ext_check_inode analog — issue #3 reader: the extent-header magic check runs on
+  // the lockless fast path, so it can observe the writer's invalidate window.
+  uint32_t magic = ctx.Load32(inode + kInodeExtMagic, SB_SITE());
+  if (magic != kSbfsExtMagic) {
+    ctx.Printk(StrPrintf(
+        "EXT4-fs error (device sbfs): sbfs_ext_check_inode: inode #%u: invalid magic 0x%x",
+        ino, magic));
+    return kEIO;
+  }
+
+  SpinLock(ctx, inode + kInodeLock);
+  // sbfs_iget checksum verification. Under i_lock this is consistent against writers; it
+  // only fails if some *other* path corrupted the inode image (e.g. a racy boot-loader
+  // swap, issue #2).
+  uint32_t computed = SbfsComputeChecksum(ctx, inode);
+  uint32_t stored = ctx.Load32(inode + kInodeChecksum, SB_SITE());
+  if (computed != stored) {
+    ctx.Printk(StrPrintf(
+        "EXT4-fs error (device sbfs): sbfs_iget: checksum invalid for inode #%u", ino));
+    SpinUnlock(ctx, inode + kInodeLock);
+    return kEIO;
+  }
+  uint32_t data = ctx.Load32(inode + kInodeData, SB_SITE());
+  uint32_t nrpages = ctx.Load32(inode + kInodeNrpages, SB_SITE());
+  ctx.Store32(inode + kInodeNrpages, nrpages + 1, SB_SITE());
+  uint32_t block = ctx.Load32(inode + kInodeBlock0, SB_SITE());
+  SpinUnlock(ctx, inode + kInodeLock);
+
+  if (!SubmitBio(ctx, g, block, /*is_write=*/false)) {
+    return kEIO;
+  }
+  return static_cast<int64_t>(data & 0x7FFFFFFF);
+}
+
+int64_t SbfsWrite(Ctx& ctx, const KernelGlobals& g, GuestAddr inode, uint32_t len,
+                  uint32_t value) {
+  // Scratch "journal handle" on the kernel stack: exercises the ESP stack filter.
+  StackFrame frame(ctx, 16);
+  ctx.Store32(frame.base(), value, SB_SITE());
+
+  SpinLock(ctx, inode + kInodeLock);
+  uint32_t size = ctx.Load32(inode + kInodeSize, SB_SITE());
+  uint32_t new_size = size + len;
+  ctx.Store32(inode + kInodeSize, new_size, SB_SITE());
+
+  uint32_t journal_value = ctx.Load32(frame.base(), SB_SITE());
+  uint32_t data = ctx.Load32(inode + kInodeData, SB_SITE());
+  ctx.Store32(inode + kInodeData, data ^ (journal_value * 2654435761u + len), SB_SITE());
+
+  // Reallocate block 0 if a truncate invalidated it.
+  uint32_t block = ctx.Load32(inode + kInodeBlock0, SB_SITE());
+  uint32_t ino = InodeNumberOf(ctx, g.sbfs, inode);
+  if (block == kSbfsInvalidBlock) {
+    block = InodeBlockNumber(ino, 0);
+    ctx.Store32(inode + kInodeBlock0, block, SB_SITE());
+  }
+
+  // Extent-tree rebuild when the write crosses a block boundary — issue #3 writer: the
+  // magic is zeroed, the tree rebuilt, and the magic restored; all under i_lock, but the
+  // read-side check is lockless, so the invalid window is observable.
+  uint32_t blocksize = 1024;
+  if (new_size / blocksize != size / blocksize) {
+    ctx.Store32(inode + kInodeExtMagic, 0, SB_SITE());
+    ctx.Store32(inode + kInodeBlock1, InodeBlockNumber(ino, 1), SB_SITE());
+    ctx.Store32(inode + kInodeExtMagic, kSbfsExtMagic, SB_SITE());
+  }
+
+  uint32_t checksum = SbfsComputeChecksum(ctx, inode);
+  ctx.Store32(inode + kInodeChecksum, checksum, SB_SITE());
+  ctx.Store32(inode + kInodeDirty, 1, SB_SITE());
+  SpinUnlock(ctx, inode + kInodeLock);
+
+  // Writeback — issue #4: the block number is RE-READ without the i_lock (TOCTOU); a
+  // concurrent ftruncate can invalidate it between unlock and here, sending the bio to a
+  // bogus sector ("blk_update_request: I/O error").
+  uint32_t wb_block = ctx.Load32(inode + kInodeBlock0, SB_SITE());
+  if (!SubmitBio(ctx, g, wb_block, /*is_write=*/true)) {
+    return kEIO;
+  }
+  ctx.Store32(inode + kInodeDirty, 0, SB_SITE());
+  return len;
+}
+
+int64_t SbfsFtruncate(Ctx& ctx, const KernelGlobals& g, GuestAddr inode, uint32_t size) {
+  SpinLock(ctx, inode + kInodeLock);
+  if (size == 0) {
+    // Releasing the data blocks: block 0 becomes invalid until the next write — the
+    // issue #4 writer.
+    ctx.Store32(inode + kInodeBlock0, kSbfsInvalidBlock, SB_SITE());
+  }
+  ctx.Store32(inode + kInodeSize, size, SB_SITE());
+  uint32_t checksum = SbfsComputeChecksum(ctx, inode);
+  ctx.Store32(inode + kInodeChecksum, checksum, SB_SITE());
+  SpinUnlock(ctx, inode + kInodeLock);
+  return 0;
+}
+
+int64_t SbfsSwapInodeBootLoader(Ctx& ctx, const KernelGlobals& g, GuestAddr inode) {
+  GuestAddr sbfs = g.sbfs;
+  GuestAddr boot = SbfsInodeAddr(ctx, sbfs, 0);
+  if (boot == kGuestNull || inode == boot) {
+    return kEINVAL;
+  }
+  uint32_t ino = InodeNumberOf(ctx, sbfs, inode);
+
+  // Issue #2 (atomicity violation): the swap takes the SUPERBLOCK lock but not the target
+  // inode's i_lock, so a concurrent SbfsWrite (which holds only i_lock) interleaves with
+  // the field-by-field swap below.
+  SpinLock(ctx, sbfs + kSbfsLock);
+  static constexpr uint32_t kSwapFields[] = {kInodeSize, kInodeBlock0, kInodeBlock1,
+                                             kInodeData, kInodeChecksum};
+  for (uint32_t field : kSwapFields) {
+    uint32_t a = ctx.Load32(inode + field, SB_SITE());
+    uint32_t b = ctx.Load32(boot + field, SB_SITE());
+    ctx.Store32(inode + field, b, SB_SITE());
+    ctx.Store32(boot + field, a, SB_SITE());
+  }
+
+  // Post-swap verification, as ext4's swap_inode_boot_loader recomputes checksums: if a
+  // write interleaved, the swapped image is inconsistent.
+  for (GuestAddr node : {inode, boot}) {
+    uint32_t computed = SbfsComputeChecksum(ctx, node);
+    uint32_t stored = ctx.Load32(node + kInodeChecksum, SB_SITE());
+    if (computed != stored) {
+      ctx.Printk(StrPrintf("EXT4-fs error (device sbfs): sbfs_swap_inode_boot_loader: "
+                           "checksum invalid for inode #%u",
+                           node == boot ? 0 : ino));
+      // Repair so the error does not cascade into every later test action.
+      ctx.Store32(node + kInodeChecksum, computed, SB_SITE());
+    }
+  }
+  SpinUnlock(ctx, sbfs + kSbfsLock);
+  return 0;
+}
+
+int64_t SbfsRename(Ctx& ctx, const KernelGlobals& g, GuestAddr inode_a, GuestAddr inode_b) {
+  if (inode_a == inode_b) {
+    return 0;
+  }
+  GuestAddr first = inode_a < inode_b ? inode_a : inode_b;
+  GuestAddr second = inode_a < inode_b ? inode_b : inode_a;
+  SpinLock(ctx, g.sbfs + kSbfsLock);
+  SpinLock(ctx, first + kInodeLock);
+  SpinLock(ctx, second + kInodeLock);
+  uint32_t da = ctx.Load32(inode_a + kInodeData, SB_SITE());
+  uint32_t db = ctx.Load32(inode_b + kInodeData, SB_SITE());
+  ctx.Store32(inode_a + kInodeData, db, SB_SITE());
+  ctx.Store32(inode_b + kInodeData, da, SB_SITE());
+  ctx.Store32(inode_a + kInodeChecksum, SbfsComputeChecksum(ctx, inode_a), SB_SITE());
+  ctx.Store32(inode_b + kInodeChecksum, SbfsComputeChecksum(ctx, inode_b), SB_SITE());
+  SpinUnlock(ctx, second + kInodeLock);
+  SpinUnlock(ctx, first + kInodeLock);
+  SpinUnlock(ctx, g.sbfs + kSbfsLock);
+  return 0;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,75 @@
+// sbfs: the ext4-analog filesystem.
+//
+// Carries three Table 2 issues, each with the same synchronization mistake as the original:
+//   #2 (AV) — SbfsSwapInodeBootLoader takes the superblock lock but NOT the target inode's
+//      i_lock, so a concurrent SbfsWrite interleaves with the field-by-field swap and the
+//      post-swap checksum verification fails: "EXT4-fs error: swap_inode_boot_loader: ...
+//      checksum invalid".
+//   #3 (AV) — extent-tree rebuild invalidates the extent magic, rebuilds, then restores it;
+//      the read-side magic check runs lockless and can observe the invalid window:
+//      "EXT4-fs error: ext4_ext_check_inode: ... invalid magic".
+//   #4 (AV) — writeback re-reads the inode's block number WITHOUT the i_lock (TOCTOU);
+//      a concurrent ftruncate invalidates it and the bio targets a bogus sector:
+//      "blk_update_request: IO error".
+#ifndef SRC_KERNEL_FS_SBFS_H_
+#define SRC_KERNEL_FS_SBFS_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Superblock block:
+//   +0  sb_lock
+//   +4  ninodes
+//   +8  inodes[kSbfsNumInodes]
+inline constexpr uint32_t kSbfsLock = 0;
+inline constexpr uint32_t kSbfsNinodes = 4;
+inline constexpr uint32_t kSbfsInodes = 8;
+inline constexpr uint32_t kSbfsNumInodes = 4;  // Inode 0 is the boot-loader inode.
+
+// Inode layout (static-allocated, 64 bytes):
+//   +0  i_lock
+//   +4  i_size
+//   +8  i_block[2]  (block numbers on the sbd0 device)
+//   +16 i_checksum  (covers size, data, blocks)
+//   +20 i_ext_magic (kSbfsExtMagic when the extent tree is valid)
+//   +24 i_data      (file-content digest word)
+//   +28 i_nrpages   (page-cache page count)
+//   +32 i_dirty
+inline constexpr uint32_t kInodeLock = 0;
+inline constexpr uint32_t kInodeSize = 4;
+inline constexpr uint32_t kInodeBlock0 = 8;
+inline constexpr uint32_t kInodeBlock1 = 12;
+inline constexpr uint32_t kInodeChecksum = 16;
+inline constexpr uint32_t kInodeExtMagic = 20;
+inline constexpr uint32_t kInodeData = 24;
+inline constexpr uint32_t kInodeNrpages = 28;
+inline constexpr uint32_t kInodeDirty = 32;
+inline constexpr uint32_t kInodeStructSize = 64;
+
+inline constexpr uint32_t kSbfsExtMagic = 0xF30A;
+inline constexpr uint32_t kSbfsInvalidBlock = 0xFFFFu;
+
+// Boot-time: builds the superblock and inode table; returns the sbfs anchor.
+GuestAddr SbfsInit(Memory& mem);
+
+// Inode address for inode number `ino` (host-side arithmetic; layout is boot-fixed).
+GuestAddr SbfsInodeAddr(Ctx& ctx, GuestAddr sbfs, uint32_t ino);
+
+// File operations (called from VFS with the inode address).
+int64_t SbfsRead(Ctx& ctx, const KernelGlobals& g, GuestAddr inode, uint32_t len);
+int64_t SbfsWrite(Ctx& ctx, const KernelGlobals& g, GuestAddr inode, uint32_t len,
+                  uint32_t value);
+int64_t SbfsFtruncate(Ctx& ctx, const KernelGlobals& g, GuestAddr inode, uint32_t size);
+// EXT4_IOC_SWAP_BOOT analog: swaps inode contents with the boot-loader inode (#2).
+int64_t SbfsSwapInodeBootLoader(Ctx& ctx, const KernelGlobals& g, GuestAddr inode);
+// rename(): swaps the data of two inodes under the superblock lock.
+int64_t SbfsRename(Ctx& ctx, const KernelGlobals& g, GuestAddr inode_a, GuestAddr inode_b);
+
+// Checksum over (size, blocks, data); plain traced loads.
+uint32_t SbfsComputeChecksum(Ctx& ctx, GuestAddr inode);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_FS_SBFS_H_

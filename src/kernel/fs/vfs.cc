@@ -1,0 +1,254 @@
+#include "src/kernel/fs/vfs.h"
+
+#include "src/kernel/block/blockdev.h"
+#include "src/kernel/fs/configfs.h"
+#include "src/kernel/fs/sbfs.h"
+#include "src/kernel/kalloc.h"
+#include "src/kernel/mm/pagecache.h"
+#include "src/kernel/net/fib6.h"
+#include "src/kernel/net/netdev.h"
+#include "src/kernel/sound/ctl.h"
+#include "src/kernel/task.h"
+#include "src/kernel/tty/serial.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+GuestAddr FileAlloc(Ctx& ctx, const KernelGlobals& g, uint32_t type, GuestAddr obj) {
+  GuestAddr file = Kmalloc(ctx, g.kheap, kFileSize);
+  if (file == kGuestNull) {
+    return kGuestNull;
+  }
+  ctx.Store32(file + kFileType, type, SB_SITE());
+  ctx.Store32(file + kFileObj, obj, SB_SITE());
+  return file;
+}
+
+void FileFree(Ctx& ctx, const KernelGlobals& g, GuestAddr file) {
+  ctx.Store32(file + kFileType, kFileFree, SB_SITE());
+  Kfree(ctx, g.kheap, file, kFileSize);
+}
+
+int64_t VfsOpen(Ctx& ctx, const KernelGlobals& g, uint32_t path_id, uint32_t flags) {
+  if (path_id >= kNumPaths) {
+    return kENOENT;
+  }
+  const PathEntry& path = kPaths[path_id];
+  uint32_t type = 0;
+  GuestAddr obj = kGuestNull;
+  switch (path.kind) {
+    case kPathSbfsFile:
+      type = kFileSbfs;
+      obj = SbfsInodeAddr(ctx, g.sbfs, path.index);
+      break;
+    case kPathBlockDev:
+      type = kFileBlockDev;
+      obj = g.blockdevs;
+      break;
+    case kPathConfigDir: {
+      type = kFileConfigfs;
+      obj = ConfigfsLookup(ctx, g, path.index);  // Issue #11 reader path.
+      if (obj == kGuestNull) {
+        return kENOENT;
+      }
+      break;
+    }
+    case kPathTty: {
+      type = kFileTty;
+      int64_t err = TtyPortOpen(ctx, g);
+      if (err != 0) {
+        return err;
+      }
+      obj = g.tty;
+      break;
+    }
+    case kPathSnd:
+      type = kFileSnd;
+      obj = g.sndcard;
+      break;
+  }
+  if (obj == kGuestNull) {
+    return kENOENT;
+  }
+  GuestAddr file = FileAlloc(ctx, g, type, obj);
+  if (file == kGuestNull) {
+    return kENOMEM;
+  }
+  ctx.Store32(file + kFileFlags, flags, SB_SITE());
+  int fd = FdAlloc(ctx, ctx.current_task, file);
+  if (fd < 0) {
+    FileFree(ctx, g, file);
+    return kEMFILE;
+  }
+  return fd;
+}
+
+int64_t VfsClose(Ctx& ctx, const KernelGlobals& g, int fd) {
+  GuestAddr file = FdGet(ctx, ctx.current_task, fd);
+  if (file == kGuestNull) {
+    return kEBADF;
+  }
+  uint32_t type = ctx.Load32(file + kFileType, SB_SITE());
+  if (type == kFileTty) {
+    TtyPortClose(ctx, g);
+  }
+  FdClear(ctx, ctx.current_task, fd);
+  FileFree(ctx, g, file);
+  return 0;
+}
+
+int64_t VfsRead(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t len) {
+  GuestAddr file = FdGet(ctx, ctx.current_task, fd);
+  if (file == kGuestNull) {
+    return kEBADF;
+  }
+  uint32_t type = ctx.Load32(file + kFileType, SB_SITE());
+  GuestAddr obj = ctx.Load32(file + kFileObj, SB_SITE());
+  switch (type) {
+    case kFileSbfs:
+      return SbfsRead(ctx, g, obj, len);
+    case kFileBlockDev: {
+      uint32_t pos = ctx.Load32(file + kFilePos, SB_SITE());
+      ctx.Store32(file + kFilePos, pos + 1, SB_SITE());
+      return MpageReadpage(ctx, g, pos);  // Issue #6 reader.
+    }
+    case kFileConfigfs:
+      return static_cast<int64_t>(ctx.Load32(obj + kCfgInodeMode, SB_SITE()));
+    case kFileTty:
+      return TtyRead(ctx, g);
+    case kFileSnd:
+      return SndCtlRead(ctx, g);
+    default:
+      return kEINVAL;
+  }
+}
+
+int64_t VfsWrite(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t len, uint32_t value) {
+  GuestAddr file = FdGet(ctx, ctx.current_task, fd);
+  if (file == kGuestNull) {
+    return kEBADF;
+  }
+  uint32_t type = ctx.Load32(file + kFileType, SB_SITE());
+  GuestAddr obj = ctx.Load32(file + kFileObj, SB_SITE());
+  switch (type) {
+    case kFileSbfs:
+      return SbfsWrite(ctx, g, obj, len == 0 ? 1 : len % 4096, value);
+    case kFileBlockDev:
+      return BlkdevWrite(ctx, g, value);
+    case kFileTty:
+      return TtyWrite(ctx, g, len);
+    default:
+      return kEINVAL;
+  }
+}
+
+int64_t VfsFtruncate(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t size) {
+  GuestAddr file = FdGet(ctx, ctx.current_task, fd);
+  if (file == kGuestNull) {
+    return kEBADF;
+  }
+  if (ctx.Load32(file + kFileType, SB_SITE()) != kFileSbfs) {
+    return kEINVAL;
+  }
+  GuestAddr inode = ctx.Load32(file + kFileObj, SB_SITE());
+  return SbfsFtruncate(ctx, g, inode, size % 8192);
+}
+
+int64_t VfsRename(Ctx& ctx, const KernelGlobals& g, uint32_t path_a, uint32_t path_b) {
+  if (path_a >= kNumPaths || path_b >= kNumPaths) {
+    return kENOENT;
+  }
+  const PathEntry& a = kPaths[path_a];
+  const PathEntry& b = kPaths[path_b];
+  if (a.kind != kPathSbfsFile || b.kind != kPathSbfsFile) {
+    return kEINVAL;
+  }
+  GuestAddr inode_a = SbfsInodeAddr(ctx, g.sbfs, a.index);
+  GuestAddr inode_b = SbfsInodeAddr(ctx, g.sbfs, b.index);
+  return SbfsRename(ctx, g, inode_a, inode_b);
+}
+
+int64_t VfsIoctl(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t cmd, int64_t arg) {
+  GuestAddr file = FdGet(ctx, ctx.current_task, fd);
+  if (file == kGuestNull) {
+    return kEBADF;
+  }
+  uint32_t type = ctx.Load32(file + kFileType, SB_SITE());
+  GuestAddr obj = ctx.Load32(file + kFileObj, SB_SITE());
+  uint32_t uarg = static_cast<uint32_t>(arg);
+
+  switch (cmd) {
+    case kIoctlSwapBootLoader:
+      if (type != kFileSbfs) {
+        return kEINVAL;
+      }
+      return SbfsSwapInodeBootLoader(ctx, g, obj);  // Issue #2.
+    case kIoctlSetBlocksize:
+      if (type != kFileBlockDev) {
+        return kEINVAL;
+      }
+      return BlkdevSetBlocksize(ctx, g, 512u << (uarg % 4));  // Issue #6 writer.
+    case kIoctlSetReadahead:
+      if (type != kFileBlockDev) {
+        return kEINVAL;
+      }
+      return BlkdevSetReadahead(ctx, g, uarg);  // Issue #5 writer.
+    case kIoctlSetMacAddr:
+      if (type != kFileSocket) {
+        return kEINVAL;
+      }
+      return DevIoctlSetMac(ctx, g, uarg & 1, uarg >> 1);  // Issue #9 writer.
+    case kIoctlGetMacAddr:
+      if (type != kFileSocket) {
+        return kEINVAL;
+      }
+      return DevIoctlGetMac(ctx, g, uarg & 1);  // Issue #9 reader.
+    case kIoctlSetMtu:
+      if (type != kFileSocket) {
+        return kEINVAL;
+      }
+      return DevSetMtu(ctx, g, uarg & 1, 600 + (uarg % 1400));  // Issue #7 writer.
+    case kIoctlE1000SetMac:
+      if (type != kFileSocket) {
+        return kEINVAL;
+      }
+      return E1000SetMac(ctx, g, uarg & 1, uarg >> 1);  // Issue #8 writer.
+    case kIoctlRtFlush:
+      if (type != kFileSocket) {
+        return kEINVAL;
+      }
+      return Fib6CleanTree(ctx, g);  // Issue #10 writer.
+    case kIoctlSerialAutoconf:
+      if (type != kFileTty) {
+        return kEINVAL;
+      }
+      return UartDoAutoconfig(ctx, g, uarg % 230400);  // Issue #14 writer.
+    case kIoctlSndElemAdd:
+      if (type != kFileSnd) {
+        return kEINVAL;
+      }
+      return SndCtlElemAdd(ctx, g, uarg);  // Issue #15.
+    default:
+      return kEINVAL;
+  }
+}
+
+int64_t VfsFadvise(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t advice) {
+  GuestAddr file = FdGet(ctx, ctx.current_task, fd);
+  if (file == kGuestNull) {
+    return kEBADF;
+  }
+  uint32_t type = ctx.Load32(file + kFileType, SB_SITE());
+  GuestAddr obj = ctx.Load32(file + kFileObj, SB_SITE());
+  advice = advice % 4;
+  if (type == kFileBlockDev) {
+    return GenericFadviseBdev(ctx, g, advice);  // Issue #5 reader.
+  }
+  if (type == kFileSbfs) {
+    return GenericFadviseInode(ctx, g, obj, advice);
+  }
+  return kEINVAL;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,95 @@
+// VFS: file objects, the path namespace, and read/write/ioctl dispatch.
+//
+// The syscall surface the fuzzer drives is intentionally Linux-shaped: open/close/read/
+// write/ftruncate/rename/ioctl/fadvise over a small fixed path namespace covering every
+// subsystem that carries a seeded Table 2 issue (sbfs files, the block device, configfs
+// directories, the serial tty, and the sound control device).
+#ifndef SRC_KERNEL_FS_VFS_H_
+#define SRC_KERNEL_FS_VFS_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// File object (kmalloc'd, 16 bytes):
+//   +0  type (FileType)
+//   +4  obj  (inode / blockdev / sock / port / card address)
+//   +8  pos
+//   +12 flags
+inline constexpr uint32_t kFileType = 0;
+inline constexpr uint32_t kFileObj = 4;
+inline constexpr uint32_t kFilePos = 8;
+inline constexpr uint32_t kFileFlags = 12;
+inline constexpr uint32_t kFileSize = 16;
+
+enum FileType : uint32_t {
+  kFileFree = 0,
+  kFileSbfs = 1,
+  kFileBlockDev = 2,
+  kFileSocket = 3,
+  kFileConfigfs = 4,
+  kFileTty = 5,
+  kFileSnd = 6,
+};
+
+// Path namespace (host-side, immutable): ids the fuzzer uses as open()/rename() arguments.
+enum PathKind : uint32_t {
+  kPathSbfsFile = 0,
+  kPathBlockDev,
+  kPathConfigDir,
+  kPathTty,
+  kPathSnd,
+};
+
+struct PathEntry {
+  PathKind kind;
+  uint32_t index;  // Subsystem-local index (inode number, dirent name id, ...).
+  const char* name;
+};
+
+inline constexpr PathEntry kPaths[] = {
+    {kPathSbfsFile, 1, "/f0"},      // 0
+    {kPathSbfsFile, 2, "/f1"},      // 1
+    {kPathSbfsFile, 0, "/boot"},    // 2 (the boot-loader inode, SWAP_BOOT target)
+    {kPathBlockDev, 0, "/dev/sbd0"},  // 3
+    {kPathConfigDir, 1, "/cfg/a"},  // 4
+    {kPathConfigDir, 2, "/cfg/b"},  // 5
+    {kPathTty, 0, "/dev/ttyS0"},    // 6
+    {kPathSnd, 0, "/dev/snd"},      // 7
+    {kPathSbfsFile, 3, "/f2"},      // 8
+};
+inline constexpr uint32_t kNumPaths = sizeof(kPaths) / sizeof(kPaths[0]);
+
+// Allocates a file object of `type` bound to `obj`. Returns kGuestNull on OOM.
+GuestAddr FileAlloc(Ctx& ctx, const KernelGlobals& g, uint32_t type, GuestAddr obj);
+void FileFree(Ctx& ctx, const KernelGlobals& g, GuestAddr file);
+
+// Syscall backends (dispatch on path kind / file type). All return 0/positive on success,
+// negative errno-style on failure.
+int64_t VfsOpen(Ctx& ctx, const KernelGlobals& g, uint32_t path_id, uint32_t flags);
+int64_t VfsClose(Ctx& ctx, const KernelGlobals& g, int fd);
+int64_t VfsRead(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t len);
+int64_t VfsWrite(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t len, uint32_t value);
+int64_t VfsFtruncate(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t size);
+int64_t VfsRename(Ctx& ctx, const KernelGlobals& g, uint32_t path_a, uint32_t path_b);
+int64_t VfsIoctl(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t cmd, int64_t arg);
+int64_t VfsFadvise(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t advice);
+
+// ioctl commands (shared with the fuzzer's syscall descriptions).
+enum IoctlCmd : uint32_t {
+  kIoctlSwapBootLoader = 1,  // sbfs fd: EXT4_IOC_SWAP_BOOT analog (issue #2).
+  kIoctlSetBlocksize = 2,    // blockdev fd: BLKBSZSET (issue #6 writer).
+  kIoctlSetReadahead = 3,    // blockdev fd: BLKRASET (issue #5 writer).
+  kIoctlSetMacAddr = 4,      // socket: SIOCSIFHWADDR -> eth_commit_mac_addr_change (#9 writer).
+  kIoctlGetMacAddr = 5,      // socket: SIOCGIFHWADDR -> dev_ifsioc_locked (#9 reader).
+  kIoctlSetMtu = 6,          // socket: SIOCSIFMTU -> __dev_set_mtu (#7 writer).
+  kIoctlE1000SetMac = 7,     // socket: ethtool-path MAC set -> e1000_set_mac (#8 writer).
+  kIoctlRtFlush = 8,         // inet6 socket: route flush -> fib6_clean_node (#10 writer).
+  kIoctlSerialAutoconf = 9,  // tty fd: TIOCSSERIAL -> uart_do_autoconfig (#14 writer).
+  kIoctlSndElemAdd = 10,     // snd fd: SNDRV_CTL_IOCTL_ELEM_ADD -> snd_ctl_elem_add (#15).
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_FS_VFS_H_

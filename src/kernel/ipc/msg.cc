@@ -1,0 +1,115 @@
+#include "src/kernel/ipc/msg.h"
+
+#include "src/kernel/kalloc.h"
+#include "src/kernel/rhashtable.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+namespace {
+
+// Folds arbitrary user keys into the small queue-key space [1, 8] so tests collide on the
+// same queues. Idempotent: a returned msqid refolds to itself (resource round-tripping).
+uint32_t FoldKey(uint32_t key) {
+  return (key >= 1 && key <= 8) ? key : (key & 0x7) + 1;
+}
+
+}  // namespace
+
+GuestAddr MsgIpcInit(Memory& mem) {
+  GuestAddr block = mem.StaticAlloc(12, 8);
+  GuestAddr ht = RhtInit(mem, /*nbuckets=*/8, /*key_offset=*/kMsqKey);
+  mem.WriteRaw(block + kMsgIdsLock, 4, 0);
+  mem.WriteRaw(block + kMsgHt, 4, ht);
+  mem.WriteRaw(block + kMsgCreated, 4, 0);
+  return block;
+}
+
+int64_t MsgGet(Ctx& ctx, const KernelGlobals& g, uint32_t key) {
+  GuestAddr ht = ctx.Load32(g.msgipc + kMsgHt, SB_SITE());
+  key = FoldKey(key);  // Small key space so tests collide on queues.
+
+  // ipc_obtain_object_check(): RCU lock-free lookup — executes the rht_ptr double fetch.
+  RcuReadLock(ctx, g.rcu_readers);
+  GuestAddr existing = RhtLookup(ctx, ht, key);
+  RcuReadUnlock(ctx, g.rcu_readers);
+  if (existing != kGuestNull) {
+    return static_cast<int64_t>(key);
+  }
+
+  // Miss: create and insert under the ids lock.
+  SpinLock(ctx, g.msgipc + kMsgIdsLock);
+  GuestAddr msq = Kmalloc(ctx, g.kheap, kMsqStructSize);
+  if (msq == kGuestNull) {
+    SpinUnlock(ctx, g.msgipc + kMsgIdsLock);
+    return kENOMEM;
+  }
+  ctx.Store32(msq + kMsqQbytes, 16384, SB_SITE());
+  ctx.Store32(msq + kMsqPerm, 0600, SB_SITE());
+  RhtInsert(ctx, ht, msq, key);
+  uint32_t created = ctx.Load32(g.msgipc + kMsgCreated, SB_SITE());
+  ctx.Store32(g.msgipc + kMsgCreated, created + 1, SB_SITE());
+  SpinUnlock(ctx, g.msgipc + kMsgIdsLock);
+  return static_cast<int64_t>(key);
+}
+
+int64_t MsgCtl(Ctx& ctx, const KernelGlobals& g, uint32_t key, uint32_t cmd) {
+  GuestAddr ht = ctx.Load32(g.msgipc + kMsgHt, SB_SITE());
+  key = FoldKey(key);
+  switch (cmd) {
+    case kIpcRmid: {
+      // freeque(): remove from the hashtable under the ids lock. Removing a chain's last
+      // entry executes rht_assign_unlock(bkt, 0) — the Figure 4 racing write.
+      SpinLock(ctx, g.msgipc + kMsgIdsLock);
+      GuestAddr msq = RhtRemove(ctx, ht, key);
+      SpinUnlock(ctx, g.msgipc + kMsgIdsLock);
+      if (msq == kGuestNull) {
+        return kENOENT;
+      }
+      // RCU-delayed free, as the real freeque(): in-flight lock-free readers must drain
+      // before the struct can be reused (otherwise kmalloc's rezeroing would race them).
+      SynchronizeRcu(ctx, g.rcu_readers);
+      Kfree(ctx, g.kheap, msq, kMsqStructSize);
+      return 0;
+    }
+    case kIpcStat: {
+      RcuReadLock(ctx, g.rcu_readers);
+      GuestAddr msq = RhtLookup(ctx, ht, key);
+      int64_t result = kENOENT;
+      if (msq != kGuestNull) {
+        // msgctl_stat(): counters are read under the queue lock (ipc_lock_object).
+        SpinLock(ctx, msq + kMsqLock);
+        result = static_cast<int64_t>(ctx.Load32(msq + kMsqQnum, SB_SITE()));
+        SpinUnlock(ctx, msq + kMsqLock);
+      }
+      RcuReadUnlock(ctx, g.rcu_readers);
+      return result;
+    }
+    default:
+      return kEINVAL;
+  }
+}
+
+int64_t MsgSnd(Ctx& ctx, const KernelGlobals& g, uint32_t key, uint32_t len) {
+  GuestAddr ht = ctx.Load32(g.msgipc + kMsgHt, SB_SITE());
+  key = FoldKey(key);
+  RcuReadLock(ctx, g.rcu_readers);
+  GuestAddr msq = RhtLookup(ctx, ht, key);  // Double fetch again.
+  if (msq == kGuestNull) {
+    RcuReadUnlock(ctx, g.rcu_readers);
+    return kENOENT;
+  }
+  SpinLock(ctx, msq + kMsqLock);
+  uint32_t qnum = ctx.Load32(msq + kMsqQnum, SB_SITE());
+  uint32_t qbytes = ctx.Load32(msq + kMsqQbytes, SB_SITE());
+  if (len <= qbytes) {
+    ctx.Store32(msq + kMsqQnum, qnum + 1, SB_SITE());
+    ctx.Store32(msq + kMsqQbytes, qbytes - len, SB_SITE());
+  }
+  SpinUnlock(ctx, msq + kMsqLock);
+  RcuReadUnlock(ctx, g.rcu_readers);
+  return len <= qbytes ? 0 : kENOMEM;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,52 @@
+// ipc/msg: SysV message queues, keyed through the rhashtable — the syscall-level driver of
+// issue #1 (Figure 4).
+//
+// msgget() performs an RCU lock-free rhashtable lookup (which executes the buggy rht_ptr
+// double fetch) and inserts on miss; msgctl(IPC_RMID) removes — the removal of a chain's
+// last entry is the rht_assign_unlock(0) that races the lookup. This is exactly the
+// msgget()/msgctl() pair Figure 4 names ("System-call pairs that share rhashtable-type data
+// can run into kernel panics").
+#ifndef SRC_KERNEL_IPC_MSG_H_
+#define SRC_KERNEL_IPC_MSG_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Subsystem block: +0 ids_rwlock, +4 rhashtable addr, +8 queues_created.
+inline constexpr uint32_t kMsgIdsLock = 0;
+inline constexpr uint32_t kMsgHt = 4;
+inline constexpr uint32_t kMsgCreated = 8;
+
+// Message queue (kmalloc'd, 32 bytes):
+//   +0  rht next (kRhtEntryNext)
+//   +4  key     (rhashtable key; doubles as the msqid the tests use)
+//   +8  q_lock
+//   +12 qnum     (queued messages)
+//   +16 qbytes
+//   +20 perm
+inline constexpr uint32_t kMsqKey = 4;
+inline constexpr uint32_t kMsqLock = 8;
+inline constexpr uint32_t kMsqQnum = 12;
+inline constexpr uint32_t kMsqQbytes = 16;
+inline constexpr uint32_t kMsqPerm = 20;
+inline constexpr uint32_t kMsqStructSize = 32;
+
+inline constexpr uint32_t kIpcRmid = 0;
+inline constexpr uint32_t kIpcStat = 2;
+
+GuestAddr MsgIpcInit(Memory& mem);
+
+// msgget(key): lookup-or-create; returns the key as the msqid (>= 0) or -errno.
+int64_t MsgGet(Ctx& ctx, const KernelGlobals& g, uint32_t key);
+
+// msgctl(msqid, cmd).
+int64_t MsgCtl(Ctx& ctx, const KernelGlobals& g, uint32_t key, uint32_t cmd);
+
+// msgsnd(msqid, len).
+int64_t MsgSnd(Ctx& ctx, const KernelGlobals& g, uint32_t key, uint32_t len);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_IPC_MSG_H_

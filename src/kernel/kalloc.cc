@@ -1,0 +1,115 @@
+#include "src/kernel/kalloc.h"
+
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+namespace {
+
+constexpr uint32_t kClassBytes[kNumSizeClasses] = {16, 32, 64, 128, 256, 512, 1024};
+
+GuestAddr CacheAddr(GuestAddr heap, uint32_t size_class) {
+  return heap + kHeapCaches + size_class * kCacheStride;
+}
+
+}  // namespace
+
+uint32_t KallocSizeClass(uint32_t size) {
+  for (uint32_t i = 0; i < kNumSizeClasses; i++) {
+    if (size <= kClassBytes[i]) {
+      return i;
+    }
+  }
+  return kNumSizeClasses;
+}
+
+uint32_t KallocClassBytes(uint32_t size_class) {
+  SB_CHECK(size_class < kNumSizeClasses);
+  return kClassBytes[size_class];
+}
+
+GuestAddr KallocInit(Memory& mem, uint32_t heap_bytes) {
+  GuestAddr heap = mem.StaticAlloc(kHeapCaches + kNumSizeClasses * kCacheStride, 8);
+  GuestAddr region = mem.StaticAlloc(heap_bytes, 16);
+  mem.WriteRaw(heap + kHeapLock, 4, 0);
+  mem.WriteRaw(heap + kHeapBrk, 4, region);
+  mem.WriteRaw(heap + kHeapStart, 4, region);
+  mem.WriteRaw(heap + kHeapEnd, 4, region + heap_bytes);
+  mem.WriteRaw(heap + kHeapTotalAllocs, 4, 0);
+  mem.WriteRaw(heap + kHeapTotalFrees, 4, 0);
+  for (uint32_t i = 0; i < kNumSizeClasses; i++) {
+    mem.WriteRaw(CacheAddr(heap, i) + 0, 4, 0);  // free_head.
+    mem.WriteRaw(CacheAddr(heap, i) + 4, 4, 0);  // free_count.
+  }
+  return heap;
+}
+
+GuestAddr Kmalloc(Ctx& ctx, GuestAddr heap, uint32_t size) {
+  uint32_t size_class = KallocSizeClass(size);
+  SB_CHECK(size_class < kNumSizeClasses);
+  uint32_t bytes = kClassBytes[size_class];
+  GuestAddr cache = CacheAddr(heap, size_class);
+
+  SpinLock(ctx, heap + kHeapLock);
+  GuestAddr block = ctx.Load32(cache + 0, SB_SITE());  // free_head.
+  if (block != kGuestNull) {
+    // cache_alloc_refill analog: pop the per-class free list.
+    GuestAddr next = ctx.Load32(block, SB_SITE());
+    ctx.Store32(cache + 0, next, SB_SITE());
+    uint32_t free_count = ctx.Load32(cache + 4, SB_SITE());
+    ctx.Store32(cache + 4, free_count - 1, SB_SITE());
+  } else {
+    GuestAddr brk = ctx.Load32(heap + kHeapBrk, SB_SITE());
+    GuestAddr end = ctx.Load32(heap + kHeapEnd, SB_SITE());
+    if (brk + bytes > end) {
+      SpinUnlock(ctx, heap + kHeapLock);
+      ctx.Printk("kmalloc: out of memory");
+      return kGuestNull;
+    }
+    ctx.Store32(heap + kHeapBrk, brk + bytes, SB_SITE());
+    block = brk;
+  }
+  SpinUnlock(ctx, heap + kHeapLock);
+
+  // Issue #13 seed (benign data race, mm/): the global allocation counter is read-modify-
+  // written with PLAIN accesses outside the heap lock — exactly the kind of performance
+  // counter kernel developers leave unsynchronized (§4.3 S-MEM discussion; DataCollider).
+  uint32_t allocs = ctx.Load32(heap + kHeapTotalAllocs, SB_SITE());
+  ctx.Store32(heap + kHeapTotalAllocs, allocs + 1, SB_SITE());
+
+  // kzalloc semantics: zero the block (word-wise traced stores).
+  for (uint32_t off = 0; off < bytes; off += 4) {
+    ctx.Store32(block + off, 0, SB_SITE());
+  }
+  return block;
+}
+
+void Kfree(Ctx& ctx, GuestAddr heap, GuestAddr addr, uint32_t size) {
+  if (addr == kGuestNull) {
+    return;
+  }
+  uint32_t size_class = KallocSizeClass(size);
+  SB_CHECK(size_class < kNumSizeClasses);
+  GuestAddr cache = CacheAddr(heap, size_class);
+
+  SpinLock(ctx, heap + kHeapLock);
+  GuestAddr head = ctx.Load32(cache + 0, SB_SITE());
+  ctx.Store32(addr, head, SB_SITE());      // Freed block's first word = next pointer.
+  ctx.Store32(cache + 0, addr, SB_SITE());
+  uint32_t free_count = ctx.Load32(cache + 4, SB_SITE());
+  ctx.Store32(cache + 4, free_count + 1, SB_SITE());
+  SpinUnlock(ctx, heap + kHeapLock);
+
+  // Issue #13 seed, reader/writer pair of the counter race (free_block analog).
+  uint32_t frees = ctx.Load32(heap + kHeapTotalFrees, SB_SITE());
+  ctx.Store32(heap + kHeapTotalFrees, frees + 1, SB_SITE());
+  uint32_t allocs = ctx.Load32(heap + kHeapTotalAllocs, SB_SITE());
+  if (frees > allocs) {
+    // Benign: the counters can disagree transiently under the race; the kernel only logs.
+    ctx.Printk("slab: stats skew (frees > allocs)");
+  }
+}
+
+}  // namespace snowboard

@@ -1,0 +1,51 @@
+// kalloc: the kernel slab/heap allocator (mm/slab analog).
+//
+// Segregated free lists over a heap region carved out of the arena at boot. The allocator is
+// lock-protected EXCEPT for its global statistics counters, which are updated with plain
+// unsynchronized loads/stores — this seeds issue #13 of Table 2 (the benign
+// cache_alloc_refill()/free_block() data race in mm/): "this data race exists in the memory
+// subsystem, so it can be unmasked by any concurrent tests that request kernel memory",
+// which is exactly why every strategy (even the baselines) finds it.
+#ifndef SRC_KERNEL_KALLOC_H_
+#define SRC_KERNEL_KALLOC_H_
+
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Heap descriptor layout (all u32 fields at these offsets from the heap anchor):
+//   +0   lock            heap spinlock
+//   +4   brk             bump pointer within [start, end)
+//   +8   start
+//   +12  end
+//   +16  total_allocs    UNSYNCHRONIZED stats counter (issue #13 writer/reader)
+//   +20  total_frees     UNSYNCHRONIZED stats counter
+//   +24  caches[kNumSizeClasses] of { free_head u32, free_count u32 }
+inline constexpr uint32_t kHeapLock = 0;
+inline constexpr uint32_t kHeapBrk = 4;
+inline constexpr uint32_t kHeapStart = 8;
+inline constexpr uint32_t kHeapEnd = 12;
+inline constexpr uint32_t kHeapTotalAllocs = 16;
+inline constexpr uint32_t kHeapTotalFrees = 20;
+inline constexpr uint32_t kHeapCaches = 24;
+inline constexpr uint32_t kCacheStride = 8;
+
+inline constexpr uint32_t kNumSizeClasses = 7;  // 16, 32, 64, 128, 256, 512, 1024.
+
+// Boot-time: carves `heap_bytes` out of mem's static region and returns the heap anchor.
+GuestAddr KallocInit(Memory& mem, uint32_t heap_bytes);
+
+// Allocates `size` bytes (rounded to a size class) and zeroes them; returns kGuestNull on
+// exhaustion. `heap` is KernelGlobals::kheap.
+GuestAddr Kmalloc(Ctx& ctx, GuestAddr heap, uint32_t size);
+
+// Frees a block previously allocated with size `size`.
+void Kfree(Ctx& ctx, GuestAddr heap, GuestAddr addr, uint32_t size);
+
+// Size-class index for `size`; kNumSizeClasses if too large.
+uint32_t KallocSizeClass(uint32_t size);
+uint32_t KallocClassBytes(uint32_t size_class);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_KALLOC_H_

@@ -1,0 +1,52 @@
+// Intrusive singly-linked guest lists (list_head analogs, RCU flavored).
+//
+// A list head is a 4-byte guest cell holding the address of the first node; each node embeds
+// a next pointer at a caller-chosen offset. The RCU add publishes via rcu_assign_pointer —
+// note that, as in Linux, publication order relative to *other* node fields is entirely the
+// caller's responsibility: l2tp (issue #12) publishes before initializing tunnel->sock.
+#ifndef SRC_KERNEL_KLIST_H_
+#define SRC_KERNEL_KLIST_H_
+
+#include "src/sim/engine.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+// Inserts node at the front: node->next = *head; rcu_assign(*head, node).
+// Caller typically holds the list's write-side lock.
+inline void ListAddRcu(Ctx& ctx, GuestAddr head, GuestAddr node, uint32_t next_off,
+                       SiteId publish_site) {
+  GuestAddr first = ctx.Load32(head, SB_SITE());
+  ctx.Store32(node + next_off, first, SB_SITE());
+  RcuAssignPointer(ctx, head, node, publish_site);
+}
+
+// Removes node from the list; returns false if absent. Caller holds the write-side lock.
+inline bool ListDelRcu(Ctx& ctx, GuestAddr head, GuestAddr node, uint32_t next_off) {
+  GuestAddr prev_slot = head;
+  GuestAddr cur = ctx.Load32(prev_slot, SB_SITE());
+  while (cur != kGuestNull) {
+    if (cur == node) {
+      GuestAddr next = ctx.Load32(cur + next_off, SB_SITE());
+      RcuAssignPointer(ctx, prev_slot, next, SB_SITE());
+      return true;
+    }
+    prev_slot = cur + next_off;
+    cur = ctx.Load32(prev_slot, SB_SITE());
+  }
+  return false;
+}
+
+// Read-side traversal helper: first node (rcu_dereference of the head).
+inline GuestAddr ListFirstRcu(Ctx& ctx, GuestAddr head, SiteId site) {
+  return RcuDereference(ctx, head, site);
+}
+
+inline GuestAddr ListNextRcu(Ctx& ctx, GuestAddr node, uint32_t next_off, SiteId site) {
+  return RcuDereference(ctx, node + next_off, site);
+}
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_KLIST_H_

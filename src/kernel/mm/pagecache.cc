@@ -1,0 +1,49 @@
+#include "src/kernel/mm/pagecache.h"
+
+#include "src/kernel/block/blockdev.h"
+#include "src/kernel/fs/sbfs.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+int64_t GenericFadviseBdev(Ctx& ctx, const KernelGlobals& g, uint32_t advice) {
+  GuestAddr bd = g.blockdevs;
+  switch (advice) {
+    case kFadvNormal:
+    case kFadvSequential:
+    case kFadvWillneed: {
+      // Issue #5 reader: generic_fadvise() reads the readahead state with no lock while
+      // blkdev_ioctl() updates it under the device lock — disjoint locksets, data race.
+      uint32_t ra = ctx.Load32(bd + kBdRaPages, SB_SITE());
+      uint32_t window = advice == kFadvSequential ? ra * 2 : ra;
+      // Re-read while sizing the readahead batch (widens the racy window, as the real
+      // force_page_cache_readahead loop re-derives state per chunk).
+      uint32_t ra_again = ctx.Load32(bd + kBdRaPages, SB_SITE());
+      return static_cast<int64_t>(window + ra_again);
+    }
+    case kFadvDontneed: {
+      SpinLock(ctx, bd + kBdLock);
+      uint32_t errors = ctx.Load32(bd + kBdIoErrors, SB_SITE());
+      SpinUnlock(ctx, bd + kBdLock);
+      return static_cast<int64_t>(errors);
+    }
+    default:
+      return kEINVAL;
+  }
+}
+
+int64_t GenericFadviseInode(Ctx& ctx, const KernelGlobals& g, GuestAddr inode,
+                            uint32_t advice) {
+  SpinLock(ctx, inode + kInodeLock);
+  uint32_t nrpages = ctx.Load32(inode + kInodeNrpages, SB_SITE());
+  if (advice == kFadvDontneed) {
+    ctx.Store32(inode + kInodeNrpages, 0, SB_SITE());
+  } else if (advice == kFadvWillneed) {
+    ctx.Store32(inode + kInodeNrpages, nrpages + 1, SB_SITE());
+  }
+  SpinUnlock(ctx, inode + kInodeLock);
+  return static_cast<int64_t>(nrpages);
+}
+
+}  // namespace snowboard

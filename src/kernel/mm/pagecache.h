@@ -1,0 +1,30 @@
+// mm: page-cache bookkeeping and the fadvise path.
+//
+// GenericFadvise is the issue #5 reader: for a block device it reads the device readahead
+// window with a PLAIN, lockless load, racing BlkdevSetReadahead's locked store (the
+// blkdev_ioctl()/generic_fadvise() data race of Table 2).
+#ifndef SRC_KERNEL_MM_PAGECACHE_H_
+#define SRC_KERNEL_MM_PAGECACHE_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+enum FadviseAdvice : uint32_t {
+  kFadvNormal = 0,
+  kFadvSequential = 1,
+  kFadvWillneed = 2,
+  kFadvDontneed = 3,
+};
+
+// fadvise on a block-device file (issue #5 reader path).
+int64_t GenericFadviseBdev(Ctx& ctx, const KernelGlobals& g, uint32_t advice);
+
+// fadvise on an sbfs file: page-cache population/drop under the inode lock.
+int64_t GenericFadviseInode(Ctx& ctx, const KernelGlobals& g, GuestAddr inode,
+                            uint32_t advice);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_MM_PAGECACHE_H_

@@ -1,0 +1,48 @@
+#include "src/kernel/net/fib6.h"
+
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+namespace {
+constexpr uint32_t kNodeStride = 16;
+}  // namespace
+
+GuestAddr Fib6Init(Memory& mem) {
+  GuestAddr block = mem.StaticAlloc(kFib6Nodes + 4 * kNumFib6Nodes, 8);
+  mem.WriteRaw(block + kFib6Lock, 4, 0);
+  mem.WriteRaw(block + kFib6SernumNext, 4, 1);
+  for (uint32_t i = 0; i < kNumFib6Nodes; i++) {
+    GuestAddr node = mem.StaticAlloc(kNodeStride, 8);
+    mem.WriteRaw(block + kFib6Nodes + 4 * i, 4, node);
+    mem.WriteRaw(node + kFib6NodeSernum, 4, 1);
+    mem.WriteRaw(node + kFib6NodeCookie, 4, 0x60 + i);
+    mem.WriteRaw(node + kFib6NodeRefcount, 4, 1);
+  }
+  return block;
+}
+
+int64_t Fib6GetCookieSafe(Ctx& ctx, const KernelGlobals& g, uint32_t node_index) {
+  GuestAddr node =
+      ctx.Load32(g.fib6 + kFib6Nodes + 4 * (node_index % kNumFib6Nodes), SB_SITE());
+  // Issue #10 reader: plain lockless read; the caller revalidates, so staleness is benign.
+  uint32_t sernum = ctx.Load32(node + kFib6NodeSernum, SB_SITE());
+  uint32_t cookie = ctx.Load32(node + kFib6NodeCookie, SB_SITE());
+  return static_cast<int64_t>((static_cast<uint64_t>(sernum) << 16) | cookie);
+}
+
+int64_t Fib6CleanTree(Ctx& ctx, const KernelGlobals& g) {
+  SpinLock(ctx, g.fib6 + kFib6Lock);
+  uint32_t sernum = ctx.Load32(g.fib6 + kFib6SernumNext, SB_SITE());
+  ctx.Store32(g.fib6 + kFib6SernumNext, sernum + 1, SB_SITE());
+  for (uint32_t i = 0; i < kNumFib6Nodes; i++) {
+    GuestAddr node = ctx.Load32(g.fib6 + kFib6Nodes + 4 * i, SB_SITE());
+    // Issue #10 writer: plain store under the table lock (the reader takes no lock).
+    ctx.Store32(node + kFib6NodeSernum, sernum + 1, SB_SITE());
+  }
+  SpinUnlock(ctx, g.fib6 + kFib6Lock);
+  return 0;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,37 @@
+// net/ipv6 fib6: route-node serial numbers — issue #10 of Table 2 (benign data race).
+//
+// Fib6GetCookieSafe reads a route node's fn_sernum with a plain lockless load (the reader
+// revalidates against the cookie later, so a stale value is harmless); Fib6CleanNode bumps
+// the sernum under the table lock. A classic benign race: flagged by any race oracle,
+// triaged benign — exactly how Table 2 classifies it.
+#ifndef SRC_KERNEL_NET_FIB6_H_
+#define SRC_KERNEL_NET_FIB6_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Subsystem block: +0 table_lock, +4 sernum_next, +8 nodes[kNumFib6Nodes].
+inline constexpr uint32_t kFib6Lock = 0;
+inline constexpr uint32_t kFib6SernumNext = 4;
+inline constexpr uint32_t kFib6Nodes = 8;
+inline constexpr uint32_t kNumFib6Nodes = 4;
+
+// Route node (static, 16 bytes): +0 fn_sernum, +4 cookie, +8 refcount.
+inline constexpr uint32_t kFib6NodeSernum = 0;
+inline constexpr uint32_t kFib6NodeCookie = 4;
+inline constexpr uint32_t kFib6NodeRefcount = 8;
+
+GuestAddr Fib6Init(Memory& mem);
+
+// fib6_get_cookie_safe(): plain read of fn_sernum (issue #10 reader). Returns the cookie.
+int64_t Fib6GetCookieSafe(Ctx& ctx, const KernelGlobals& g, uint32_t node_index);
+
+// fib6_clean_node() over the whole table (route flush): bumps sernums under the table lock
+// (issue #10 writer).
+int64_t Fib6CleanTree(Ctx& ctx, const KernelGlobals& g);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_NET_FIB6_H_

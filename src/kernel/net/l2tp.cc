@@ -1,0 +1,102 @@
+#include "src/kernel/net/l2tp.h"
+
+#include "src/kernel/kalloc.h"
+#include "src/kernel/klist.h"
+#include "src/kernel/net/netdev.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+GuestAddr L2tpInit(Memory& mem) {
+  GuestAddr l2tp = mem.StaticAlloc(12, 8);
+  mem.WriteRaw(l2tp + kL2tpListLock, 4, 0);
+  mem.WriteRaw(l2tp + kL2tpListHead, 4, 0);
+  mem.WriteRaw(l2tp + kL2tpCount, 4, 0);
+  return l2tp;
+}
+
+GuestAddr L2tpTunnelRegister(Ctx& ctx, const KernelGlobals& g, uint32_t tunnel_id,
+                             GuestAddr sk) {
+  GuestAddr l2tp = g.l2tp;
+  GuestAddr tunnel = Kmalloc(ctx, g.kheap, kTunnelStructSize);  // Zeroed: sock == 0.
+  if (tunnel == kGuestNull) {
+    return kGuestNull;
+  }
+  ctx.Store32(tunnel + kTunnelId, tunnel_id, SB_SITE());
+  ctx.Store32(tunnel + kTunnelRefcount, 1, SB_SITE());  // refcount_set before publish.
+
+  // ➊ Publish: spin_lock_bh(&l2tp_tunnel_list_lock); list_add_rcu(&tunnel->list, ...).
+  // The tunnel becomes visible to l2tp_tunnel_get() HERE, with sock still zero.
+  SpinLock(ctx, l2tp + kL2tpListLock);
+  ListAddRcu(ctx, l2tp + kL2tpListHead, tunnel, kTunnelNext, SB_SITE());
+  uint32_t count = ctx.Load32(l2tp + kL2tpCount, SB_SITE());
+  ctx.Store32(l2tp + kL2tpCount, count + 1, SB_SITE());
+  SpinUnlock(ctx, l2tp + kL2tpListLock);
+
+  // ... encap setup between publish and sock initialization (the vulnerability window the
+  // real l2tp_tunnel_register has after dropping the list lock) ...
+  ctx.Store32(tunnel + kTunnelEncap, 1, SB_SITE());
+  ctx.Store32(tunnel + kTunnelTxErrors, 0, SB_SITE());
+
+  // ➋ Late initialization: tunnel->sock = sk. Readers that fetched the tunnel before this
+  // store observe sock == 0. The store is WRITE_ONCE-style (marked): issue #12 is an order
+  // violation with NO data race — "memory accesses are synchronized" (§5.2 Case 2) — so the
+  // race oracle must stay silent and only the panic oracle can catch it.
+  ctx.Store(tunnel + kTunnelSock, 4, sk, SB_SITE(), /*marked_atomic=*/true);
+  return tunnel;
+}
+
+GuestAddr L2tpTunnelGet(Ctx& ctx, const KernelGlobals& g, uint32_t tunnel_id) {
+  GuestAddr l2tp = g.l2tp;
+  RcuReadLock(ctx, g.rcu_readers);
+  GuestAddr cur = ListFirstRcu(ctx, l2tp + kL2tpListHead, SB_SITE());  // ➌
+  while (cur != kGuestNull) {
+    uint32_t id = ctx.Load32(cur + kTunnelId, SB_SITE());
+    if (id == tunnel_id) {
+      // tunnel_inc_refcount(): refcount_t is atomic in Linux.
+      ctx.FetchAdd32(cur + kTunnelRefcount, 1, SB_SITE());
+      RcuReadUnlock(ctx, g.rcu_readers);
+      return cur;
+    }
+    cur = ListNextRcu(ctx, cur, kTunnelNext, SB_SITE());
+  }
+  RcuReadUnlock(ctx, g.rcu_readers);
+  return kGuestNull;
+}
+
+int64_t PppoL2tpConnect(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t tunnel_id) {
+  // The tunnel id is user-controlled (connect() argument) — §5.2 Case 2.
+  GuestAddr tunnel = L2tpTunnelGet(ctx, g, tunnel_id);
+  if (tunnel == kGuestNull) {
+    tunnel = L2tpTunnelRegister(ctx, g, tunnel_id, sk);
+    if (tunnel == kGuestNull) {
+      return kENOMEM;
+    }
+  }
+  ctx.Store32(sk + kSockProtoData, tunnel, SB_SITE());
+  return 0;
+}
+
+int64_t L2tpXmit(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t len) {
+  GuestAddr tunnel = ctx.Load32(sk + kSockProtoData, SB_SITE());
+  if (tunnel == kGuestNull) {
+    return kENOTCONN;
+  }
+  // l2tp_xmit_core(): struct sock *sk = tunnel->sock; bh_lock_sock(sk). ➍
+  // If the registering thread has not reached ➋, tunnel_sk is 0 and the lock access below
+  // touches the null page: the issue #12 kernel panic. READ_ONCE-style load: no data race.
+  GuestAddr tunnel_sk = static_cast<GuestAddr>(
+      ctx.Load(tunnel + kTunnelSock, 4, SB_SITE(), /*marked_atomic=*/true));
+  // bh_lock_sock(sk) is a macro in Linux, so the faulting access is attributed to
+  // l2tp_xmit_core itself; mirror that by checking a sock field inline before locking it
+  // (the sock_owned_by_user()-style peek).
+  ctx.Load32(tunnel_sk + kSockPeer, SB_SITE());
+  SpinLock(ctx, tunnel_sk + kSockLock);  // bh_lock_sock(sk).
+  uint32_t tx = ctx.Load32(tunnel_sk + kSockTxBytes, SB_SITE());
+  ctx.Store32(tunnel_sk + kSockTxBytes, tx + len, SB_SITE());
+  SpinUnlock(ctx, tunnel_sk + kSockLock);
+  return static_cast<int64_t>(len);
+}
+
+}  // namespace snowboard

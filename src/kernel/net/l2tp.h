@@ -1,0 +1,61 @@
+// net/l2tp: the tunnel registry — issue #12 of Table 2, the Figure 1 case study.
+//
+// The order violation, reproduced move for move:
+//   writer: L2tpTunnelRegister() publishes the tunnel into the RCU list under the list
+//           spinlock (➊), does some more setup, and only THEN initializes tunnel->sock (➋).
+//   reader: PppoL2tpConnect() retrieves the tunnel by id via l2tp_tunnel_get (➌); a later
+//           L2tpXmitCore() loads tunnel->sock (➍) and bh_lock_sock()s it. If ➌/➍ land in
+//           the ➊→➋ window, sock is still 0 and the lock access dereferences the null page:
+//           "BUG: kernel NULL pointer dereference" — a kernel panic with NO data race
+//           involved (everything is "protected" by RCU + the spinlock; the publish ORDER is
+//           the bug).
+// The tunnel id searched by the reader comes straight from the connect() argument, which is
+// what made the real bug user-triggerable (§5.2 Case 2).
+#ifndef SRC_KERNEL_NET_L2TP_H_
+#define SRC_KERNEL_NET_L2TP_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Subsystem block: +0 tunnel_list_lock, +4 tunnel_list head, +8 tunnel_count.
+inline constexpr uint32_t kL2tpListLock = 0;
+inline constexpr uint32_t kL2tpListHead = 4;
+inline constexpr uint32_t kL2tpCount = 8;
+
+// Tunnel struct (kmalloc'd, 32 bytes):
+//   +0  next (RCU list linkage)
+//   +4  tunnel_id
+//   +8  sock          (initialized LAST — the order violation)
+//   +12 encap_type
+//   +16 refcount
+//   +20 tx_errors
+inline constexpr uint32_t kTunnelNext = 0;
+inline constexpr uint32_t kTunnelId = 4;
+inline constexpr uint32_t kTunnelSock = 8;
+inline constexpr uint32_t kTunnelEncap = 12;
+inline constexpr uint32_t kTunnelRefcount = 16;
+inline constexpr uint32_t kTunnelTxErrors = 20;
+inline constexpr uint32_t kTunnelStructSize = 32;
+
+GuestAddr L2tpInit(Memory& mem);
+
+// l2tp_tunnel_register(): create + publish + (late) sock initialization. Returns the tunnel.
+GuestAddr L2tpTunnelRegister(Ctx& ctx, const KernelGlobals& g, uint32_t tunnel_id,
+                             GuestAddr sk);
+
+// l2tp_tunnel_get(): RCU list lookup by id; returns tunnel or kGuestNull.
+GuestAddr L2tpTunnelGet(Ctx& ctx, const KernelGlobals& g, uint32_t tunnel_id);
+
+// pppol2tp_connect(): look up the requested tunnel id, registering a fresh tunnel if absent;
+// binds it to `sk`.
+int64_t PppoL2tpConnect(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t tunnel_id);
+
+// sendmsg() on a PPPoL2TP socket: pppol2tp_sendmsg -> l2tp_xmit_core. Dereferences
+// tunnel->sock (➍) and bh_lock_sock()s it.
+int64_t L2tpXmit(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t len);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_NET_L2TP_H_

@@ -1,0 +1,161 @@
+#include "src/kernel/net/netdev.h"
+
+#include "src/kernel/kalloc.h"
+#include "src/kernel/task.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+namespace {
+
+// Writes a recognizable 6-byte MAC pattern derived from `seed` into a guest buffer.
+void FillMacPattern(Ctx& ctx, GuestAddr buf, uint32_t seed) {
+  for (uint32_t i = 0; i < kEthAlen; i++) {
+    ctx.Store8(buf + i, static_cast<uint8_t>(0x10 + (seed & 0xF) * 0x11 + i), SB_SITE());
+  }
+}
+
+}  // namespace
+
+GuestAddr NetdevInit(Memory& mem, GuestAddr* rtnl_lock_out) {
+  GuestAddr rtnl = mem.StaticAlloc(4, 4);
+  mem.WriteRaw(rtnl, 4, 0);
+  *rtnl_lock_out = rtnl;
+
+  GuestAddr block = mem.StaticAlloc(kNetdevTable + 4 * kNumNetdevs, 8);
+  mem.WriteRaw(block + kNetdevCount, 4, kNumNetdevs);
+  for (uint32_t i = 0; i < kNumNetdevs; i++) {
+    GuestAddr dev = mem.StaticAlloc(kDevStructSize, 8);
+    mem.WriteRaw(block + kNetdevTable + 4 * i, 4, dev);
+    mem.WriteRaw(dev + kDevIfindex, 4, i);
+    mem.WriteRaw(dev + kDevMtu, 4, 1500);
+    mem.WriteRaw(dev + kDevAddrLen, 4, kEthAlen);
+    for (uint32_t b = 0; b < kEthAlen; b++) {
+      mem.WriteRaw(dev + kDevAddr + b, 1, 0xAA);
+    }
+    mem.WriteRaw(dev + kDevLock, 4, 0);
+    mem.WriteRaw(dev + kDevFlags, 4, 1);  // IFF_UP.
+    mem.WriteRaw(dev + kDevTxPackets, 4, 0);
+    mem.WriteRaw(dev + kDevRxPackets, 4, 0);
+  }
+  return block;
+}
+
+GuestAddr DevGetByIndex(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex) {
+  uint32_t ndevs = ctx.Load32(g.netdevs + kNetdevCount, SB_SITE());
+  return ctx.Load32(g.netdevs + kNetdevTable + 4 * (ifindex % ndevs), SB_SITE());
+}
+
+GuestAddr SockAlloc(Ctx& ctx, const KernelGlobals& g, uint32_t family, uint32_t proto) {
+  GuestAddr sk = Kmalloc(ctx, g.kheap, kSockStructSize);
+  if (sk == kGuestNull) {
+    return kGuestNull;
+  }
+  ctx.Store32(sk + kSockFamily, family, SB_SITE());
+  ctx.Store32(sk + kSockProto, proto, SB_SITE());
+  return sk;
+}
+
+int64_t DevIoctlSetMac(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex, uint32_t seed) {
+  // Stage the new MAC in a stack buffer (addr->sa_data analog).
+  StackFrame frame(ctx, 8);
+  FillMacPattern(ctx, frame.base(), seed);
+
+  // eth_commit_mac_addr_change(): "//Inside rtnl_lock()" (Figure 3, writer side).
+  SpinLock(ctx, g.rtnl_lock);
+  GuestAddr dev = DevGetByIndex(ctx, g, ifindex);
+  // memcpy(dev->dev_addr, addr->sa_data, ETH_ALEN) — chunked: 4 bytes then 2 bytes, each an
+  // independently schedulable store. A concurrent reader can see 4 new + 2 old bytes.
+  ctx.Copy(dev + kDevAddr, frame.base(), kEthAlen, SB_SITE(), SB_SITE());
+  SpinUnlock(ctx, g.rtnl_lock);
+  return 0;
+}
+
+int64_t DevIoctlGetMac(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex) {
+  // dev_ifsioc_locked(): "//Inside rcu_read_lock()" (Figure 3, reader side). RCU does not
+  // exclude the rtnl-locked writer — disjoint synchronization, hence the data race.
+  StackFrame frame(ctx, 8);
+  RcuReadLock(ctx, g.rcu_readers);
+  GuestAddr dev = DevGetByIndex(ctx, g, ifindex);
+  // memcpy(ifr->ifr_hwaddr.sa_data, dev->dev_addr, ...) — chunked read.
+  ctx.Copy(frame.base(), dev + kDevAddr, kEthAlen, SB_SITE(), SB_SITE());
+  RcuReadUnlock(ctx, g.rcu_readers);
+
+  // Digest of the (possibly torn) MAC the user received.
+  uint32_t lo = ctx.Load32(frame.base(), SB_SITE());
+  uint16_t hi = ctx.Load16(frame.base() + 4, SB_SITE());
+  return static_cast<int64_t>((static_cast<uint64_t>(hi) << 32) | lo);
+}
+
+int64_t E1000SetMac(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex, uint32_t seed) {
+  StackFrame frame(ctx, 8);
+  FillMacPattern(ctx, frame.base(), seed + 7);
+
+  GuestAddr dev = DevGetByIndex(ctx, g, ifindex);
+  // Issue #8 writer: the driver commits the MAC under its PRIVATE lock, not rtnl — so a
+  // reader path that relies on rtnl (or on nothing, like packet_getname) races it.
+  SpinLock(ctx, dev + kDevLock);
+  ctx.Copy(dev + kDevAddr, frame.base(), kEthAlen, SB_SITE(), SB_SITE());
+  SpinUnlock(ctx, dev + kDevLock);
+  return 0;
+}
+
+int64_t PacketGetname(Ctx& ctx, const KernelGlobals& g, GuestAddr sk) {
+  StackFrame frame(ctx, 8);
+  uint32_t ifindex = ctx.Load32(sk + kSockBoundIf, SB_SITE());
+  GuestAddr dev = DevGetByIndex(ctx, g, ifindex);
+  // is_multicast_ether_addr(dev->dev_addr): a single-BYTE read of addr[0] — against the
+  // writers' 4-byte chunked stores this is an UNALIGNED channel (S-CH-UNALIGNED material).
+  uint8_t first_octet = ctx.Load8(dev + kDevAddr, SB_SITE());
+  if ((first_octet & 1) != 0) {
+    return kEINVAL;  // Multicast address bound to the socket: refuse, as af_packet does.
+  }
+  // Issue #8 reader: packet_getname() copies dev->dev_addr with NO lock at all.
+  ctx.Copy(frame.base(), dev + kDevAddr, kEthAlen, SB_SITE(), SB_SITE());
+  uint32_t lo = ctx.Load32(frame.base(), SB_SITE());
+  return static_cast<int64_t>(lo);
+}
+
+int64_t DevSetMtu(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex, uint32_t mtu) {
+  if (mtu < 68 || mtu > 65535) {
+    return kEINVAL;
+  }
+  SpinLock(ctx, g.rtnl_lock);
+  GuestAddr dev = DevGetByIndex(ctx, g, ifindex);
+  // __dev_set_mtu(): plain store under rtnl — issue #7 writer.
+  ctx.Store32(dev + kDevMtu, mtu, SB_SITE());
+  SpinUnlock(ctx, g.rtnl_lock);
+  return 0;
+}
+
+int64_t Rawv6SendHdrinc(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t len) {
+  uint32_t ifindex = ctx.Load32(sk + kSockBoundIf, SB_SITE());
+  GuestAddr dev = DevGetByIndex(ctx, g, ifindex);
+  // Issue #7 reader: rawv6_send_hdrinc() sizes the frame from a PLAIN read of dev->mtu
+  // with no rtnl; __dev_set_mtu can move it mid-path.
+  uint32_t mtu = ctx.Load32(dev + kDevMtu, SB_SITE());
+  if (len > mtu) {
+    return kEINVAL;  // EMSGSIZE-ish.
+  }
+  // ... header construction ...
+  uint32_t mtu_again = ctx.Load32(dev + kDevMtu, SB_SITE());
+  uint32_t fragments = mtu_again == 0 ? 1 : (len / (mtu_again + 1)) + 1;
+
+  uint32_t tx = ctx.Load32(dev + kDevTxPackets, SB_SITE());
+  ctx.Store32(dev + kDevTxPackets, tx + fragments, SB_SITE());
+  ctx.Store32(sk + kSockTxBytes, ctx.Load32(sk + kSockTxBytes, SB_SITE()) + len, SB_SITE());
+  return static_cast<int64_t>(len);
+}
+
+int64_t TcpSendmsg(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t len) {
+  SpinLock(ctx, sk + kSockLock);
+  uint32_t tx = ctx.Load32(sk + kSockTxBytes, SB_SITE());
+  ctx.Store32(sk + kSockTxBytes, tx + len, SB_SITE());
+  // The congestion window computation reads the CA name installed by tcp_cong.cc.
+  uint32_t ca0 = ctx.Load32(sk + kSockCongName, SB_SITE());
+  SpinUnlock(ctx, sk + kSockLock);
+  return static_cast<int64_t>(len + (ca0 & 0xF));
+}
+
+}  // namespace snowboard

@@ -1,0 +1,108 @@
+// net core: network devices, sockets, and the device-ioctl paths.
+//
+// Carries three Table 2 issues, all in the same functions as the paper:
+//   #9 (DR, Figure 3) — EthCommitMacAddrChange memcpy-writes dev->dev_addr under rtnl_lock;
+//      DevIfsiocLocked memcpy-reads it under rcu_read_lock. Different "locks" (and RCU does
+//      not exclude writers), chunked copies on both sides ⇒ the user can receive a
+//      partially-updated MAC address.
+//   #8 (DR) — PacketGetname reads dev->dev_addr with no lock; E1000SetMac writes it under
+//      the driver's private lock.
+//   #7 (DR) — Rawv6SendHdrinc sizes the packet from a plain read of dev->mtu while
+//      DevSetMtu stores it under rtnl_lock.
+//
+// Sockets for every family the tests use are defined here too (the paper's tests drive all
+// the bugs through socket(), connect(), sendmsg(), ioctl(), setsockopt(), getsockname()).
+#ifndef SRC_KERNEL_NET_NETDEV_H_
+#define SRC_KERNEL_NET_NETDEV_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Device table block: +0 ndevs, +4 dev[kNumNetdevs].
+inline constexpr uint32_t kNetdevCount = 0;
+inline constexpr uint32_t kNetdevTable = 4;
+inline constexpr uint32_t kNumNetdevs = 2;  // eth0, eth1.
+
+// Device struct (static, 48 bytes):
+//   +0  ifindex
+//   +4  mtu
+//   +8  addr_len (6)
+//   +12 dev_addr[8] (6 significant bytes — the Figure 3 object)
+//   +20 dev_lock   (driver-private lock used by E1000SetMac)
+//   +24 flags
+//   +28 tx_packets
+//   +32 rx_packets
+inline constexpr uint32_t kDevIfindex = 0;
+inline constexpr uint32_t kDevMtu = 4;
+inline constexpr uint32_t kDevAddrLen = 8;
+inline constexpr uint32_t kDevAddr = 12;
+inline constexpr uint32_t kDevLock = 20;
+inline constexpr uint32_t kDevFlags = 24;
+inline constexpr uint32_t kDevTxPackets = 28;
+inline constexpr uint32_t kDevRxPackets = 32;
+inline constexpr uint32_t kDevStructSize = 48;
+
+inline constexpr uint32_t kEthAlen = 6;
+
+// Socket struct (kmalloc'd, 64 bytes):
+//   +0  family
+//   +4  proto
+//   +8  sk_lock        (bh_lock_sock target: issue #12 panics when sk == 0)
+//   +12 bound_ifindex
+//   +16 proto_data     (l2tp tunnel / fanout group / fib6 route, per family)
+//   +20 cong_name[16]  (TCP congestion-control name bytes)
+//   +36 peer
+//   +40 tx_bytes
+//   +44 rx_bytes
+//   +48 fanout_slot
+inline constexpr uint32_t kSockFamily = 0;
+inline constexpr uint32_t kSockProto = 4;
+inline constexpr uint32_t kSockLock = 8;
+inline constexpr uint32_t kSockBoundIf = 12;
+inline constexpr uint32_t kSockProtoData = 16;
+inline constexpr uint32_t kSockCongName = 20;
+inline constexpr uint32_t kSockPeer = 36;
+inline constexpr uint32_t kSockTxBytes = 40;
+inline constexpr uint32_t kSockRxBytes = 44;
+inline constexpr uint32_t kSockFanoutSlot = 48;
+inline constexpr uint32_t kSockStructSize = 64;
+
+// Address families (Linux numbering where it exists).
+inline constexpr uint32_t kAfInet = 2;
+inline constexpr uint32_t kAfInet6 = 10;
+inline constexpr uint32_t kAfPacket = 17;
+inline constexpr uint32_t kPxProtoOl2tp = 24;  // PPPoX / PX_PROTO_OL2TP.
+
+GuestAddr NetdevInit(Memory& mem, GuestAddr* rtnl_lock_out);
+
+// Device lookup by ifindex (clamped to the table).
+GuestAddr DevGetByIndex(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex);
+
+// Socket allocation (kmalloc'd; freed via vfs close).
+GuestAddr SockAlloc(Ctx& ctx, const KernelGlobals& g, uint32_t family, uint32_t proto);
+
+// --- Issue #9 (Figure 3). ---
+// SIOCSIFHWADDR: takes rtnl_lock, then commits the MAC with a chunked memcpy.
+int64_t DevIoctlSetMac(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex, uint32_t seed);
+// SIOCGIFHWADDR: dev_ifsioc_locked under rcu_read_lock; copies the MAC into a user buffer
+// (a stack scratch area) and returns a digest of what it saw.
+int64_t DevIoctlGetMac(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex);
+
+// --- Issue #8. ---
+int64_t E1000SetMac(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex, uint32_t seed);
+int64_t PacketGetname(Ctx& ctx, const KernelGlobals& g, GuestAddr sk);
+
+// --- Issue #7. ---
+int64_t DevSetMtu(Ctx& ctx, const KernelGlobals& g, uint32_t ifindex, uint32_t mtu);
+// rawv6_send_hdrinc analog (sendmsg on an AF_INET6 socket).
+int64_t Rawv6SendHdrinc(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t len);
+
+// Plain TCP sendmsg: reads the socket's congestion-control name (issue #16 reader lives in
+// tcp_cong.h; this path just exercises the socket).
+int64_t TcpSendmsg(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t len);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_NET_NETDEV_H_

@@ -1,0 +1,98 @@
+#include "src/kernel/net/packet.h"
+
+#include "src/kernel/net/netdev.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+namespace {
+
+constexpr uint32_t kGroupStride = kFanoutArr + 4 * kFanoutMaxMembers;
+
+GuestAddr GroupAddr(Ctx& ctx, const KernelGlobals& g, uint32_t group_id) {
+  return ctx.Load32(g.packet + kPacketGroups + 4 * (group_id % kNumFanoutGroups), SB_SITE());
+}
+
+}  // namespace
+
+GuestAddr PacketInit(Memory& mem) {
+  GuestAddr block = mem.StaticAlloc(kPacketGroups + 4 * kNumFanoutGroups, 8);
+  mem.WriteRaw(block + kPacketMutex, 4, 0);
+  for (uint32_t i = 0; i < kNumFanoutGroups; i++) {
+    GuestAddr group = mem.StaticAlloc(kGroupStride, 8);
+    mem.WriteRaw(block + kPacketGroups + 4 * i, 4, group);
+    mem.WriteRaw(group + kFanoutId, 4, i);
+    mem.WriteRaw(group + kFanoutNumMembers, 4, 0);
+    for (uint32_t m = 0; m < kFanoutMaxMembers; m++) {
+      mem.WriteRaw(group + kFanoutArr + 4 * m, 4, 0);
+    }
+  }
+  return block;
+}
+
+int64_t FanoutAdd(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t group_id) {
+  GuestAddr group = GroupAddr(ctx, g, group_id);
+  SpinLock(ctx, g.packet + kPacketMutex);
+  uint32_t num = ctx.Load32(group + kFanoutNumMembers, SB_SITE());
+  if (num >= kFanoutMaxMembers) {
+    SpinUnlock(ctx, g.packet + kPacketMutex);
+    return kENOMEM;
+  }
+  ctx.Store32(group + kFanoutArr + 4 * num, sk, SB_SITE());
+  ctx.Store32(group + kFanoutNumMembers, num + 1, SB_SITE());
+  ctx.Store32(sk + kSockProtoData, group, SB_SITE());
+  ctx.Store32(sk + kSockFanoutSlot, num, SB_SITE());
+  SpinUnlock(ctx, g.packet + kPacketMutex);
+  return 0;
+}
+
+int64_t FanoutUnlink(Ctx& ctx, const KernelGlobals& g, GuestAddr sk) {
+  GuestAddr group = ctx.Load32(sk + kSockProtoData, SB_SITE());
+  if (group == kGuestNull) {
+    return kENOENT;
+  }
+  SpinLock(ctx, g.packet + kPacketMutex);
+  uint32_t num = ctx.Load32(group + kFanoutNumMembers, SB_SITE());
+  // Find sk's slot, move the last member into it, shrink — all PLAIN stores under the
+  // mutex; the lockless demux reader can observe any intermediate state (issue #17 writer).
+  for (uint32_t i = 0; i < num; i++) {
+    GuestAddr member = ctx.Load32(group + kFanoutArr + 4 * i, SB_SITE());
+    if (member == sk) {
+      GuestAddr last = ctx.Load32(group + kFanoutArr + 4 * (num - 1), SB_SITE());
+      ctx.Store32(group + kFanoutArr + 4 * i, last, SB_SITE());
+      ctx.Store32(group + kFanoutArr + 4 * (num - 1), kGuestNull, SB_SITE());
+      ctx.Store32(group + kFanoutNumMembers, num - 1, SB_SITE());
+      break;
+    }
+  }
+  ctx.Store32(sk + kSockProtoData, kGuestNull, SB_SITE());
+  SpinUnlock(ctx, g.packet + kPacketMutex);
+  return 0;
+}
+
+int64_t PacketSendmsg(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t len) {
+  GuestAddr group = ctx.Load32(sk + kSockProtoData, SB_SITE());
+  if (group == kGuestNull) {
+    // Not in a fanout group: plain device transmit.
+    uint32_t ifindex = ctx.Load32(sk + kSockBoundIf, SB_SITE());
+    GuestAddr dev = DevGetByIndex(ctx, g, ifindex);
+    uint32_t tx = ctx.Load32(dev + kDevTxPackets, SB_SITE());
+    ctx.Store32(dev + kDevTxPackets, tx + 1, SB_SITE());
+    return static_cast<int64_t>(len);
+  }
+  // fanout_demux_rollover(): PLAIN lockless reads of num_members and the member array —
+  // issue #17 reader. If the unlink compaction is mid-flight, the chosen slot may already
+  // be cleared, and the member dereference below hits the null page (the harmful outcome).
+  uint32_t num = ctx.Load32(group + kFanoutNumMembers, SB_SITE());
+  if (num == 0) {
+    return kENOTCONN;
+  }
+  uint32_t idx = len % num;
+  GuestAddr member = ctx.Load32(group + kFanoutArr + 4 * idx, SB_SITE());
+  uint32_t rx = ctx.Load32(member + kSockRxBytes, SB_SITE());
+  ctx.Store32(member + kSockRxBytes, rx + len, SB_SITE());
+  return static_cast<int64_t>(len);
+}
+
+}  // namespace snowboard

@@ -1,0 +1,42 @@
+// net/packet: AF_PACKET fanout groups — issue #17 of Table 2.
+//
+// FanoutDemuxRollover (run from packet sendmsg's demux) reads the group's member count and
+// slot array with PLAIN lockless loads, while FanoutUnlink (socket close / explicit leave)
+// compacts the array under the fanout mutex — the fanout_demux_rollover()/__fanout_unlink()
+// data race (fixed upstream by converting the accesses to READ_ONCE/WRITE_ONCE, commit
+// 94f633ea).
+#ifndef SRC_KERNEL_NET_PACKET_H_
+#define SRC_KERNEL_NET_PACKET_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Subsystem block: +0 fanout_mutex, +4 group[kNumFanoutGroups].
+inline constexpr uint32_t kPacketMutex = 0;
+inline constexpr uint32_t kPacketGroups = 4;
+inline constexpr uint32_t kNumFanoutGroups = 2;
+
+// Fanout group (static, 28 bytes): +0 id, +4 num_members, +8 arr[kFanoutMaxMembers].
+inline constexpr uint32_t kFanoutId = 0;
+inline constexpr uint32_t kFanoutNumMembers = 4;
+inline constexpr uint32_t kFanoutArr = 8;
+inline constexpr uint32_t kFanoutMaxMembers = 4;
+
+GuestAddr PacketInit(Memory& mem);
+
+// setsockopt(PACKET_FANOUT): joins `sk` to group `group_id` (under the fanout mutex).
+int64_t FanoutAdd(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t group_id);
+
+// __fanout_unlink(): removes `sk` from its group, compacting the array — issue #17 writer.
+// Called from packet-socket close and from the explicit leave sockopt.
+int64_t FanoutUnlink(Ctx& ctx, const KernelGlobals& g, GuestAddr sk);
+
+// sendmsg() on a packet socket: demuxes the frame to a member via rollover — issue #17
+// reader (plain loads of num_members and the slot array).
+int64_t PacketSendmsg(Ctx& ctx, const KernelGlobals& g, GuestAddr sk, uint32_t len);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_NET_PACKET_H_

@@ -1,0 +1,65 @@
+#include "src/kernel/net/tcp_cong.h"
+
+#include <cstring>
+
+#include "src/kernel/net/netdev.h"
+#include "src/kernel/task.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+namespace {
+constexpr const char* kCaNames[kNumCaNames] = {"cubic", "reno", "bbr"};
+}  // namespace
+
+const char* TcpCaName(uint32_t ca_id) { return kCaNames[ca_id % kNumCaNames]; }
+
+GuestAddr TcpCongInit(Memory& mem) {
+  GuestAddr block = mem.StaticAlloc(kTcpCongDefault + kTcpCongNameBytes, 8);
+  mem.WriteRaw(block + kTcpCongLock, 4, 0);
+  for (uint32_t i = 0; i < kTcpCongNameBytes; i++) {
+    const char* name = kCaNames[0];
+    uint8_t byte = i < std::strlen(name) ? static_cast<uint8_t>(name[i]) : 0;
+    mem.WriteRaw(block + kTcpCongDefault + i, 1, byte);
+  }
+  return block;
+}
+
+int64_t TcpSetDefaultCongestionControl(Ctx& ctx, const KernelGlobals& g, uint32_t ca_id) {
+  const char* name = TcpCaName(ca_id);
+  // Stage the new name on the kernel stack, then commit it byte-chunked under the sysctl
+  // lock. The setsockopt reader takes no lock, so the copy races (issue #16 writer).
+  StackFrame frame(ctx, kTcpCongNameBytes);
+  for (uint32_t i = 0; i < kTcpCongNameBytes; i++) {
+    uint8_t byte = i < std::strlen(name) ? static_cast<uint8_t>(name[i]) : 0;
+    ctx.Store8(frame.base() + i, byte, SB_SITE());
+  }
+  SpinLock(ctx, g.tcp_cong + kTcpCongLock);
+  ctx.Copy(g.tcp_cong + kTcpCongDefault, frame.base(), kTcpCongNameBytes, SB_SITE(),
+           SB_SITE());
+  SpinUnlock(ctx, g.tcp_cong + kTcpCongLock);
+  return 0;
+}
+
+int64_t TcpSetCongestionControl(Ctx& ctx, const KernelGlobals& g, GuestAddr sk,
+                                uint32_t ca_id) {
+  if (ca_id == 0) {
+    // Issue #16 reader: copy the global default into the socket with plain chunked loads,
+    // no sysctl lock — a concurrent default change tears the name (benign: lookup of a torn
+    // name falls back to the built-in CA).
+    ctx.Copy(sk + kSockCongName, g.tcp_cong + kTcpCongDefault, kTcpCongNameBytes, SB_SITE(),
+             SB_SITE());
+    return 0;
+  }
+  const char* name = TcpCaName(ca_id);
+  SpinLock(ctx, sk + kSockLock);
+  for (uint32_t i = 0; i < kTcpCongNameBytes; i++) {
+    uint8_t byte = i < std::strlen(name) ? static_cast<uint8_t>(name[i]) : 0;
+    ctx.Store8(sk + kSockCongName + i, byte, SB_SITE());
+  }
+  SpinUnlock(ctx, sk + kSockLock);
+  return 0;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,37 @@
+// net/ipv4 congestion control — issue #16 of Table 2 (benign data race).
+//
+// TcpSetDefaultCongestionControl (sysctl writer) rewrites the global default CA name with a
+// chunked copy; TcpSetCongestionControl with an empty name (setsockopt reader) copies the
+// default into the socket with plain loads and no shared lock — the
+// tcp_set_default_congestion_control()/tcp_set_congestion_control() race. A torn name falls
+// back to the first registered CA, so the race is benign.
+#ifndef SRC_KERNEL_NET_TCP_CONG_H_
+#define SRC_KERNEL_NET_TCP_CONG_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Subsystem block: +0 sysctl_lock, +4 default_name[16], +20 registered[kNumCaNames] ids.
+inline constexpr uint32_t kTcpCongLock = 0;
+inline constexpr uint32_t kTcpCongDefault = 4;
+inline constexpr uint32_t kTcpCongNameBytes = 16;
+inline constexpr uint32_t kNumCaNames = 3;  // "cubic", "reno", "bbr".
+
+GuestAddr TcpCongInit(Memory& mem);
+
+// The canonical 16-byte name image for CA `ca_id` (host-side constant data).
+const char* TcpCaName(uint32_t ca_id);
+
+// sysctl net.ipv4.tcp_congestion_control writer (issue #16 writer).
+int64_t TcpSetDefaultCongestionControl(Ctx& ctx, const KernelGlobals& g, uint32_t ca_id);
+
+// setsockopt(TCP_CONGESTION). ca_id == 0 requests "use the default" and reads the global
+// name locklessly (issue #16 reader); otherwise installs the named CA directly.
+int64_t TcpSetCongestionControl(Ctx& ctx, const KernelGlobals& g, GuestAddr sk,
+                                uint32_t ca_id);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_NET_TCP_CONG_H_

@@ -1,0 +1,148 @@
+#include "src/kernel/rhashtable.h"
+
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+namespace {
+
+uint32_t RhtHash(uint32_t key, uint32_t nbuckets) {
+  return (key * 2654435761u) & (nbuckets - 1);
+}
+
+// Writer-side bucket lock: spin on bit 0 of the bucket word.
+uint32_t RhtLockBucket(Ctx& ctx, GuestAddr bkt) {
+  for (;;) {
+    uint32_t w = static_cast<uint32_t>(ctx.Load(bkt, 4, SB_SITE(), /*marked_atomic=*/true));
+    if ((w & 1u) == 0 && ctx.Cas32(bkt, w, w | 1u, SB_SITE())) {
+      ctx.LockEvent(EventKind::kLockAcquire, bkt);
+      return w;  // Entry pointer (bit 0 clear).
+    }
+    ctx.Pause();
+  }
+}
+
+// rht_assign_unlock(): stores the new head and clears the lock bit in ONE write. When the
+// chain became empty this stores literal 0 — the write that races the reader's double fetch.
+void RhtAssignUnlock(Ctx& ctx, GuestAddr bkt, GuestAddr new_head) {
+  ctx.LockEvent(EventKind::kLockRelease, bkt);
+  SB_DCHECK((new_head & 1u) == 0);
+  ctx.Store(bkt, 4, new_head, SB_SITE(), /*marked_atomic=*/true);
+}
+
+struct RhtPtrResult {
+  bool present = false;
+  GuestAddr node = kGuestNull;
+};
+
+// rht_ptr() — Figure 4. In double-fetch mode the branch tests one load and the returned
+// value comes from a SECOND load; a concurrent rht_assign_unlock(0) in the window makes the
+// reader dereference null. In single-fetch mode one READ_ONCE feeds both.
+RhtPtrResult RhtPtr(Ctx& ctx, GuestAddr ht, GuestAddr bkt) {
+  uint32_t mode = ctx.Load32(ht + kRhtFetchMode, SB_SITE());
+  if (mode == kRhtSingleFetch) {
+    uint32_t w = static_cast<uint32_t>(ctx.Load(bkt, 4, SB_SITE(), /*marked_atomic=*/true));
+    if ((w & ~1u) == 0) {
+      return RhtPtrResult{false, kGuestNull};
+    }
+    return RhtPtrResult{true, w & ~1u};
+  }
+  // "gcc -O2": testl $0xfffffffe,(%eax); je out; mov (%eax),%eax — two plain fetches.
+  uint32_t test = static_cast<uint32_t>(ctx.Load(bkt, 4, SB_SITE()));
+  if ((test & ~1u) == 0) {
+    return RhtPtrResult{false, kGuestNull};
+  }
+  uint32_t refetch = static_cast<uint32_t>(ctx.Load(bkt, 4, SB_SITE()));
+  return RhtPtrResult{true, refetch & ~1u};
+}
+
+}  // namespace
+
+GuestAddr RhtInit(Memory& mem, uint32_t nbuckets, uint32_t key_offset) {
+  SB_CHECK(nbuckets != 0 && (nbuckets & (nbuckets - 1)) == 0);
+  SB_CHECK(key_offset >= 4);
+  GuestAddr ht = mem.StaticAlloc(kRhtBuckets + 4 * nbuckets, 8);
+  mem.WriteRaw(ht + kRhtNbuckets, 4, nbuckets);
+  mem.WriteRaw(ht + kRhtNelems, 4, 0);
+  mem.WriteRaw(ht + kRhtKeyOffset, 4, key_offset);
+  mem.WriteRaw(ht + kRhtFetchMode, 4, kRhtDoubleFetch);
+  for (uint32_t i = 0; i < nbuckets; i++) {
+    mem.WriteRaw(ht + kRhtBuckets + 4 * i, 4, 0);
+  }
+  return ht;
+}
+
+GuestAddr RhtBucket(Ctx& ctx, GuestAddr ht, uint32_t key) {
+  uint32_t nbuckets = ctx.Load32(ht + kRhtNbuckets, SB_SITE());
+  return ht + kRhtBuckets + 4 * RhtHash(key, nbuckets);
+}
+
+void RhtInsert(Ctx& ctx, GuestAddr ht, GuestAddr entry, uint32_t key) {
+  uint32_t key_offset = ctx.Load32(ht + kRhtKeyOffset, SB_SITE());
+  ctx.Store32(entry + key_offset, key, SB_SITE());
+  GuestAddr bkt = RhtBucket(ctx, ht, key);
+  GuestAddr head = RhtLockBucket(ctx, bkt);
+  ctx.Store32(entry + kRhtEntryNext, head, SB_SITE());
+  RhtAssignUnlock(ctx, bkt, entry);
+  ctx.FetchAdd32(ht + kRhtNelems, 1, SB_SITE());
+}
+
+GuestAddr RhtRemove(Ctx& ctx, GuestAddr ht, uint32_t key) {
+  uint32_t key_offset = ctx.Load32(ht + kRhtKeyOffset, SB_SITE());
+  GuestAddr bkt = RhtBucket(ctx, ht, key);
+  GuestAddr head = RhtLockBucket(ctx, bkt);
+
+  GuestAddr prev = kGuestNull;
+  GuestAddr cur = head;
+  while (cur != kGuestNull) {
+    uint32_t cur_key = ctx.Load32(cur + key_offset, SB_SITE());
+    if (cur_key == key) {
+      GuestAddr next = ctx.Load32(cur + kRhtEntryNext, SB_SITE());
+      if (prev == kGuestNull) {
+        // Removing the head: rht_assign_unlock publishes the new head — 0 if the chain is
+        // now empty, the Figure 4 racing write.
+        RhtAssignUnlock(ctx, bkt, next);
+      } else {
+        ctx.Store32(prev + kRhtEntryNext, next, SB_SITE());
+        RhtAssignUnlock(ctx, bkt, head);
+      }
+      ctx.FetchAdd32(ht + kRhtNelems, static_cast<int32_t>(-1), SB_SITE());
+      return cur;
+    }
+    prev = cur;
+    cur = ctx.Load32(cur + kRhtEntryNext, SB_SITE());
+  }
+  RhtAssignUnlock(ctx, bkt, head);
+  return kGuestNull;
+}
+
+GuestAddr RhtLookup(Ctx& ctx, GuestAddr ht, uint32_t key) {
+  uint32_t key_offset = ctx.Load32(ht + kRhtKeyOffset, SB_SITE());
+  GuestAddr bkt = RhtBucket(ctx, ht, key);
+
+  RhtPtrResult head = RhtPtr(ctx, ht, bkt);
+  if (!head.present) {
+    return kGuestNull;
+  }
+  // If the double fetch raced rht_assign_unlock(0), head.node is null here and the key
+  // compare below dereferences the null page: the Figure 4 kernel panic.
+  GuestAddr cur = head.node;
+  while (true) {
+    uint32_t cur_key = ctx.Load32(cur + key_offset, SB_SITE());  // memcmp(ptr+key_offset,…).
+    if (cur_key == key) {
+      return cur;
+    }
+    cur = ctx.Load32(cur + kRhtEntryNext, SB_SITE());
+    if (cur == kGuestNull) {
+      return kGuestNull;
+    }
+  }
+}
+
+uint32_t RhtCount(Ctx& ctx, GuestAddr ht) {
+  return static_cast<uint32_t>(ctx.Load(ht + kRhtNelems, 4, SB_SITE(), /*marked_atomic=*/true));
+}
+
+}  // namespace snowboard

@@ -1,0 +1,65 @@
+// rhashtable: the resizable-hashtable library (lib/rhashtable.c analog).
+//
+// This carries issue #1 of Table 2 (Figure 4): Linux's rht_ptr() used a GCC
+// conditional-with-omitted-operand, `(*bkt & ~BIT(0)) ?: bkt`, assuming the bucket word is
+// read once — but at -O2 the compiler emits TWO loads (a testl for the branch, then a mov to
+// produce the value). A writer executing rht_assign_unlock() can zero the bucket *between*
+// the two fetches, so the reader branches on a non-null value yet dereferences a null one:
+// "BUG: unable to handle page fault for address". The fix (commit 1748f6a2) made the read a
+// single READ_ONCE.
+//
+// Both "compiler options" from Figure 4 are implemented: kRhtDoubleFetch (gcc -O2, buggy) and
+// kRhtSingleFetch (gcc -O1 -fno-tree-dominator-opts -fno-tree-fre, safe). The mode is a field
+// of the table so benches can boot either kernel.
+//
+// Bucket word format (as in Linux 5.3+): entry address with bit 0 as the bucket spin-lock
+// bit. Readers are RCU lock-free; writers lock the bucket via the bit.
+#ifndef SRC_KERNEL_RHASHTABLE_H_
+#define SRC_KERNEL_RHASHTABLE_H_
+
+#include "src/sim/engine.h"
+#include "src/sim/memory.h"
+
+namespace snowboard {
+
+// Table layout:
+//   +0   nbuckets (power of two)
+//   +4   nelems
+//   +8   key_offset (offset of the u32 key within an entry)
+//   +12  fetch_mode (kRhtDoubleFetch | kRhtSingleFetch)
+//   +16  buckets[nbuckets]
+inline constexpr uint32_t kRhtNbuckets = 0;
+inline constexpr uint32_t kRhtNelems = 4;
+inline constexpr uint32_t kRhtKeyOffset = 8;
+inline constexpr uint32_t kRhtFetchMode = 12;
+inline constexpr uint32_t kRhtBuckets = 16;
+
+inline constexpr uint32_t kRhtDoubleFetch = 0;  // Figure 4 "compiler option 2" (default, buggy).
+inline constexpr uint32_t kRhtSingleFetch = 1;  // Figure 4 "compiler option 1" (no double fetch).
+
+// Entries are caller structs whose first word is the hash-chain next pointer and whose key
+// (u32) sits at key_offset.
+inline constexpr uint32_t kRhtEntryNext = 0;
+
+// Boot-time construction.
+GuestAddr RhtInit(Memory& mem, uint32_t nbuckets, uint32_t key_offset);
+
+// Guest address of the bucket word for `key`.
+GuestAddr RhtBucket(Ctx& ctx, GuestAddr ht, uint32_t key);
+
+// Writer API (locks the bucket bit internally).
+void RhtInsert(Ctx& ctx, GuestAddr ht, GuestAddr entry, uint32_t key);
+// Removes the entry with `key`; returns its address (unlinked, not freed) or kGuestNull.
+GuestAddr RhtRemove(Ctx& ctx, GuestAddr ht, uint32_t key);
+
+// Reader API: RCU lock-free lookup walking the chain and comparing keys — the path that
+// performs the buggy rht_ptr double fetch and the memcmp-style key dereference of Figure 4.
+// Returns the matching entry or kGuestNull.
+GuestAddr RhtLookup(Ctx& ctx, GuestAddr ht, uint32_t key);
+
+// Current element count (marked-atomic read).
+uint32_t RhtCount(Ctx& ctx, GuestAddr ht);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_RHASHTABLE_H_

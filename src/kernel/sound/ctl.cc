@@ -1,0 +1,45 @@
+#include "src/kernel/sound/ctl.h"
+
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+GuestAddr SndInit(Memory& mem) {
+  GuestAddr card = mem.StaticAlloc(16, 8);
+  mem.WriteRaw(card + kSndCardLock, 4, 0);
+  mem.WriteRaw(card + kSndUserCtlCount, 4, 0);
+  mem.WriteRaw(card + kSndUserCtlAllocSize, 4, 0);
+  mem.WriteRaw(card + kSndMaxUserCtlAllocSize, 4, 4096);
+  return card;
+}
+
+int64_t SndCtlElemAdd(Ctx& ctx, const KernelGlobals& g, uint32_t size) {
+  GuestAddr card = g.sndcard;
+  size = (size & 0xFF) + 16;
+
+  // Issue #15: the accounting check-and-update runs BEFORE the card lock is taken, with
+  // plain loads/stores — two concurrent adds race on user_ctl_alloc_size.
+  uint32_t alloc_size = ctx.Load32(card + kSndUserCtlAllocSize, SB_SITE());
+  uint32_t max = ctx.Load32(card + kSndMaxUserCtlAllocSize, SB_SITE());
+  if (alloc_size + size > max) {
+    return kENOMEM;
+  }
+  ctx.Store32(card + kSndUserCtlAllocSize, alloc_size + size, SB_SITE());
+
+  SpinLock(ctx, card + kSndCardLock);
+  uint32_t count = ctx.Load32(card + kSndUserCtlCount, SB_SITE());
+  ctx.Store32(card + kSndUserCtlCount, count + 1, SB_SITE());
+  SpinUnlock(ctx, card + kSndCardLock);
+  return static_cast<int64_t>(count + 1);
+}
+
+int64_t SndCtlRead(Ctx& ctx, const KernelGlobals& g) {
+  GuestAddr card = g.sndcard;
+  SpinLock(ctx, card + kSndCardLock);
+  uint32_t count = ctx.Load32(card + kSndUserCtlCount, SB_SITE());
+  SpinUnlock(ctx, card + kSndCardLock);
+  return static_cast<int64_t>(count);
+}
+
+}  // namespace snowboard

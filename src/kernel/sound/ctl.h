@@ -1,0 +1,35 @@
+// sound/core control interface — issue #15 of Table 2.
+//
+// SndCtlElemAdd performs the user-control memory accounting (alloc-size check + update)
+// with PLAIN accesses before taking the card lock — the "racy management of user ctl memory
+// size account" fixed by the ALSA patch cited in the paper. Two concurrent element adds can
+// both pass the limit check or tear the accounting.
+#ifndef SRC_KERNEL_SOUND_CTL_H_
+#define SRC_KERNEL_SOUND_CTL_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Card block:
+//   +0  card_lock
+//   +4  user_ctl_count
+//   +8  user_ctl_alloc_size   (the racy accounting word)
+//   +12 max_user_ctl_alloc_size
+inline constexpr uint32_t kSndCardLock = 0;
+inline constexpr uint32_t kSndUserCtlCount = 4;
+inline constexpr uint32_t kSndUserCtlAllocSize = 8;
+inline constexpr uint32_t kSndMaxUserCtlAllocSize = 12;
+
+GuestAddr SndInit(Memory& mem);
+
+// ioctl(SNDRV_CTL_IOCTL_ELEM_ADD): adds a user control of `size` accounting bytes.
+int64_t SndCtlElemAdd(Ctx& ctx, const KernelGlobals& g, uint32_t size);
+
+// read(/dev/snd): current control count (under the card lock).
+int64_t SndCtlRead(Ctx& ctx, const KernelGlobals& g);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_SOUND_CTL_H_

@@ -1,0 +1,271 @@
+#include "src/kernel/syscalls.h"
+
+#include "src/kernel/fs/configfs.h"
+#include "src/kernel/fs/sbfs.h"
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/ipc/msg.h"
+#include "src/kernel/net/fib6.h"
+#include "src/kernel/net/l2tp.h"
+#include "src/kernel/net/netdev.h"
+#include "src/kernel/net/packet.h"
+#include "src/kernel/net/tcp_cong.h"
+#include "src/kernel/task.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+namespace {
+
+// Fetches the socket object behind `fd`, or kGuestNull if the fd is not a socket.
+GuestAddr SockFromFd(Ctx& ctx, const KernelGlobals& g, int fd) {
+  GuestAddr file = FdGet(ctx, ctx.current_task, fd);
+  if (file == kGuestNull) {
+    return kGuestNull;
+  }
+  if (ctx.Load32(file + kFileType, SB_SITE()) != kFileSocket) {
+    return kGuestNull;
+  }
+  return ctx.Load32(file + kFileObj, SB_SITE());
+}
+
+int64_t SysSocket(Ctx& ctx, const KernelGlobals& g, uint32_t family, uint32_t proto) {
+  switch (family) {
+    case kAfInet:
+    case kAfInet6:
+    case kAfPacket:
+    case kPxProtoOl2tp:
+      break;
+    default:
+      family = kAfInet;
+  }
+  GuestAddr sk = SockAlloc(ctx, g, family, proto);
+  if (sk == kGuestNull) {
+    return kENOMEM;
+  }
+  GuestAddr file = FileAlloc(ctx, g, kFileSocket, sk);
+  if (file == kGuestNull) {
+    return kENOMEM;
+  }
+  int fd = FdAlloc(ctx, ctx.current_task, file);
+  if (fd < 0) {
+    return kEMFILE;
+  }
+  return fd;
+}
+
+int64_t SysConnect(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t arg) {
+  GuestAddr sk = SockFromFd(ctx, g, fd);
+  if (sk == kGuestNull) {
+    return kEBADF;
+  }
+  uint32_t family = ctx.Load32(sk + kSockFamily, SB_SITE());
+  switch (family) {
+    case kPxProtoOl2tp:
+      // The Figure 1 path: tunnel id taken from the connect() argument.
+      return PppoL2tpConnect(ctx, g, sk, (arg & 0x3) + 1);
+    case kAfInet6:
+      // Route lookup validates the node cookie — issue #10 reader.
+      return Fib6GetCookieSafe(ctx, g, arg) >= 0 ? 0 : kEINVAL;
+    default:
+      ctx.Store32(sk + kSockPeer, arg, SB_SITE());
+      return 0;
+  }
+}
+
+int64_t SysSendmsg(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t len) {
+  GuestAddr sk = SockFromFd(ctx, g, fd);
+  if (sk == kGuestNull) {
+    return kEBADF;
+  }
+  len = (len % 2048) + 1;
+  uint32_t family = ctx.Load32(sk + kSockFamily, SB_SITE());
+  switch (family) {
+    case kPxProtoOl2tp:
+      return L2tpXmit(ctx, g, sk, len);  // Issue #12 reader path.
+    case kAfPacket:
+      return PacketSendmsg(ctx, g, sk, len);  // Issue #17 reader.
+    case kAfInet6:
+      return Rawv6SendHdrinc(ctx, g, sk, len);  // Issue #7 reader.
+    default:
+      return TcpSendmsg(ctx, g, sk, len);
+  }
+}
+
+int64_t SysRecvmsg(Ctx& ctx, const KernelGlobals& g, int fd) {
+  GuestAddr sk = SockFromFd(ctx, g, fd);
+  if (sk == kGuestNull) {
+    return kEBADF;
+  }
+  return static_cast<int64_t>(ctx.Load32(sk + kSockRxBytes, SB_SITE()));
+}
+
+int64_t SysGetsockname(Ctx& ctx, const KernelGlobals& g, int fd) {
+  GuestAddr sk = SockFromFd(ctx, g, fd);
+  if (sk == kGuestNull) {
+    return kEBADF;
+  }
+  uint32_t family = ctx.Load32(sk + kSockFamily, SB_SITE());
+  if (family == kAfPacket) {
+    return PacketGetname(ctx, g, sk);  // Issue #8 reader.
+  }
+  return static_cast<int64_t>(ctx.Load32(sk + kSockBoundIf, SB_SITE()));
+}
+
+int64_t SysSetsockopt(Ctx& ctx, const KernelGlobals& g, int fd, uint32_t opt, uint32_t val) {
+  GuestAddr sk = SockFromFd(ctx, g, fd);
+  if (sk == kGuestNull) {
+    return kEBADF;
+  }
+  uint32_t family = ctx.Load32(sk + kSockFamily, SB_SITE());
+  switch (opt) {
+    case kSoPacketFanout:
+      if (family != kAfPacket) {
+        return kEINVAL;
+      }
+      return FanoutAdd(ctx, g, sk, val);
+    case kSoPacketFanoutLeave:
+      if (family != kAfPacket) {
+        return kEINVAL;
+      }
+      return FanoutUnlink(ctx, g, sk);  // Issue #17 writer.
+    case kSoTcpCongestion:
+      if (family != kAfInet) {
+        return kEINVAL;
+      }
+      return TcpSetCongestionControl(ctx, g, sk, val % kNumCaNames);  // #16 reader if 0.
+    case kSoRcvbuf:
+      ctx.Store32(sk + kSockRxBytes, val & 0xFFFF, SB_SITE());
+      return 0;
+    default:
+      return kEINVAL;
+  }
+}
+
+int64_t SysCloseSock(Ctx& ctx, const KernelGlobals& g, int fd) {
+  // Socket close must run the fanout unlink first (the paper's #17 writer fires from the
+  // socket teardown path).
+  GuestAddr sk = SockFromFd(ctx, g, fd);
+  if (sk != kGuestNull) {
+    uint32_t family = ctx.Load32(sk + kSockFamily, SB_SITE());
+    if (family == kAfPacket &&
+        ctx.Load32(sk + kSockProtoData, SB_SITE()) != kGuestNull) {
+      FanoutUnlink(ctx, g, sk);
+    }
+  }
+  return VfsClose(ctx, g, fd);
+}
+
+}  // namespace
+
+const char* SyscallName(uint32_t nr) {
+  static constexpr const char* kNames[kNumSyscalls] = {
+      "open",    "close",       "read",    "write",      "ftruncate",  "rename",  "ioctl",
+      "fadvise", "socket",      "connect", "bind",       "sendmsg",    "recvmsg",
+      "getsockname", "setsockopt", "msgget", "msgctl",   "msgsnd",     "sysctl",  "mkdir",
+      "rmdir",   "dup",         "fstat",   "getdents"};
+  return nr < kNumSyscalls ? kNames[nr] : "<bad-syscall>";
+}
+
+int64_t DoSyscall(Ctx& ctx, const KernelGlobals& g, uint32_t nr, const int64_t args[4]) {
+  ctx.OnSyscallEntry();
+  const uint32_t a0 = static_cast<uint32_t>(args[0]);
+  const uint32_t a1 = static_cast<uint32_t>(args[1]);
+  const uint32_t a2 = static_cast<uint32_t>(args[2]);
+  const int fd0 = static_cast<int>(args[0]);
+
+  switch (nr) {
+    case kSysOpen:
+      return VfsOpen(ctx, g, a0 % kNumPaths, a1);
+    case kSysClose:
+      return SysCloseSock(ctx, g, fd0);
+    case kSysRead:
+      return VfsRead(ctx, g, fd0, a1);
+    case kSysWrite:
+      return VfsWrite(ctx, g, fd0, a1, a2);
+    case kSysFtruncate:
+      return VfsFtruncate(ctx, g, fd0, a1);
+    case kSysRename:
+      return VfsRename(ctx, g, a0 % kNumPaths, a1 % kNumPaths);
+    case kSysIoctl:
+      return VfsIoctl(ctx, g, fd0, a1, args[2]);
+    case kSysFadvise:
+      return VfsFadvise(ctx, g, fd0, a1);
+    case kSysSocket:
+      return SysSocket(ctx, g, a0, a1);
+    case kSysConnect:
+      return SysConnect(ctx, g, fd0, a1);
+    case kSysBind: {
+      GuestAddr sk = SockFromFd(ctx, g, fd0);
+      if (sk == kGuestNull) {
+        return kEBADF;
+      }
+      ctx.Store32(sk + kSockBoundIf, a1 % kNumNetdevs, SB_SITE());
+      return 0;
+    }
+    case kSysSendmsg:
+      return SysSendmsg(ctx, g, fd0, a1);
+    case kSysRecvmsg:
+      return SysRecvmsg(ctx, g, fd0);
+    case kSysGetsockname:
+      return SysGetsockname(ctx, g, fd0);
+    case kSysSetsockopt:
+      return SysSetsockopt(ctx, g, fd0, a1, a2);
+    case kSysMsgget:
+      return MsgGet(ctx, g, a0);
+    case kSysMsgctl:
+      return MsgCtl(ctx, g, a0, a1 % 3 == 0 ? kIpcRmid : kIpcStat);
+    case kSysMsgsnd:
+      return MsgSnd(ctx, g, a0, (a1 % 512) + 1);
+    case kSysSysctl:
+      if (a0 % 1 == kSysctlTcpCongestion) {
+        return TcpSetDefaultCongestionControl(ctx, g, a1);  // Issue #16 writer.
+      }
+      return kEINVAL;
+    case kSysMkdir:
+      return ConfigfsMkdir(ctx, g, (a0 % 3) + 1);
+    case kSysRmdir:
+      return ConfigfsRmdir(ctx, g, (a0 % 3) + 1);  // Issue #11 writer.
+    case kSysDup: {
+      GuestAddr file = FdGet(ctx, ctx.current_task, fd0);
+      if (file == kGuestNull) {
+        return kEBADF;
+      }
+      int fd = FdAlloc(ctx, ctx.current_task, file);
+      return fd < 0 ? kEMFILE : fd;
+    }
+    case kSysFstat: {
+      GuestAddr file = FdGet(ctx, ctx.current_task, fd0);
+      if (file == kGuestNull) {
+        return kEBADF;
+      }
+      uint32_t type = ctx.Load32(file + kFileType, SB_SITE());
+      GuestAddr obj = ctx.Load32(file + kFileObj, SB_SITE());
+      if (type == kFileSbfs) {
+        // stat(): size under the inode lock.
+        SpinLock(ctx, obj + kInodeLock);
+        int64_t size = ctx.Load32(obj + kInodeSize, SB_SITE());
+        SpinUnlock(ctx, obj + kInodeLock);
+        return size;
+      }
+      if (type == kFileSocket) {
+        return static_cast<int64_t>(ctx.Load32(obj + kSockFamily, SB_SITE()));
+      }
+      return static_cast<int64_t>(type);
+    }
+    case kSysGetdents: {
+      GuestAddr file = FdGet(ctx, ctx.current_task, fd0);
+      if (file == kGuestNull) {
+        return kEBADF;
+      }
+      if (ctx.Load32(file + kFileType, SB_SITE()) != kFileConfigfs) {
+        return kEINVAL;
+      }
+      return ConfigfsReaddir(ctx, g);  // Issue #11 reader (second path).
+    }
+    default:
+      return kEINVAL;
+  }
+}
+
+}  // namespace snowboard

@@ -1,0 +1,60 @@
+#include "src/kernel/task.h"
+
+#include "src/sim/site.h"
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+GuestAddr TaskInit(Memory& mem, uint32_t tid) {
+  GuestAddr stack = mem.StaticAlloc(kKernelStackSize, kKernelStackSize);
+  SB_CHECK((stack & (kKernelStackSize - 1)) == 0);
+  GuestAddr task = mem.StaticAlloc(kTaskSize, 8);
+  mem.WriteRaw(task + kTaskTid, 4, tid);
+  mem.WriteRaw(task + kTaskStackBase, 4, stack);
+  for (uint32_t i = 0; i < kMaxFds; i++) {
+    mem.WriteRaw(task + kTaskFds + 4 * i, 4, 0);
+  }
+  return task;
+}
+
+void TaskEnter(Ctx& ctx, GuestAddr task) {
+  ctx.current_task = task;
+  GuestAddr stack = static_cast<GuestAddr>(ctx.mem().ReadRaw(task + kTaskStackBase, 4));
+  // Stack grows down from the top; leave a redzone word.
+  ctx.esp = stack + kKernelStackSize - 8;
+}
+
+int FdAlloc(Ctx& ctx, GuestAddr task, GuestAddr file) {
+  for (uint32_t i = 0; i < kMaxFds; i++) {
+    GuestAddr slot = task + kTaskFds + 4 * i;
+    if (ctx.Load32(slot, SB_SITE()) == kGuestNull) {
+      ctx.Store32(slot, file, SB_SITE());
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+GuestAddr FdGet(Ctx& ctx, GuestAddr task, int fd) {
+  if (fd < 0 || fd >= static_cast<int>(kMaxFds)) {
+    return kGuestNull;
+  }
+  return ctx.Load32(task + kTaskFds + 4 * static_cast<uint32_t>(fd), SB_SITE());
+}
+
+void FdClear(Ctx& ctx, GuestAddr task, int fd) {
+  if (fd < 0 || fd >= static_cast<int>(kMaxFds)) {
+    return;
+  }
+  ctx.Store32(task + kTaskFds + 4 * static_cast<uint32_t>(fd), kGuestNull, SB_SITE());
+}
+
+StackFrame::StackFrame(Ctx& ctx, uint32_t bytes) : ctx_(ctx), saved_esp_(ctx.esp) {
+  SB_CHECK(bytes <= kKernelStackSize / 2);
+  ctx_.esp -= (bytes + 7) & ~7u;
+  base_ = ctx_.esp;
+}
+
+StackFrame::~StackFrame() { ctx_.esp = saved_esp_; }
+
+}  // namespace snowboard

@@ -1,0 +1,57 @@
+// Task structs: the per-vCPU kernel threads servicing the two test executor processes.
+//
+// Each task owns an 8 KiB, 8 KiB-aligned kernel stack inside the arena (so the paper's
+// ESP-mask stack filter applies verbatim, §4.1.1) and a file-descriptor table. The executor
+// sets Ctx::current_task / Ctx::esp before running a test — the CR3-filter analog: the
+// profiler only keeps accesses made by the vCPU under test.
+#ifndef SRC_KERNEL_TASK_H_
+#define SRC_KERNEL_TASK_H_
+
+#include "src/sim/engine.h"
+#include "src/sim/memory.h"
+
+namespace snowboard {
+
+inline constexpr uint32_t kMaxFds = 16;
+
+// Task layout:
+//   +0   tid
+//   +4   stack_base (8 KiB aligned)
+//   +8   fds[kMaxFds]  (file object address or 0)
+inline constexpr uint32_t kTaskTid = 0;
+inline constexpr uint32_t kTaskStackBase = 4;
+inline constexpr uint32_t kTaskFds = 8;
+inline constexpr uint32_t kTaskSize = kTaskFds + 4 * kMaxFds;
+
+// Boot-time: allocates the task struct and its kernel stack; returns the task address.
+GuestAddr TaskInit(Memory& mem, uint32_t tid);
+
+// Installs `task` as the current task of `ctx`, pointing esp at the top of its stack.
+void TaskEnter(Ctx& ctx, GuestAddr task);
+
+// FD-table operations (fd is an index into the table; -1 on failure).
+int FdAlloc(Ctx& ctx, GuestAddr task, GuestAddr file);
+GuestAddr FdGet(Ctx& ctx, GuestAddr task, int fd);
+void FdClear(Ctx& ctx, GuestAddr task, int fd);
+
+// A scoped simulated stack frame: kernel functions that keep "locals" in guest memory use
+// this to carve them from the task stack, moving Ctx::esp so the profiler's stack filter has
+// real work to do (these accesses must be excluded from PMC analysis).
+class StackFrame {
+ public:
+  StackFrame(Ctx& ctx, uint32_t bytes);
+  ~StackFrame();
+  GuestAddr base() const { return base_; }
+
+  StackFrame(const StackFrame&) = delete;
+  StackFrame& operator=(const StackFrame&) = delete;
+
+ private:
+  Ctx& ctx_;
+  GuestAddr saved_esp_;
+  GuestAddr base_;
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_TASK_H_

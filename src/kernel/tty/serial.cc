@@ -1,0 +1,72 @@
+#include "src/kernel/tty/serial.h"
+
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+
+GuestAddr TtyInit(Memory& mem) {
+  GuestAddr tty = mem.StaticAlloc(24, 8);
+  mem.WriteRaw(tty + kTtyPortLock, 4, 0);
+  mem.WriteRaw(tty + kTtyPortMutex, 4, 0);
+  mem.WriteRaw(tty + kTtyCount, 4, 0);
+  mem.WriteRaw(tty + kTtyFlags, 4, 0);
+  mem.WriteRaw(tty + kTtyLineSpeed, 4, 9600);
+  mem.WriteRaw(tty + kTtyXmitChars, 4, 0);
+  return tty;
+}
+
+int64_t TtyPortOpen(Ctx& ctx, const KernelGlobals& g) {
+  GuestAddr tty = g.tty;
+  // tty_port_open(): protected by the tty_port lock...
+  SpinLock(ctx, tty + kTtyPortLock);
+  uint32_t count = ctx.Load32(tty + kTtyCount, SB_SITE());
+  ctx.Store32(tty + kTtyCount, count + 1, SB_SITE());
+  // ...but the autoconfig path uses the UART mutex for the SAME flags word (issue #14).
+  uint32_t flags = ctx.Load32(tty + kTtyFlags, SB_SITE());
+  if ((flags & kAsyncInitialized) == 0) {
+    ctx.Store32(tty + kTtyLineSpeed, 9600, SB_SITE());
+    ctx.Store32(tty + kTtyFlags, flags | kAsyncInitialized, SB_SITE());
+  }
+  SpinUnlock(ctx, tty + kTtyPortLock);
+  return 0;
+}
+
+int64_t TtyPortClose(Ctx& ctx, const KernelGlobals& g) {
+  GuestAddr tty = g.tty;
+  SpinLock(ctx, tty + kTtyPortLock);
+  uint32_t count = ctx.Load32(tty + kTtyCount, SB_SITE());
+  if (count > 0) {
+    ctx.Store32(tty + kTtyCount, count - 1, SB_SITE());
+  }
+  SpinUnlock(ctx, tty + kTtyPortLock);
+  return 0;
+}
+
+int64_t UartDoAutoconfig(Ctx& ctx, const KernelGlobals& g, uint32_t baud) {
+  GuestAddr tty = g.tty;
+  // uart_do_autoconfig(): holds the UART per-port MUTEX, not the tty_port lock — disjoint
+  // locksets with TtyPortOpen (issue #14 writer).
+  SpinLock(ctx, tty + kTtyPortMutex);
+  uint32_t flags = ctx.Load32(tty + kTtyFlags, SB_SITE());
+  ctx.Store32(tty + kTtyFlags, (flags & ~kAsyncInitialized) | kAsyncAutoconf, SB_SITE());
+  ctx.Store32(tty + kTtyLineSpeed, baud == 0 ? 115200 : baud, SB_SITE());
+  ctx.Store32(tty + kTtyFlags, flags | kAsyncAutoconf | kAsyncInitialized, SB_SITE());
+  SpinUnlock(ctx, tty + kTtyPortMutex);
+  return 0;
+}
+
+int64_t TtyWrite(Ctx& ctx, const KernelGlobals& g, uint32_t len) {
+  GuestAddr tty = g.tty;
+  SpinLock(ctx, tty + kTtyPortLock);
+  uint32_t chars = ctx.Load32(tty + kTtyXmitChars, SB_SITE());
+  ctx.Store32(tty + kTtyXmitChars, chars + len, SB_SITE());
+  SpinUnlock(ctx, tty + kTtyPortLock);
+  return static_cast<int64_t>(len);
+}
+
+int64_t TtyRead(Ctx& ctx, const KernelGlobals& g) {
+  return static_cast<int64_t>(ctx.Load32(g.tty + kTtyLineSpeed, SB_SITE()));
+}
+
+}  // namespace snowboard

@@ -1,0 +1,46 @@
+// tty/serial: the serial port — issue #14 of Table 2.
+//
+// TtyPortOpen manipulates port->flags while holding the TTY-port lock; UartDoAutoconfig
+// (TIOCSSERIAL) rewrites the same flags while holding the UART's per-port mutex. Two locks,
+// no mutual exclusion — the tty_port_open()/uart_do_autoconfig() data race.
+#ifndef SRC_KERNEL_TTY_SERIAL_H_
+#define SRC_KERNEL_TTY_SERIAL_H_
+
+#include "src/kernel/kernel.h"
+#include "src/sim/engine.h"
+
+namespace snowboard {
+
+// Port block (one port, ttyS0):
+//   +0  port_lock   (tty_port lock)
+//   +4  port_mutex  (uart mutex — a DIFFERENT lock)
+//   +8  count
+//   +12 flags       (bit0 = ASYNC_INITIALIZED, bit1 = ASYNC_AUTOCONF)
+//   +16 line_speed
+//   +20 xmit_chars
+inline constexpr uint32_t kTtyPortLock = 0;
+inline constexpr uint32_t kTtyPortMutex = 4;
+inline constexpr uint32_t kTtyCount = 8;
+inline constexpr uint32_t kTtyFlags = 12;
+inline constexpr uint32_t kTtyLineSpeed = 16;
+inline constexpr uint32_t kTtyXmitChars = 20;
+
+inline constexpr uint32_t kAsyncInitialized = 1u << 0;
+inline constexpr uint32_t kAsyncAutoconf = 1u << 1;
+
+GuestAddr TtyInit(Memory& mem);
+
+// open("/dev/ttyS0"): tty_port_open — reads/writes flags under the PORT lock (#14 reader).
+int64_t TtyPortOpen(Ctx& ctx, const KernelGlobals& g);
+// close: drops the open count.
+int64_t TtyPortClose(Ctx& ctx, const KernelGlobals& g);
+// ioctl(TIOCSSERIAL): uart_do_autoconfig — rewrites flags under the UART mutex (#14 writer).
+int64_t UartDoAutoconfig(Ctx& ctx, const KernelGlobals& g, uint32_t baud);
+// write(): transmit a character under the port lock.
+int64_t TtyWrite(Ctx& ctx, const KernelGlobals& g, uint32_t len);
+// read(): current line speed.
+int64_t TtyRead(Ctx& ctx, const KernelGlobals& g);
+
+}  // namespace snowboard
+
+#endif  // SRC_KERNEL_TTY_SERIAL_H_

@@ -1,0 +1,14 @@
+#include "src/sim/console.h"
+
+namespace snowboard {
+
+bool Console::Contains(const std::string& needle) const {
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,398 @@
+#include "src/sim/engine.h"
+
+#include <optional>
+
+#include "src/sim/site.h"
+#include "src/util/assert.h"
+#include "src/util/strings.h"
+
+namespace snowboard {
+
+// --------------------------------------------------------------------------------------------
+// Ctx: guest-side access API.
+// --------------------------------------------------------------------------------------------
+
+Memory& Ctx::mem() { return engine_->memory_; }
+
+uint64_t Ctx::Load(GuestAddr addr, uint32_t len, SiteId site, bool marked_atomic) {
+  Access access;
+  access.type = AccessType::kRead;
+  access.marked_atomic = marked_atomic;
+  access.len = static_cast<uint8_t>(len);
+  access.vcpu = vcpu_;
+  access.addr = addr;
+  access.site = site;
+  engine_->OnAccess(*this, access);
+  return access.value;
+}
+
+void Ctx::Store(GuestAddr addr, uint32_t len, uint64_t value, SiteId site, bool marked_atomic) {
+  Access access;
+  access.type = AccessType::kWrite;
+  access.marked_atomic = marked_atomic;
+  access.len = static_cast<uint8_t>(len);
+  access.vcpu = vcpu_;
+  access.addr = addr;
+  access.value = value;
+  access.site = site;
+  engine_->OnAccess(*this, access);
+}
+
+bool Ctx::Cas32(GuestAddr addr, uint32_t expected, uint32_t desired, SiteId site) {
+  Access read;
+  read.type = AccessType::kRead;
+  read.marked_atomic = true;
+  read.len = 4;
+  read.vcpu = vcpu_;
+  read.addr = addr;
+  read.site = site;
+
+  Access write = read;
+  write.type = AccessType::kWrite;
+  write.value = desired;
+
+  engine_->OnRmw(*this, read, /*do_write_if=*/
+                 [&](uint64_t old) { return old == expected; }, write);
+  return read.value == expected;
+}
+
+uint32_t Ctx::FetchAdd32(GuestAddr addr, int32_t delta, SiteId site) {
+  Access read;
+  read.type = AccessType::kRead;
+  read.marked_atomic = true;
+  read.len = 4;
+  read.vcpu = vcpu_;
+  read.addr = addr;
+  read.site = site;
+
+  Access write = read;
+  write.type = AccessType::kWrite;
+
+  engine_->OnRmw(*this, read,
+                 [&](uint64_t old) {
+                   write.value = static_cast<uint32_t>(old) + static_cast<uint32_t>(delta);
+                   return true;
+                 },
+                 write);
+  return static_cast<uint32_t>(read.value);
+}
+
+void Ctx::Copy(GuestAddr dst, GuestAddr src, uint32_t len, SiteId read_site,
+               SiteId write_site) {
+  // Word-at-a-time copy: each chunk is an independent instruction pair, so the scheduler can
+  // interleave another vCPU mid-copy and a reader can observe a torn object.
+  uint32_t off = 0;
+  while (off < len) {
+    uint32_t chunk = len - off >= 4 ? 4 : len - off;
+    uint64_t v = Load(src + off, chunk, read_site);
+    Store(dst + off, chunk, v, write_site);
+    off += chunk;
+  }
+}
+
+void Ctx::ExplicitYield() { engine_->Yield(vcpu_, /*record_event=*/true); }
+
+void Ctx::Pause() {
+  Engine& e = *engine_;
+  e.liveness_->OnPause(vcpu_);
+  // A spinner with no live partner can never be satisfied: classic hang.
+  if (!e.liveness_->IsLive(vcpu_) && e.NextLiveVcpu(vcpu_) == kInvalidVcpu) {
+    e.AbortTrial(vcpu_, /*panic=*/false, "hang: spinning with no runnable partner");
+  }
+  e.Yield(vcpu_, /*record_event=*/false);
+}
+
+void Ctx::LockEvent(EventKind kind, GuestAddr lock_addr) {
+  Event event;
+  event.kind = kind;
+  event.vcpu = vcpu_;
+  event.lock_addr = lock_addr;
+  engine_->RecordEvent(event);
+}
+
+void Ctx::OnSyscallEntry() { engine_->liveness_->OnProgress(vcpu_); }
+
+void Ctx::Printk(const std::string& line) { engine_->console_.Printk(line); }
+
+void Ctx::Panic(const std::string& message) {
+  engine_->console_.Printk(message);
+  engine_->AbortTrial(vcpu_, /*panic=*/true, message);
+}
+
+// --------------------------------------------------------------------------------------------
+// Engine.
+// --------------------------------------------------------------------------------------------
+
+Engine::Engine(uint32_t mem_size) : memory_(mem_size) {}
+
+Engine::~Engine() = default;
+
+Engine::RunResult Engine::Run(const std::vector<GuestFn>& vcpu_fns, const RunOptions& opts) {
+  SB_CHECK(!vcpu_fns.empty());
+  const int n = static_cast<int>(vcpu_fns.size());
+
+  // Reset per-run state.
+  opts_ = opts;
+  scheduler_ = opts.scheduler != nullptr ? opts.scheduler : &sequential_;
+  vcpus_.assign(static_cast<size_t>(n), VcpuState());
+  ctxs_.clear();
+  ctxs_.reserve(static_cast<size_t>(n));
+  for (int v = 0; v < n; v++) {
+    ctxs_.emplace_back(this, v);
+  }
+  liveness_ = std::make_unique<LivenessMonitor>(n, opts.liveness);
+  trace_.clear();
+  seq_ = 0;
+  instructions_ = 0;
+  abort_ = false;
+  panicked_ = false;
+  hang_ = false;
+  panic_message_.clear();
+  console_.Clear();
+  unfinished_ = n;
+  active_vcpu_ = kInvalidVcpu;
+
+  scheduler_->OnTrialStart(n);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int v = 0; v < n; v++) {
+    threads.emplace_back([this, v, &vcpu_fns] { GuestThreadMain(v, vcpu_fns[static_cast<size_t>(v)]); });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(token_mutex_);
+    active_vcpu_ = 0;
+    token_cv_.notify_all();
+    token_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  scheduler_->OnTrialEnd();
+
+  RunResult result;
+  result.completed = !abort_;
+  result.hang = hang_;
+  result.panicked = panicked_;
+  result.panic_message = panic_message_;
+  result.instructions = instructions_;
+  result.trace = std::move(trace_);
+  trace_ = Trace();
+  result.console = console_.lines();
+  return result;
+}
+
+Engine::RunResult Engine::RunSequential(const GuestFn& fn, uint64_t max_instructions) {
+  RunOptions opts;
+  opts.max_instructions = max_instructions;
+  return Run({fn}, opts);
+}
+
+void Engine::GuestThreadMain(VcpuId vcpu, const GuestFn& fn) {
+  try {
+    WaitForToken(vcpu);
+    fn(ctxs_[static_cast<size_t>(vcpu)]);
+  } catch (const TrialAbort&) {
+    // Unwound guest code; fall through to the finish protocol.
+  }
+  std::lock_guard<std::mutex> lock(token_mutex_);
+  vcpus_[static_cast<size_t>(vcpu)].finished = true;
+  unfinished_--;
+  if (active_vcpu_ == vcpu) {
+    // Pass the token onward; kInvalidVcpu when this was the last runner.
+    active_vcpu_ = NextLiveVcpu(vcpu);
+  }
+  token_cv_.notify_all();
+}
+
+void Engine::WaitForToken(VcpuId vcpu) {
+  std::unique_lock<std::mutex> lock(token_mutex_);
+  token_cv_.wait(lock, [this, vcpu] { return abort_ || active_vcpu_ == vcpu; });
+  if (abort_) {
+    throw TrialAbort{};
+  }
+}
+
+VcpuId Engine::NextLiveVcpu(VcpuId from) const {
+  const int n = static_cast<int>(vcpus_.size());
+  for (int i = 1; i < n; i++) {
+    VcpuId candidate = (from + i) % n;
+    if (!vcpus_[static_cast<size_t>(candidate)].finished) {
+      return candidate;
+    }
+  }
+  return kInvalidVcpu;
+}
+
+void Engine::Yield(VcpuId from, bool record_event) {
+  std::unique_lock<std::mutex> lock(token_mutex_);
+  if (abort_) {
+    throw TrialAbort{};
+  }
+  VcpuId next = NextLiveVcpu(from);
+  if (next == kInvalidVcpu) {
+    return;  // No one to switch to; keep running.
+  }
+  if (record_event && opts_.collect_trace) {
+    Event event;
+    event.kind = EventKind::kYield;
+    event.vcpu = from;
+    event.seq = seq_++;
+    trace_.push_back(event);
+  }
+  active_vcpu_ = next;
+  token_cv_.notify_all();
+  token_cv_.wait(lock, [this, from] { return abort_ || active_vcpu_ == from; });
+  if (abort_) {
+    throw TrialAbort{};
+  }
+}
+
+void Engine::RecordEvent(Event event) {
+  event.seq = seq_++;
+  if (event.kind == EventKind::kAccess) {
+    event.access.seq = event.seq;
+  }
+  if (opts_.collect_trace) {
+    trace_.push_back(event);
+  }
+}
+
+void Engine::AbortTrial(VcpuId vcpu, bool panic, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(token_mutex_);
+    abort_ = true;
+    if (panic) {
+      panicked_ = true;
+      panic_message_ = message;
+    } else {
+      hang_ = true;
+    }
+    token_cv_.notify_all();
+  }
+  throw TrialAbort{};
+}
+
+void Engine::FaultCheck(Ctx& ctx, const Access& access) {
+  if (memory_.Valid(access.addr, access.len)) {
+    return;
+  }
+  std::string message;
+  if (access.addr < kGuestNullPageSize) {
+    message = StrPrintf("BUG: kernel NULL pointer dereference, address: 0x%08x at %s",
+                        access.addr, SiteName(access.site).c_str());
+  } else {
+    message = StrPrintf("BUG: unable to handle page fault for address: 0x%08x at %s",
+                        access.addr, SiteName(access.site).c_str());
+  }
+  ctx.Panic(message);
+}
+
+void Engine::PerformAccess(Access& access) {
+  if (access.type == AccessType::kRead) {
+    access.value = memory_.ReadRaw(access.addr, access.len);
+  } else {
+    memory_.WriteRaw(access.addr, access.len, access.value);
+  }
+}
+
+void Engine::CheckBudgetAndLiveness(Ctx& ctx) {
+  VcpuId v = ctx.vcpu_;
+  instructions_++;
+  if (instructions_ > opts_.max_instructions) {
+    AbortTrial(v, /*panic=*/false, "hang: instruction budget exhausted");
+  }
+  if (!liveness_->IsLive(v)) {
+    scheduler_->OnNotLive(v);
+    VcpuId next = NextLiveVcpu(v);
+    if (next == kInvalidVcpu) {
+      AbortTrial(v, /*panic=*/false, "hang: not live with no runnable partner");
+    }
+    if (!liveness_->IsLive(next)) {
+      // Both threads stuck in low-liveness loops: deadlock/livelock. End the trial.
+      AbortTrial(v, /*panic=*/false, "hang: all vCPUs not live (deadlock suspected)");
+    }
+    Yield(v, /*record_event=*/true);
+  }
+}
+
+void Engine::OnAccess(Ctx& ctx, Access& access) {
+  VcpuId v = ctx.vcpu_;
+  VcpuState& state = vcpus_[static_cast<size_t>(v)];
+
+  // A switch armed by the previous instruction (Algorithm 2: `if switch then yield()`), or a
+  // scheduler decision to preempt before this instruction executes.
+  bool do_switch = state.pending_switch;
+  state.pending_switch = false;
+  if (scheduler_->BeforeAccess(v, access)) {
+    do_switch = true;
+  }
+  if (do_switch) {
+    Yield(v, /*record_event=*/true);
+  }
+
+  CheckBudgetAndLiveness(ctx);
+  FaultCheck(ctx, access);
+  access.esp = ctx.esp;
+  PerformAccess(access);
+
+  Event event;
+  event.kind = EventKind::kAccess;
+  event.vcpu = v;
+  event.access = access;
+  RecordEvent(event);
+  // RecordEvent stamped event.access.seq; mirror it into the caller-visible access.
+  access.seq = event.access.seq;
+
+  liveness_->OnAccess(v, access);
+  state.pending_switch = scheduler_->AfterAccess(v, access);
+}
+
+void Engine::OnRmw(Ctx& ctx, Access& read, const std::function<bool(uint64_t)>& do_write_if,
+                   Access& write) {
+  VcpuId v = ctx.vcpu_;
+  VcpuState& state = vcpus_[static_cast<size_t>(v)];
+
+  bool do_switch = state.pending_switch;
+  state.pending_switch = false;
+  if (scheduler_->BeforeAccess(v, read)) {
+    do_switch = true;
+  }
+  if (do_switch) {
+    Yield(v, /*record_event=*/true);
+  }
+
+  CheckBudgetAndLiveness(ctx);
+  FaultCheck(ctx, read);
+  read.esp = ctx.esp;
+  write.esp = ctx.esp;
+
+  // Read and (conditional) write happen back-to-back with no scheduling point in between:
+  // this models a single atomic RMW instruction.
+  PerformAccess(read);
+  Event read_event;
+  read_event.kind = EventKind::kAccess;
+  read_event.vcpu = v;
+  read_event.access = read;
+  RecordEvent(read_event);
+  read.seq = read_event.access.seq;
+  liveness_->OnAccess(v, read);
+
+  bool pending = scheduler_->AfterAccess(v, read);
+  if (do_write_if(read.value)) {
+    PerformAccess(write);
+    Event write_event;
+    write_event.kind = EventKind::kAccess;
+    write_event.vcpu = v;
+    write_event.access = write;
+    RecordEvent(write_event);
+    write.seq = write_event.access.seq;
+    liveness_->OnAccess(v, write);
+    pending = scheduler_->AfterAccess(v, write) || pending;
+  }
+  state.pending_switch = pending;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,55 @@
+#include "src/sim/liveness.h"
+
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+LivenessMonitor::LivenessMonitor(int num_vcpus, Options options)
+    : options_(options), states_(static_cast<size_t>(num_vcpus)) {
+  SB_CHECK(num_vcpus > 0);
+}
+
+void LivenessMonitor::MarkProgress(State& state) {
+  state.stuck_reads = 0;
+  state.pause_streak = 0;
+  state.has_last_read = false;
+}
+
+void LivenessMonitor::OnAccess(VcpuId vcpu, const Access& access) {
+  State& s = states_[static_cast<size_t>(vcpu)];
+  if (access.type == AccessType::kWrite) {
+    // A write is progress by definition (lock acquired, state mutated).
+    MarkProgress(s);
+    return;
+  }
+  if (s.has_last_read && access.addr == s.last_read_addr &&
+      access.value == s.last_read_value) {
+    // Constantly fetching the same memory area and seeing the same bytes: spinning.
+    s.stuck_reads++;
+    return;
+  }
+  MarkProgress(s);
+  s.has_last_read = true;
+  s.last_read_addr = access.addr;
+  s.last_read_value = access.value;
+}
+
+void LivenessMonitor::OnPause(VcpuId vcpu) { states_[static_cast<size_t>(vcpu)].pause_streak++; }
+
+void LivenessMonitor::OnProgress(VcpuId vcpu) {
+  MarkProgress(states_[static_cast<size_t>(vcpu)]);
+}
+
+bool LivenessMonitor::IsLive(VcpuId vcpu) const {
+  const State& s = states_[static_cast<size_t>(vcpu)];
+  return s.stuck_reads < options_.stuck_read_threshold &&
+         s.pause_streak < options_.pause_threshold;
+}
+
+void LivenessMonitor::Reset() {
+  for (State& s : states_) {
+    s = State();
+  }
+}
+
+}  // namespace snowboard

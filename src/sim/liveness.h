@@ -1,0 +1,65 @@
+// is_live heuristic (§4.4.1).
+//
+// "Motivated by SKI, is_live is implemented by observing the thread execution with some
+// common low-liveness characteristics, including constantly fetching the same memory area,
+// executing HALT/PAUSE instructions and having executed a threshold amount of instructions."
+//
+// Our analog tracks, per vCPU:
+//   (a) consecutive READS of the same address returning the same value — the signature of a
+//       spin loop stuck on a lock word (a thread making progress either writes or observes
+//       changing values);
+//   (b) explicit Pause() hints from guest spin loops (the PAUSE-instruction analog), which
+//       only reset when the thread demonstrably progresses;
+// The per-trial instruction budget (the third SKI signal) is enforced by the engine itself.
+#ifndef SRC_SIM_LIVENESS_H_
+#define SRC_SIM_LIVENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/access.h"
+#include "src/sim/types.h"
+
+namespace snowboard {
+
+class LivenessMonitor {
+ public:
+  struct Options {
+    // Consecutive same-address same-value reads before declaring not-live.
+    uint32_t stuck_read_threshold = 96;
+    // Consecutive PAUSE-analog hints (without progress) before declaring not-live.
+    uint32_t pause_threshold = 256;
+  };
+
+  explicit LivenessMonitor(int num_vcpus) : LivenessMonitor(num_vcpus, Options()) {}
+  LivenessMonitor(int num_vcpus, Options options);
+
+  // Feed an executed access. Writes and value-changing reads count as progress.
+  void OnAccess(VcpuId vcpu, const Access& access);
+  // Feed an explicit spin-loop pause hint.
+  void OnPause(VcpuId vcpu);
+  // A vCPU making a syscall-level transition is clearly progressing.
+  void OnProgress(VcpuId vcpu);
+
+  // is_live(current_thread) from Algorithm 2.
+  bool IsLive(VcpuId vcpu) const;
+
+  void Reset();
+
+ private:
+  struct State {
+    bool has_last_read = false;
+    GuestAddr last_read_addr = 0;
+    uint64_t last_read_value = 0;
+    uint32_t stuck_reads = 0;
+    uint32_t pause_streak = 0;
+  };
+  void MarkProgress(State& state);
+
+  Options options_;
+  std::vector<State> states_;
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_SIM_LIVENESS_H_

@@ -1,0 +1,50 @@
+#include "src/sim/memory.h"
+
+#include <cstring>
+
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+Memory::Memory(uint32_t size) : bytes_(size, 0), static_brk_(kGuestNullPageSize) {
+  SB_CHECK(size > 2 * kGuestNullPageSize);
+}
+
+uint64_t Memory::ReadRaw(GuestAddr addr, uint32_t len) const {
+  SB_DCHECK(Valid(addr, len));
+  SB_DCHECK(len <= 8);
+  uint64_t value = 0;
+  std::memcpy(&value, bytes_.data() + addr, len);  // Little-endian host assumed (x86/ARM64).
+  return value;
+}
+
+void Memory::WriteRaw(GuestAddr addr, uint32_t len, uint64_t value) {
+  SB_DCHECK(Valid(addr, len));
+  SB_DCHECK(len <= 8);
+  std::memcpy(bytes_.data() + addr, &value, len);
+}
+
+void Memory::FillRaw(GuestAddr addr, uint32_t len, uint8_t byte) {
+  SB_CHECK(Valid(addr, len));
+  std::memset(bytes_.data() + addr, byte, len);
+}
+
+GuestAddr Memory::StaticAlloc(uint32_t len, uint32_t align) {
+  SB_CHECK(align != 0 && (align & (align - 1)) == 0);
+  uint32_t base = (static_brk_ + align - 1) & ~(align - 1);
+  SB_CHECK(base + len <= size());
+  static_brk_ = base + len;
+  return base;
+}
+
+Memory::Snapshot Memory::TakeSnapshot() const {
+  return Snapshot{bytes_, static_brk_};
+}
+
+void Memory::Restore(const Snapshot& snapshot) {
+  SB_CHECK(snapshot.bytes.size() == bytes_.size());
+  std::memcpy(bytes_.data(), snapshot.bytes.data(), bytes_.size());
+  static_brk_ = snapshot.static_brk;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,65 @@
+// Guest physical memory.
+//
+// A flat byte-addressable arena that holds *all* kernel state (the mini-kernel never keeps
+// mutable state in host objects). Because of that, the paper's "VM snapshot" — taken once
+// after boot and restored before every sequential profile and every concurrent-test trial
+// (§4.1) — is a literal byte copy of the arena.
+//
+// Memory itself performs raw, untraced byte moves; all *guest* accesses go through
+// Ctx::Load/Store/Copy (engine.h), which add tracing and scheduling hooks. Raw accessors are
+// reserved for the engine, detectors, and tests.
+#ifndef SRC_SIM_MEMORY_H_
+#define SRC_SIM_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace snowboard {
+
+class Memory {
+ public:
+  // Default 1 MiB guest; plenty for the mini-kernel while keeping snapshots cheap.
+  explicit Memory(uint32_t size = 1u << 20);
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+
+  // True if [addr, addr+len) is a mapped, non-null-page range.
+  bool Valid(GuestAddr addr, uint32_t len) const {
+    return addr >= kGuestNullPageSize && len > 0 && addr + len <= size() && addr + len > addr;
+  }
+
+  // Raw little-endian load/store of 1..8 bytes, no tracing. Caller must pass a Valid range.
+  uint64_t ReadRaw(GuestAddr addr, uint32_t len) const;
+  void WriteRaw(GuestAddr addr, uint32_t len, uint64_t value);
+
+  // Raw byte-block helpers for tests and boot-time initialization.
+  void FillRaw(GuestAddr addr, uint32_t len, uint8_t byte);
+
+  // Boot-time bump allocator for "static" kernel objects (subsystem global structs, lock
+  // words, the kalloc heap region itself). Alignment must be a power of two. Only used
+  // before the snapshot is taken.
+  GuestAddr StaticAlloc(uint32_t len, uint32_t align = 8);
+
+  // Remaining bytes available to StaticAlloc (diagnostic).
+  uint32_t StaticBytesLeft() const { return size() - static_brk_; }
+
+  struct Snapshot {
+    std::vector<uint8_t> bytes;
+    uint32_t static_brk = 0;
+  };
+
+  // Captures the full guest state; Restore() rewinds to it. Restore is the hot path of the
+  // testing loop (Algorithm 2 line 8, `resume_snapshot()`), a single memcpy.
+  Snapshot TakeSnapshot() const;
+  void Restore(const Snapshot& snapshot);
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint32_t static_brk_;  // Next free byte for StaticAlloc; starts after the null page.
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_SIM_MEMORY_H_

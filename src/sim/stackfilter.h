@@ -1,0 +1,38 @@
+// Kernel-stack filtering (§4.1.1).
+//
+// Snowboard assumes only non-stack accesses are potentially shared, and computes the current
+// thread's kernel stack range from ESP:
+//     [ESP & ~(STACK_SIZE-1),  (ESP & ~(STACK_SIZE-1)) + STACK_SIZE]
+// (the same mask current_thread_info() uses on Linux x86). Our tasks get 8 KiB-aligned 8 KiB
+// stacks inside the arena, so the formula applies verbatim: the profiler drops any access
+// that falls inside the range derived from the vCPU's ESP at the time of the access.
+#ifndef SRC_SIM_STACKFILTER_H_
+#define SRC_SIM_STACKFILTER_H_
+
+#include "src/sim/types.h"
+
+namespace snowboard {
+
+struct StackRange {
+  GuestAddr base = 0;
+  GuestAddr top = 0;  // Exclusive.
+  bool Contains(GuestAddr addr, uint32_t len) const {
+    return addr >= base && addr + len <= top;
+  }
+};
+
+// The paper's formula, applied to a simulated ESP value.
+inline StackRange KernelStackRangeFromEsp(GuestAddr esp) {
+  GuestAddr base = esp & ~static_cast<GuestAddr>(kKernelStackSize - 1);
+  return StackRange{base, base + kKernelStackSize};
+}
+
+// True if an access at [addr, addr+len) is a kernel-stack access for a thread whose stack
+// pointer is `esp` — i.e. it should be excluded from shared-memory profiling.
+inline bool IsStackAccess(GuestAddr esp, GuestAddr addr, uint32_t len) {
+  return esp != 0 && KernelStackRangeFromEsp(esp).Contains(addr, len);
+}
+
+}  // namespace snowboard
+
+#endif  // SRC_SIM_STACKFILTER_H_

@@ -1,0 +1,138 @@
+#include "src/sim/sync.h"
+
+#include "src/sim/site.h"
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+namespace {
+constexpr uint32_t kRwWriterBit = 1u << 31;
+}  // namespace
+
+// --- Spinlock. ---
+
+void SpinLockInit(Memory& mem, GuestAddr lock) { mem.WriteRaw(lock, 4, 0); }
+
+void SpinLock(Ctx& ctx, GuestAddr lock) {
+  while (!ctx.Cas32(lock, 0, 1, SB_SITE())) {
+    ctx.Pause();
+  }
+  ctx.LockEvent(EventKind::kLockAcquire, lock);
+}
+
+void SpinUnlock(Ctx& ctx, GuestAddr lock) {
+  ctx.LockEvent(EventKind::kLockRelease, lock);
+  ctx.Store(lock, 4, 0, SB_SITE(), /*marked_atomic=*/true);
+}
+
+bool SpinTryLock(Ctx& ctx, GuestAddr lock) {
+  if (ctx.Cas32(lock, 0, 1, SB_SITE())) {
+    ctx.LockEvent(EventKind::kLockAcquire, lock);
+    return true;
+  }
+  return false;
+}
+
+// --- Reader-writer lock. ---
+
+void RwLockInit(Memory& mem, GuestAddr lock) { mem.WriteRaw(lock, 4, 0); }
+
+void WriteLock(Ctx& ctx, GuestAddr lock) {
+  while (!ctx.Cas32(lock, 0, kRwWriterBit, SB_SITE())) {
+    ctx.Pause();
+  }
+  ctx.LockEvent(EventKind::kLockAcquire, lock);
+}
+
+void WriteUnlock(Ctx& ctx, GuestAddr lock) {
+  ctx.LockEvent(EventKind::kLockRelease, lock);
+  ctx.Store(lock, 4, 0, SB_SITE(), /*marked_atomic=*/true);
+}
+
+void ReadLock(Ctx& ctx, GuestAddr lock) {
+  for (;;) {
+    uint32_t v = static_cast<uint32_t>(ctx.Load(lock, 4, SB_SITE(), /*marked_atomic=*/true));
+    if ((v & kRwWriterBit) == 0 && ctx.Cas32(lock, v, v + 1, SB_SITE())) {
+      break;
+    }
+    ctx.Pause();
+  }
+  ctx.LockEvent(EventKind::kSharedAcquire, lock);
+}
+
+void ReadUnlock(Ctx& ctx, GuestAddr lock) {
+  ctx.LockEvent(EventKind::kSharedRelease, lock);
+  ctx.FetchAdd32(lock, -1, SB_SITE());
+}
+
+// --- Seqlock. ---
+
+void SeqCountInit(Memory& mem, GuestAddr seq) { mem.WriteRaw(seq, 4, 0); }
+
+void WriteSeqBegin(Ctx& ctx, GuestAddr seq) {
+  uint32_t v = static_cast<uint32_t>(ctx.Load(seq, 4, SB_SITE(), /*marked_atomic=*/true));
+  SB_DCHECK((v & 1) == 0);
+  ctx.Store(seq, 4, v + 1, SB_SITE(), /*marked_atomic=*/true);
+}
+
+void WriteSeqEnd(Ctx& ctx, GuestAddr seq) {
+  uint32_t v = static_cast<uint32_t>(ctx.Load(seq, 4, SB_SITE(), /*marked_atomic=*/true));
+  SB_DCHECK((v & 1) == 1);
+  ctx.Store(seq, 4, v + 1, SB_SITE(), /*marked_atomic=*/true);
+}
+
+uint32_t ReadSeqBegin(Ctx& ctx, GuestAddr seq) {
+  for (;;) {
+    uint32_t v = static_cast<uint32_t>(ctx.Load(seq, 4, SB_SITE(), /*marked_atomic=*/true));
+    if ((v & 1) == 0) {
+      return v;
+    }
+    ctx.Pause();
+  }
+}
+
+bool ReadSeqRetry(Ctx& ctx, GuestAddr seq, uint32_t start) {
+  uint32_t v = static_cast<uint32_t>(ctx.Load(seq, 4, SB_SITE(), /*marked_atomic=*/true));
+  return v != start;
+}
+
+// --- RCU. ---
+
+void RcuInit(Memory& mem, GuestAddr counter) { mem.WriteRaw(counter, 4, 0); }
+
+void RcuReadLock(Ctx& ctx, GuestAddr counter) {
+  ctx.FetchAdd32(counter, 1, SB_SITE());
+  ctx.LockEvent(EventKind::kRcuReadLock, counter);
+}
+
+void RcuReadUnlock(Ctx& ctx, GuestAddr counter) {
+  ctx.LockEvent(EventKind::kRcuReadUnlock, counter);
+  ctx.FetchAdd32(counter, -1, SB_SITE());
+}
+
+void SynchronizeRcu(Ctx& ctx, GuestAddr counter) {
+  // Wait for all in-flight read-side critical sections (necessarily on other vCPUs) to end.
+  while (ctx.Load(counter, 4, SB_SITE(), /*marked_atomic=*/true) != 0) {
+    ctx.Pause();
+  }
+}
+
+void RcuAssignPointer(Ctx& ctx, GuestAddr slot, GuestAddr value, SiteId site) {
+  ctx.Store(slot, 4, value, site, /*marked_atomic=*/true);
+}
+
+GuestAddr RcuDereference(Ctx& ctx, GuestAddr slot, SiteId site) {
+  return static_cast<GuestAddr>(ctx.Load(slot, 4, site, /*marked_atomic=*/true));
+}
+
+// --- READ_ONCE / WRITE_ONCE. ---
+
+uint32_t ReadOnce32(Ctx& ctx, GuestAddr addr, SiteId site) {
+  return static_cast<uint32_t>(ctx.Load(addr, 4, site, /*marked_atomic=*/true));
+}
+
+void WriteOnce32(Ctx& ctx, GuestAddr addr, uint32_t value, SiteId site) {
+  ctx.Store(addr, 4, value, site, /*marked_atomic=*/true);
+}
+
+}  // namespace snowboard

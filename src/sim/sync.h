@@ -1,0 +1,64 @@
+// Guest synchronization primitives, built on traced arena cells.
+//
+// These mirror the Linux primitives the paper's bugs revolve around: spinlocks, a mutex
+// (spin+yield under the serialized engine), reader-writer locks, seqlocks, and RCU. All of
+// them are *guest state* — lock words live in the arena, so snapshot/restore resets them —
+// and all of them emit lock events into the trace so the post-mortem race detector can
+// compute locksets.
+//
+// Per §2.2, PMCs are unrelated to data races: lock-word accesses themselves are
+// marked-atomic (exempt from the race oracle, like Linux's atomic ops under KCSAN) but are
+// still visible to PMC identification, exactly as guest memory accesses were in the paper.
+#ifndef SRC_SIM_SYNC_H_
+#define SRC_SIM_SYNC_H_
+
+#include "src/sim/engine.h"
+#include "src/sim/types.h"
+
+namespace snowboard {
+
+// --- Spinlock (also used as the mutex: under a serialized engine the spin loop yields). ---
+// Lock word: u32, 0 = unlocked, 1 = locked.
+void SpinLockInit(Memory& mem, GuestAddr lock);
+void SpinLock(Ctx& ctx, GuestAddr lock);
+void SpinUnlock(Ctx& ctx, GuestAddr lock);
+// TryLock: single CAS attempt; true on success.
+bool SpinTryLock(Ctx& ctx, GuestAddr lock);
+
+// --- Reader-writer lock. Word: bit31 = writer held, bits 0..30 = reader count. ---
+void RwLockInit(Memory& mem, GuestAddr lock);
+void WriteLock(Ctx& ctx, GuestAddr lock);
+void WriteUnlock(Ctx& ctx, GuestAddr lock);
+void ReadLock(Ctx& ctx, GuestAddr lock);
+void ReadUnlock(Ctx& ctx, GuestAddr lock);
+
+// --- Seqlock (write side assumed to hold a separate spinlock, as in Linux). ---
+// Sequence word: u32, odd while a write is in progress.
+void SeqCountInit(Memory& mem, GuestAddr seq);
+void WriteSeqBegin(Ctx& ctx, GuestAddr seq);
+void WriteSeqEnd(Ctx& ctx, GuestAddr seq);
+// Spins until the sequence is even, then returns it.
+uint32_t ReadSeqBegin(Ctx& ctx, GuestAddr seq);
+// True if the read section raced a writer and must retry.
+bool ReadSeqRetry(Ctx& ctx, GuestAddr seq, uint32_t start);
+
+// --- RCU. ---
+// A guest-global reader count cell (allocated by the kernel at boot) tracks read-side
+// critical sections; synchronize_rcu waits for it to drain. Read-side sections emit
+// kRcuReadLock/Unlock events — note they do NOT exclude writers, which is precisely how the
+// paper's bug #12 (l2tp) escapes its RCU "protection".
+void RcuInit(Memory& mem, GuestAddr counter);
+void RcuReadLock(Ctx& ctx, GuestAddr counter);
+void RcuReadUnlock(Ctx& ctx, GuestAddr counter);
+void SynchronizeRcu(Ctx& ctx, GuestAddr counter);
+// rcu_assign_pointer / rcu_dereference analogs: marked-atomic 32-bit pointer accesses.
+void RcuAssignPointer(Ctx& ctx, GuestAddr slot, GuestAddr value, SiteId site);
+GuestAddr RcuDereference(Ctx& ctx, GuestAddr slot, SiteId site);
+
+// --- READ_ONCE / WRITE_ONCE analogs (marked atomic; race-oracle exempt). ---
+uint32_t ReadOnce32(Ctx& ctx, GuestAddr addr, SiteId site);
+void WriteOnce32(Ctx& ctx, GuestAddr addr, uint32_t value, SiteId site);
+
+}  // namespace snowboard
+
+#endif  // SRC_SIM_SYNC_H_

@@ -1,0 +1,39 @@
+// Core guest-machine types shared across the simulator.
+//
+// The simulator stands in for the paper's customized QEMU/SKI hypervisor: a guest with a flat
+// physical memory, a small number of virtual CPUs that are *serialized* (exactly one executes
+// at any instant, as in SKI), and instruction-level scheduling hooks at every memory access.
+#ifndef SRC_SIM_TYPES_H_
+#define SRC_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace snowboard {
+
+// Guest physical address: an offset into the memory arena. Address 0 is the null page; the
+// first kGuestNullPageSize bytes are unmapped and faulting, so dereferencing a null (or
+// near-null) guest pointer produces the kernel-panic oracle, exactly like a page fault on
+// a real kernel null dereference.
+using GuestAddr = uint32_t;
+inline constexpr GuestAddr kGuestNull = 0;
+inline constexpr GuestAddr kGuestNullPageSize = 4096;
+
+// Stable identifier of a static memory-access site in the kernel source — the analog of a
+// guest *instruction address* in the paper (the `ins` feature of a PMC). Derived from a
+// stable hash of file:line:counter so that ids are identical across runs and across threads.
+using SiteId = uint64_t;
+inline constexpr SiteId kInvalidSite = 0;
+
+// Virtual CPU index. The concurrent-test configuration uses two: vCPU 0 runs the writer test
+// and vCPU 1 the reader test (§4.1: "two test executor processes that run on two different
+// vCPUs").
+using VcpuId = int32_t;
+inline constexpr VcpuId kInvalidVcpu = -1;
+
+// Kernel stacks are 8 KiB and 8 KiB-aligned, mirroring Linux x86 (§4.1.1), which makes the
+// paper's ESP-mask stack filter directly applicable.
+inline constexpr uint32_t kKernelStackSize = 8192;
+
+}  // namespace snowboard
+
+#endif  // SRC_SIM_TYPES_H_

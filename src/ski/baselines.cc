@@ -1,0 +1,33 @@
+#include "src/ski/baselines.h"
+
+namespace snowboard {
+
+ExposeComparison CompareTrialsToExpose(KernelVm& vm, const ConcurrentTest& test,
+                                       int target_issue, int max_trials, uint64_t seed) {
+  ExposeComparison comparison;
+
+  ExplorerOptions options;
+  options.num_trials = max_trials;
+  options.seed = seed;
+  options.target_issue = target_issue;
+
+  ExploreOutcome snowboard = ExploreConcurrentTest(vm, test, /*matcher=*/nullptr, options);
+  comparison.snowboard_found = snowboard.target_found;
+  comparison.snowboard_trials =
+      snowboard.target_found ? snowboard.first_target_trial + 1 : snowboard.trials_run;
+
+  SkiPctScheduler ski_scheduler;
+  ExploreOutcome ski =
+      ExploreWithScheduler(vm, test, ski_scheduler, /*check_channel=*/false, options);
+  comparison.ski_found = ski.target_found;
+  comparison.ski_trials = ski.target_found ? ski.first_target_trial + 1 : ski.trials_run;
+  return comparison;
+}
+
+ExploreOutcome ExploreWithSkiHints(KernelVm& vm, const ConcurrentTest& test,
+                                   const ExplorerOptions& options) {
+  SkiInstructionScheduler scheduler(test.hint);
+  return ExploreWithScheduler(vm, test, scheduler, /*check_channel=*/true, options);
+}
+
+}  // namespace snowboard

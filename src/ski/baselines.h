@@ -1,0 +1,31 @@
+// Head-to-head comparison helpers for §5.4: Snowboard's PMC-guided exploration vs SKI.
+#ifndef SRC_SKI_BASELINES_H_
+#define SRC_SKI_BASELINES_H_
+
+#include "src/kernel/kernel.h"
+#include "src/ski/ski_scheduler.h"
+#include "src/snowboard/explorer.h"
+
+namespace snowboard {
+
+struct ExposeComparison {
+  bool snowboard_found = false;
+  int snowboard_trials = 0;  // Trials until the target bug (or the budget if not found).
+  bool ski_found = false;
+  int ski_trials = 0;
+};
+
+// Runs one bug-triggering concurrent test to exposure of `target_issue` under (a)
+// Algorithm 2 with the PMC hint and (b) SKI's PCT-style exploration, counting interleavings
+// (trials) until the target fires — the "9.76 vs 826.29 interleavings/test" experiment.
+ExposeComparison CompareTrialsToExpose(KernelVm& vm, const ConcurrentTest& test,
+                                       int target_issue, int max_trials, uint64_t seed);
+
+// One full trial-loop run under the SKI instruction-hint scheduler (used for the execution
+// throughput comparison; SKI switches on instruction matches regardless of targets).
+ExploreOutcome ExploreWithSkiHints(KernelVm& vm, const ConcurrentTest& test,
+                                   const ExplorerOptions& options);
+
+}  // namespace snowboard
+
+#endif  // SRC_SKI_BASELINES_H_

@@ -1,0 +1,26 @@
+#include "src/ski/ski_scheduler.h"
+
+#include <algorithm>
+
+namespace snowboard {
+
+void SkiPctScheduler::SeedTrial(uint64_t seed) {
+  rng_.Seed(seed);
+  executed_ = 0;
+  change_points_.clear();
+  for (int i = 0; i < depth_; i++) {
+    change_points_.push_back(rng_.Below(horizon_));
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+}
+
+bool SkiPctScheduler::AfterAccess(VcpuId vcpu, const Access& access) {
+  executed_++;
+  if (!change_points_.empty() && executed_ >= change_points_.front()) {
+    change_points_.erase(change_points_.begin());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace snowboard

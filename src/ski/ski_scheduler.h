@@ -1,0 +1,66 @@
+// SKI-style schedulers (Fonseca et al., OSDI'14) — the §5.4 comparison baseline.
+//
+// Two variants, matching how the paper describes SKI's behavior relative to Snowboard:
+//   * SkiInstructionScheduler — "SKI yields thread execution whenever it observes the write
+//     or read instruction involved in a PMC (regardless of memory targets)": matches on the
+//     instruction site only, never on address or value. Used for the §5.4 throughput
+//     comparison (more vCPU switches than Snowboard's precise matching).
+//   * SkiPctScheduler — PCT-style schedule exploration (Burckhardt et al.): a small number
+//     of preemption points drawn uniformly over the expected instruction horizon, no PMC
+//     knowledge at all. "SKI on its own has to consider all potential shared memory
+//     accesses, and randomly select a few to explore" — used for the §5.4
+//     interleavings-to-expose comparison.
+#ifndef SRC_SKI_SKI_SCHEDULER_H_
+#define SRC_SKI_SKI_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/snowboard/explorer.h"
+
+namespace snowboard {
+
+class SkiInstructionScheduler : public TrialScheduler {
+ public:
+  // Watches the hint's two instruction sites (targets/values ignored).
+  explicit SkiInstructionScheduler(const PmcKey& hint)
+      : write_site_(hint.write.site), read_site_(hint.read.site) {}
+
+  void SeedTrial(uint64_t seed) override { rng_.Seed(seed); }
+
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    if (access.site == write_site_ || access.site == read_site_) {
+      switches_considered_++;
+      return rng_.Coin();
+    }
+    return false;
+  }
+
+  uint64_t switches_considered() const { return switches_considered_; }
+
+ private:
+  SiteId write_site_;
+  SiteId read_site_;
+  uint64_t switches_considered_ = 0;
+  Rng rng_;
+};
+
+class SkiPctScheduler : public TrialScheduler {
+ public:
+  // `depth` preemption points drawn uniformly over `horizon` instructions per trial.
+  explicit SkiPctScheduler(int depth = 3, uint64_t horizon = 20'000)
+      : depth_(depth), horizon_(horizon) {}
+
+  void SeedTrial(uint64_t seed) override;
+  bool AfterAccess(VcpuId vcpu, const Access& access) override;
+
+ private:
+  int depth_;
+  uint64_t horizon_;
+  uint64_t executed_ = 0;
+  std::vector<uint64_t> change_points_;
+  Rng rng_;
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_SKI_SKI_SCHEDULER_H_

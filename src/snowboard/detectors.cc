@@ -1,0 +1,268 @@
+#include "src/snowboard/detectors.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/hash.h"
+
+namespace snowboard {
+
+namespace {
+
+// The detector supports up to three vCPUs: the paper's two-thread configuration plus the
+// §6 three-thread extension.
+constexpr int kMaxVcpus = 3;
+
+using VectorClock = std::array<uint64_t, kMaxVcpus>;
+
+void JoinClock(VectorClock& into, const VectorClock& from) {
+  for (int i = 0; i < kMaxVcpus; i++) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+// A remembered access for cross-thread comparison, deduped per (granule, vcpu) by
+// (site, type); the most recent instance is kept (it has the least happens-before
+// coverage, so it is the most likely to still race).
+struct Remembered {
+  SiteId site;
+  AccessType type;
+  bool marked;
+  GuestAddr addr;
+  uint8_t len;
+  std::set<GuestAddr> lockset;
+  uint64_t own_ts;  // The owner's own clock component when the access executed.
+};
+
+constexpr size_t kMaxRememberedPerGranuleVcpu = 16;
+
+bool LocksetsDisjoint(const std::set<GuestAddr>& a, const std::set<GuestAddr>& b) {
+  for (GuestAddr lock : a) {
+    if (b.count(lock) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t RaceReport::Signature() const {
+  SiteId lo = std::min(write_site, other_site);
+  SiteId hi = std::max(write_site, other_site);
+  return HashAll(lo, hi);
+}
+
+bool IsSuspiciousConsoleLine(const std::string& line) {
+  static constexpr const char* kPatterns[] = {
+      "BUG:",
+      "EXT4-fs error",
+      "blk_update_request: I/O error",
+      "WARNING:",
+      "Oops",
+  };
+  for (const char* pattern : kPatterns) {
+    if (line.find(pattern) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RaceReport> DetectRaces(const Trace& trace) {
+  // FastTrack-style happens-before tracking:
+  //   * per-vCPU vector clocks, incremented per event;
+  //   * lock release -> subsequent acquire of the same lock object: HB edge;
+  //   * marked-atomic store -> subsequent marked-atomic load of the same cell: HB edge
+  //     (release/acquire semantics — this is what makes an RCU publish order the writer's
+  //     initialization before the reader's dereference, eliminating init-then-publish false
+  //     positives that a pure lockset analysis reports);
+  //   * Eraser-style locksets on top (a common lock suppresses even without an HB edge in
+  //     our serialized replay).
+  // A race: overlapping ranges, different vCPUs, at least one write, not both marked, no
+  // common lock, and the earlier access NOT happened-before the later one.
+  VectorClock clocks[kMaxVcpus] = {};
+  std::unordered_map<int, std::set<GuestAddr>> locksets;
+  std::unordered_map<GuestAddr, VectorClock> lock_release_clocks;
+  std::unordered_map<GuestAddr, VectorClock> atomic_release_clocks;  // Keyed by cell addr.
+
+  struct GranuleState {
+    std::vector<Remembered> per_vcpu[kMaxVcpus];
+  };
+  std::unordered_map<GuestAddr, GranuleState> granules;
+
+  std::vector<RaceReport> races;
+  std::unordered_set<uint64_t> seen_signatures;
+
+  for (const Event& event : trace) {
+    if (event.vcpu < 0 || event.vcpu >= kMaxVcpus) {
+      continue;
+    }
+    int v = event.vcpu;
+    clocks[v][v]++;
+
+    switch (event.kind) {
+      case EventKind::kLockAcquire:
+      case EventKind::kSharedAcquire: {
+        locksets[v].insert(event.lock_addr);
+        auto it = lock_release_clocks.find(event.lock_addr);
+        if (it != lock_release_clocks.end()) {
+          JoinClock(clocks[v], it->second);
+        }
+        continue;
+      }
+      case EventKind::kLockRelease:
+      case EventKind::kSharedRelease: {
+        locksets[v].erase(event.lock_addr);
+        VectorClock& release = lock_release_clocks[event.lock_addr];
+        JoinClock(release, clocks[v]);
+        continue;
+      }
+      case EventKind::kRcuReadLock:
+      case EventKind::kRcuReadUnlock:
+      case EventKind::kYield:
+        continue;
+      case EventKind::kAccess:
+        break;
+    }
+
+    const Access& a = event.access;
+    if (a.type == AccessType::kWrite) {
+      if (a.marked_atomic) {
+        // Release semantics for marked stores (rcu_assign_pointer, WRITE_ONCE, unlocks).
+        atomic_release_clocks[a.addr] = clocks[v];
+      } else {
+        // A plain overwrite breaks the publish chain through this cell.
+        atomic_release_clocks.erase(a.addr);
+      }
+    } else {
+      // ANY read observing a release-store's cell acquires it — this models the
+      // dependency ordering real hardware gives a pointer chase (reading a published
+      // pointer orders the publisher's earlier initialization before the dependent
+      // accesses), so init-then-publish patterns are not reported even when the reader's
+      // load is unmarked. The paper's #1 double fetch is still caught: its crash oracle
+      // fires, and the re-fetch pattern itself is classified from the panic site.
+      auto it = atomic_release_clocks.find(a.addr);
+      if (it != atomic_release_clocks.end()) {
+        JoinClock(clocks[v], it->second);
+      }
+    }
+
+    const std::set<GuestAddr>& lockset = locksets[v];
+    GuestAddr first_granule = a.addr & ~3u;
+    GuestAddr last_granule = (a.addr + a.len - 1) & ~3u;
+    for (GuestAddr granule = first_granule; granule <= last_granule; granule += 4) {
+      GranuleState& state = granules[granule];
+      // Compare against every other vCPU's remembered accesses.
+      for (int other_vcpu = 0; other_vcpu < kMaxVcpus; other_vcpu++) {
+        if (other_vcpu == v) {
+          continue;
+        }
+        for (const Remembered& other : state.per_vcpu[other_vcpu]) {
+          bool overlap = a.addr < other.addr + other.len && other.addr < a.addr + a.len;
+          if (!overlap) {
+            continue;
+          }
+          bool some_write =
+              a.type == AccessType::kWrite || other.type == AccessType::kWrite;
+          bool both_marked = a.marked_atomic && other.marked;
+          if (!some_write || both_marked) {
+            continue;
+          }
+          if (!LocksetsDisjoint(lockset, other.lockset)) {
+            continue;
+          }
+          // Happens-before: `other` (earlier) is ordered before `a` iff its owner
+          // timestamp is covered by this vCPU's clock.
+          if (other.own_ts <= clocks[v][other_vcpu]) {
+            continue;
+          }
+          RaceReport report;
+          if (a.type == AccessType::kWrite) {
+            report.write_site = a.site;
+            report.other_site = other.site;
+          } else {
+            report.write_site = other.site;
+            report.other_site = a.site;
+          }
+          report.addr = a.addr;
+          report.write_write =
+              a.type == AccessType::kWrite && other.type == AccessType::kWrite;
+          if (seen_signatures.insert(report.Signature()).second) {
+            races.push_back(report);
+          }
+        }
+      }
+      // Remember this access: replace an existing same-key entry (keep the freshest).
+      std::vector<Remembered>& mine = state.per_vcpu[v];
+      bool replaced = false;
+      for (Remembered& r : mine) {
+        if (r.site == a.site && r.type == a.type) {
+          r.marked = a.marked_atomic;
+          r.addr = a.addr;
+          r.len = a.len;
+          r.lockset = lockset;
+          r.own_ts = clocks[v][v];
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced && mine.size() < kMaxRememberedPerGranuleVcpu) {
+        mine.push_back(Remembered{a.site, a.type, a.marked_atomic, a.addr, a.len, lockset,
+                                  clocks[v][v]});
+      }
+    }
+  }
+  return races;
+}
+
+DetectorResult RunDetectors(const Engine::RunResult& result) {
+  DetectorResult out;
+  out.panicked = result.panicked;
+  out.panic_message = result.panic_message;
+  for (const std::string& line : result.console) {
+    if (IsSuspiciousConsoleLine(line)) {
+      out.console_hits.push_back(line);
+    }
+  }
+  out.races = DetectRaces(result.trace);
+  return out;
+}
+
+bool PmcChannelExercised(const Trace& trace, const PmcKey& hint, VcpuId writer_vcpu,
+                         VcpuId reader_vcpu) {
+  GuestAddr ov_start = std::max(hint.write.addr, hint.read.addr);
+  GuestAddr ov_end = std::min(hint.write.end(), hint.read.end());
+  if (ov_start >= ov_end) {
+    return false;
+  }
+  uint32_t ov_len = ov_end - ov_start;
+
+  bool write_seen = false;
+  uint64_t written_projected = 0;
+  for (const Event& event : trace) {
+    if (event.kind != EventKind::kAccess) {
+      continue;
+    }
+    const Access& a = event.access;
+    if (a.vcpu == writer_vcpu && a.type == AccessType::kWrite && a.site == hint.write.site &&
+        a.addr == hint.write.addr && a.len == hint.write.len) {
+      write_seen = true;
+      written_projected = ProjectValue(a.addr, a.len, a.value, ov_start, ov_len);
+      continue;
+    }
+    if (write_seen && a.vcpu == reader_vcpu && a.type == AccessType::kRead &&
+        a.site == hint.read.site && a.addr == hint.read.addr && a.len == hint.read.len) {
+      uint64_t read_projected = ProjectValue(a.addr, a.len, a.value, ov_start, ov_len);
+      if (read_projected == written_projected) {
+        return true;  // The reader saw the writer's bytes: the channel carried data.
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace snowboard

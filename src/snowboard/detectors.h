@@ -1,0 +1,57 @@
+// Bug detectors (§3.1 "a bug detector monitors executions", §4.4.1 is_bug).
+//
+// Two oracles, as in the paper's implementation:
+//   * Console checker — greps the captured guest console for oops/panic/fs-error lines
+//     (plus the engine's panic flag itself).
+//   * Data-race detector — an Eraser-style lockset analysis over the trial's event trace
+//     (the DataCollider/SKI race-detector analog): two accesses from different vCPUs to
+//     overlapping ranges, at least one write, not both marked-atomic, with disjoint
+//     locksets. RCU read-side sections are correctly NOT treated as excluding writers.
+// Plus the post-mortem PMC verifier used by §5.3.2's accuracy measurement: did the predicted
+// memory channel actually carry data from the writer to the reader in this trial?
+#ifndef SRC_SNOWBOARD_DETECTORS_H_
+#define SRC_SNOWBOARD_DETECTORS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/snowboard/pmc.h"
+
+namespace snowboard {
+
+struct RaceReport {
+  SiteId write_site = kInvalidSite;  // The write side (first write for write/write races).
+  SiteId other_site = kInvalidSite;
+  GuestAddr addr = kGuestNull;       // Where the race was observed.
+  bool write_write = false;
+
+  // Order-insensitive signature for dedup across trials.
+  uint64_t Signature() const;
+};
+
+struct DetectorResult {
+  bool panicked = false;
+  std::string panic_message;
+  std::vector<std::string> console_hits;  // Suspicious console lines.
+  std::vector<RaceReport> races;          // Deduped by site-pair signature.
+};
+
+// Runs both oracles over a finished trial.
+DetectorResult RunDetectors(const Engine::RunResult& result);
+
+// The race detector alone (exposed for tests and post-mortem analysis).
+std::vector<RaceReport> DetectRaces(const Trace& trace);
+
+// True if `line` matches a suspicious-console pattern.
+bool IsSuspiciousConsoleLine(const std::string& line);
+
+// §5.3.2 PMC accuracy: true if the trial contains a write by `writer_vcpu` matching the
+// hint's write side and a LATER read by `reader_vcpu` matching the hint's read side whose
+// overlapping bytes carry the written value (actual writer→reader data flow).
+bool PmcChannelExercised(const Trace& trace, const PmcKey& hint, VcpuId writer_vcpu,
+                         VcpuId reader_vcpu);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_DETECTORS_H_

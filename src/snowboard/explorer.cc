@@ -1,0 +1,319 @@
+#include "src/snowboard/explorer.h"
+
+#include <algorithm>
+
+#include "src/snowboard/profile.h"
+#include "src/snowboard/report.h"
+#include "src/util/hash.h"
+
+namespace snowboard {
+
+uint64_t AccessFeatureHash(AccessType type, GuestAddr addr, uint8_t len, SiteId site,
+                           uint64_t value) {
+  return HashAll(static_cast<uint64_t>(type), addr, len, site, value);
+}
+
+namespace {
+
+uint64_t SideFeatureHash(const PmcSide& side, AccessType type) {
+  return AccessFeatureHash(type, side.addr, side.len, side.site, side.value);
+}
+
+uint64_t AccessHash(const Access& access) {
+  return AccessFeatureHash(access.type, access.addr, access.len, access.site, access.value);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------------------------
+// PmcMatcher.
+// --------------------------------------------------------------------------------------------
+
+PmcMatcher::PmcMatcher(const std::vector<Pmc>* pmcs, size_t max_indexed) : pmcs_(pmcs) {
+  size_t count = std::min(pmcs->size(), max_indexed);
+  for (uint32_t i = 0; i < count; i++) {
+    uint64_t h = SideFeatureHash((*pmcs)[i].key.write, AccessType::kWrite);
+    by_write_feature_[h].push_back(i);
+  }
+}
+
+const std::vector<uint32_t>* PmcMatcher::CandidatesForWrite(uint64_t write_feature_hash) const {
+  auto it = by_write_feature_.find(write_feature_hash);
+  return it == by_write_feature_.end() ? nullptr : &it->second;
+}
+
+// --------------------------------------------------------------------------------------------
+// PmcScheduler.
+// --------------------------------------------------------------------------------------------
+
+void PmcScheduler::ResetForTest(const PmcKey& initial_pmc) {
+  current_pmcs_.clear();
+  pmc_feature_hashes_.clear();
+  flags_.clear();
+  AddPmc(initial_pmc);
+}
+
+void PmcScheduler::SeedTrial(uint64_t seed) {
+  rng_.Seed(seed);
+  for (std::optional<Access>& last : last_access_) {
+    last.reset();
+  }
+}
+
+void PmcScheduler::AddPmc(const PmcKey& pmc) {
+  current_pmcs_.push_back(pmc);
+  pmc_feature_hashes_.insert(SideFeatureHash(pmc.write, AccessType::kWrite));
+  pmc_feature_hashes_.insert(SideFeatureHash(pmc.read, AccessType::kRead));
+}
+
+bool PmcScheduler::PerformedPmcAccess(const Access& access) const {
+  return pmc_feature_hashes_.count(AccessHash(access)) != 0;
+}
+
+bool PmcScheduler::PmcAccessComing(const Access& access) const {
+  return flags_.count(AccessHash(access)) != 0;
+}
+
+bool PmcScheduler::AfterAccess(VcpuId vcpu, const Access& access) {
+  bool do_switch = false;
+
+  // Algorithm 2 lines 16-17: a flags hit means the PMC access is about to execute on this
+  // thread; non-deterministically switch away to let the other side interpose.
+  if (flags_enabled_ && PmcAccessComing(access)) {
+    do_switch = rng_.Coin();
+  }
+  // Lines 18-21: the access just performed IS a PMC access; remember this thread's previous
+  // access as a flag for future trials, and non-deterministically reschedule.
+  if (PerformedPmcAccess(access)) {
+    const std::optional<Access>& previous = last_access_[vcpu];
+    if (flags_enabled_ && previous.has_value()) {
+      flags_.insert(AccessHash(*previous));
+    }
+    if (rng_.Coin()) {
+      do_switch = true;
+    }
+  }
+  // Line 22: last_access[current_thread] = access.
+  last_access_[vcpu] = access;
+  return do_switch;
+}
+
+// --------------------------------------------------------------------------------------------
+// Exploration loop (Algorithm 2's per-PMC body).
+// --------------------------------------------------------------------------------------------
+
+namespace {
+
+// Incidental-PMC search (line 26): find PMCs different from the current ones whose write
+// and read features BOTH occurred in the trial's accesses.
+std::vector<uint32_t> FindIncidentalPmcs(const Trace& trace, const PmcMatcher& matcher,
+                                         const std::unordered_set<uint64_t>& current_keys) {
+  std::unordered_set<uint64_t> write_features;
+  std::unordered_set<uint64_t> read_features;
+  for (const Event& event : trace) {
+    if (event.kind != EventKind::kAccess) {
+      continue;
+    }
+    uint64_t h = AccessHash(event.access);
+    if (event.access.type == AccessType::kWrite) {
+      write_features.insert(h);
+    } else {
+      read_features.insert(h);
+    }
+  }
+  std::vector<uint32_t> incidental;
+  for (uint64_t write_feature : write_features) {
+    const std::vector<uint32_t>* candidates = matcher.CandidatesForWrite(write_feature);
+    if (candidates == nullptr) {
+      continue;
+    }
+    for (uint32_t index : *candidates) {
+      const PmcKey& key = matcher.pmcs()[index].key;
+      if (current_keys.count(key.Hash()) != 0) {
+        continue;
+      }
+      if (read_features.count(SideFeatureHash(key.read, AccessType::kRead)) != 0) {
+        incidental.push_back(index);
+        if (incidental.size() >= 64) {
+          return incidental;  // Plenty to draw one from.
+        }
+      }
+    }
+  }
+  return incidental;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared trial loop. `pmc_scheduler` enables incidental-PMC adoption when non-null.
+ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
+                            TrialScheduler& scheduler, PmcScheduler* pmc_scheduler,
+                            const PmcMatcher* matcher, bool check_channel,
+                            const ExplorerOptions& options) {
+  ExploreOutcome outcome;
+  std::unordered_set<uint64_t> current_keys{test.hint.Hash()};
+  std::unordered_set<uint64_t> race_signatures;
+  std::unordered_set<uint64_t> console_hashes;
+  std::unordered_set<uint64_t> panic_hashes;
+  Rng adoption_rng(options.seed ^ 0xadadadadull);
+
+  for (int trial = 0; trial < options.num_trials; trial++) {
+    outcome.trials_run++;
+    scheduler.SeedTrial(options.seed + static_cast<uint64_t>(trial));
+
+    vm.RestoreSnapshot();
+    Engine::RunOptions run_opts;
+    run_opts.scheduler = &scheduler;
+    run_opts.max_instructions = options.max_instructions;
+    Engine::RunResult result = vm.engine().Run(
+        {MakeProgramRunner(vm.globals(), test.writer, /*task_index=*/0),
+         MakeProgramRunner(vm.globals(), test.reader, /*task_index=*/1)},
+        run_opts);
+
+    if (result.hang) {
+      outcome.any_hang = true;
+    }
+    if (check_channel && !outcome.channel_exercised &&
+        PmcChannelExercised(result.trace, test.hint, /*writer_vcpu=*/0, /*reader_vcpu=*/1)) {
+      outcome.channel_exercised = true;
+    }
+
+    DetectorResult detectors = RunDetectors(result);
+    bool bug_this_trial = detectors.panicked || !detectors.console_hits.empty() ||
+                          !detectors.races.empty();
+    bool target_this_trial = false;
+    auto check_target = [&](int issue_id) {
+      if (options.target_issue != 0 && issue_id == options.target_issue) {
+        target_this_trial = true;
+      }
+    };
+    for (const RaceReport& race : detectors.races) {
+      check_target(ClassifyRace(race));
+      if (race_signatures.insert(race.Signature()).second) {
+        outcome.races.push_back(race);
+      }
+    }
+    for (const std::string& line : detectors.console_hits) {
+      check_target(ClassifyConsoleLine(line));
+      if (console_hashes.insert(Fnv1a(line)).second) {
+        outcome.console_hits.push_back(line);
+      }
+    }
+    if (detectors.panicked) {
+      check_target(ClassifyConsoleLine(detectors.panic_message));
+      if (panic_hashes.insert(Fnv1a(detectors.panic_message)).second) {
+        outcome.panic_messages.push_back(detectors.panic_message);
+      }
+    }
+    if (bug_this_trial && !outcome.bug_found) {
+      outcome.bug_found = true;
+      outcome.first_bug_trial = trial;
+    }
+    if (target_this_trial && !outcome.target_found) {
+      outcome.target_found = true;
+      outcome.first_target_trial = trial;
+    }
+    if ((bug_this_trial && options.stop_on_bug) || target_this_trial) {
+      break;
+    }
+
+    // Lines 26-27: adopt one incidental PMC observed in this trial.
+    if (pmc_scheduler != nullptr && options.adopt_incidental && matcher != nullptr) {
+      std::vector<uint32_t> incidental =
+          FindIncidentalPmcs(result.trace, *matcher, current_keys);
+      if (!incidental.empty()) {
+        uint32_t pick = incidental[adoption_rng.Below(incidental.size())];
+        const PmcKey& key = matcher->pmcs()[pick].key;
+        if (current_keys.insert(key.Hash()).second) {
+          pmc_scheduler->AddPmc(key);
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+ExploreOutcome ExploreConcurrentTest(KernelVm& vm, const ConcurrentTest& test,
+                                     const PmcMatcher* matcher,
+                                     const ExplorerOptions& options) {
+  PmcScheduler scheduler;
+  scheduler.ResetForTest(test.hint);
+  return RunTrialLoop(vm, test, scheduler, &scheduler, matcher, /*check_channel=*/true,
+                      options);
+}
+
+ExploreOutcome ExploreWithScheduler(KernelVm& vm, const ConcurrentTest& test,
+                                    TrialScheduler& scheduler, bool check_channel,
+                                    const ExplorerOptions& options) {
+  return RunTrialLoop(vm, test, scheduler, /*pmc_scheduler=*/nullptr, /*matcher=*/nullptr,
+                      check_channel, options);
+}
+
+ExploreOutcome ExploreThreeThreaded(KernelVm& vm, const ThreeThreadTest& test,
+                                    const ExplorerOptions& options) {
+  ExploreOutcome outcome;
+  PmcScheduler scheduler;
+  scheduler.ResetForTest(test.hint_a);
+  scheduler.AddPmc(test.hint_b);
+  std::unordered_set<uint64_t> race_signatures;
+  std::unordered_set<uint64_t> console_hashes;
+  std::unordered_set<uint64_t> panic_hashes;
+
+  for (int trial = 0; trial < options.num_trials; trial++) {
+    outcome.trials_run++;
+    scheduler.SeedTrial(options.seed + static_cast<uint64_t>(trial));
+
+    vm.RestoreSnapshot();
+    Engine::RunOptions run_opts;
+    run_opts.scheduler = &scheduler;
+    run_opts.max_instructions = options.max_instructions;
+    Engine::RunResult result = vm.engine().Run(
+        {MakeProgramRunner(vm.globals(), test.programs[0], 0),
+         MakeProgramRunner(vm.globals(), test.programs[1], 1),
+         MakeProgramRunner(vm.globals(), test.programs[2], 2)},
+        run_opts);
+
+    if (result.hang) {
+      outcome.any_hang = true;
+    }
+    if (!outcome.channel_exercised &&
+        (PmcChannelExercised(result.trace, test.hint_a, 0, 1) ||
+         PmcChannelExercised(result.trace, test.hint_b, 0, 2) ||
+         PmcChannelExercised(result.trace, test.hint_b, 1, 2))) {
+      outcome.channel_exercised = true;
+    }
+
+    DetectorResult detectors = RunDetectors(result);
+    bool bug_this_trial = detectors.panicked || !detectors.console_hits.empty() ||
+                          !detectors.races.empty();
+    for (const RaceReport& race : detectors.races) {
+      if (race_signatures.insert(race.Signature()).second) {
+        outcome.races.push_back(race);
+      }
+    }
+    for (const std::string& line : detectors.console_hits) {
+      if (console_hashes.insert(Fnv1a(line)).second) {
+        outcome.console_hits.push_back(line);
+      }
+    }
+    if (detectors.panicked && panic_hashes.insert(Fnv1a(detectors.panic_message)).second) {
+      outcome.panic_messages.push_back(detectors.panic_message);
+    }
+    if (bug_this_trial) {
+      if (!outcome.bug_found) {
+        outcome.bug_found = true;
+        outcome.first_bug_trial = trial;
+      }
+      if (options.stop_on_bug) {
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace snowboard

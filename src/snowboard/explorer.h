@@ -1,0 +1,158 @@
+// Concurrent test execution — §4.4, Algorithm 2.
+//
+// A concurrent test runs its writer test on vCPU 0 and reader test on vCPU 1 from the fixed
+// snapshot, up to NUMBER_OF_TRIALS times, each trial with deterministic randomness
+// (random.seed(SEED + trial)). The PmcScheduler implements the paper's scheduling
+// primitives:
+//   * performed_pmc_access — the access just executed matches a current-PMC side (full
+//     feature comparison: access type, memory range, value, instruction); remembers the
+//     thread's PREVIOUS access into `flags` and flips a coin to switch.
+//   * pmc_access_coming — the access matches a `flags` entry, i.e. the PMC access is about
+//     to be performed; coin-flip switch.
+//   * is_live — handled by the engine's liveness monitor (the scheduler is notified).
+// At the end of each trial, a different PMC whose read AND write both appeared in the trial
+// may be adopted into current_pmcs (incidental-PMC exploration).
+#ifndef SRC_SNOWBOARD_EXPLORER_H_
+#define SRC_SNOWBOARD_EXPLORER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/sim/scheduler.h"
+#include "src/snowboard/detectors.h"
+#include "src/snowboard/select.h"
+#include "src/util/rng.h"
+
+namespace snowboard {
+
+// Full-feature key of an access, used by flag and PMC matching.
+uint64_t AccessFeatureHash(AccessType type, GuestAddr addr, uint8_t len, SiteId site,
+                           uint64_t value);
+
+// Reverse index from write-side features to PMCs, supporting incidental-PMC discovery
+// (Algorithm 2 line 26). Built once per pipeline; shared read-only across workers.
+class PmcMatcher {
+ public:
+  PmcMatcher(const std::vector<Pmc>* pmcs, size_t max_indexed = 200'000);
+
+  // PMCs whose write side matches `write_feature_hash`.
+  const std::vector<uint32_t>* CandidatesForWrite(uint64_t write_feature_hash) const;
+  const std::vector<Pmc>& pmcs() const { return *pmcs_; }
+
+ private:
+  const std::vector<Pmc>* pmcs_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_write_feature_;
+};
+
+// A scheduler that is reseeded at the start of every trial (deterministic replay).
+class TrialScheduler : public Scheduler {
+ public:
+  virtual void SeedTrial(uint64_t seed) {}
+};
+
+// Baseline scheduler used for Random/Duplicate pairing (Table 3): preempts at memory
+// accesses with a fixed probability, with no knowledge of PMCs.
+class RandomPreemptScheduler : public TrialScheduler {
+ public:
+  explicit RandomPreemptScheduler(uint32_t period = 16) : period_(period) {}
+  void SeedTrial(uint64_t seed) override { rng_.Seed(seed); }
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    return rng_.Chance(1, period_);
+  }
+
+ private:
+  uint32_t period_;
+  Rng rng_;
+};
+
+// The Algorithm 2 scheduler.
+class PmcScheduler : public TrialScheduler {
+ public:
+  PmcScheduler() = default;
+
+  void ResetForTest(const PmcKey& initial_pmc);  // current_pmcs = {pmc}; flags = ∅.
+  void SeedTrial(uint64_t seed) override;  // random.seed(SEED + trial); last_access = None.
+  void AddPmc(const PmcKey& pmc);                // Incidental adoption.
+  const std::vector<PmcKey>& current_pmcs() const { return current_pmcs_; }
+  size_t flag_count() const { return flags_.size(); }
+
+  // Ablation toggle: disable the flags mechanism (pmc_access_coming never fires and no
+  // flags are learned); only performed_pmc_access switches remain.
+  void set_flags_enabled(bool enabled) { flags_enabled_ = enabled; }
+
+  bool AfterAccess(VcpuId vcpu, const Access& access) override;
+
+ private:
+  bool PerformedPmcAccess(const Access& access) const;
+  bool PmcAccessComing(const Access& access) const;
+
+  std::vector<PmcKey> current_pmcs_;
+  std::unordered_set<uint64_t> pmc_feature_hashes_;  // Both sides of every current PMC.
+  std::unordered_set<uint64_t> flags_;               // Persist across trials of one test.
+  std::optional<Access> last_access_[3];             // Up to kMaxTestVcpus threads.
+  bool flags_enabled_ = true;
+  Rng rng_;
+};
+
+struct ExplorerOptions {
+  int num_trials = 64;  // "Every PMC was explored with at most 64 trials" (§5.1).
+  uint64_t seed = 2021;
+  uint64_t max_instructions = 400'000;
+  // End the test as soon as ANY detector fires. Off by default: Algorithm 2 records
+  // findings and keeps exploring (an early ubiquitous finding — the #13 allocator race —
+  // would otherwise mask rarer bugs in the same test).
+  bool stop_on_bug = false;
+  // If nonzero, stop as soon as a finding classifies to this Table 2 issue id — used by the
+  // §5.4 trials-to-expose comparison against SKI.
+  int target_issue = 0;
+  bool adopt_incidental = true;  // Algorithm 2 lines 26-27.
+};
+
+struct ExploreOutcome {
+  int trials_run = 0;
+  bool bug_found = false;
+  int first_bug_trial = -1;        // 0-based trial index of the first detector hit.
+  bool target_found = false;       // Only meaningful with options.target_issue != 0.
+  int first_target_trial = -1;
+  bool channel_exercised = false;  // §5.3.2: the predicted PMC carried data in >= 1 trial.
+  bool any_hang = false;
+  std::vector<RaceReport> races;            // Deduped across trials.
+  std::vector<std::string> console_hits;    // Deduped.
+  std::vector<std::string> panic_messages;  // Deduped.
+};
+
+// Runs Algorithm 2 for one concurrent test. `matcher` may be null (disables adoption).
+ExploreOutcome ExploreConcurrentTest(KernelVm& vm, const ConcurrentTest& test,
+                                     const PmcMatcher* matcher,
+                                     const ExplorerOptions& options);
+
+// Generic trial loop with an arbitrary reseedable scheduler — used for the Random/Duplicate
+// pairing baselines and the SKI comparison (§5.4). No incidental-PMC adoption; the channel
+// check runs only if `check_channel` (the baselines carry no hint).
+ExploreOutcome ExploreWithScheduler(KernelVm& vm, const ConcurrentTest& test,
+                                    TrialScheduler& scheduler, bool check_channel,
+                                    const ExplorerOptions& options);
+
+// --- §6 "Testing Thread Count" extension: three-thread concurrent tests. ---
+//
+// "Snowboard should apply to input spaces of more dimensions, e.g., with PMCs of 1 shared
+// write with 2 reads, or PMC chains." A ThreeThreadTest runs three sequential tests on three
+// vCPUs; both hints are installed as current PMCs, so Algorithm 2's switch points cover
+// either a fan-out (one write, two reads: hint_a/hint_b share the write side) or a chain
+// (t0 -w-> t1 -w-> t2: hint_b's writer lives in t1).
+struct ThreeThreadTest {
+  Program programs[3];
+  int test_ids[3] = {-1, -1, -1};
+  PmcKey hint_a;  // Typically: t0's write -> t1's read.
+  PmcKey hint_b;  // Fan-out: t0's write -> t2's read; chain: t1's write -> t2's read.
+};
+
+ExploreOutcome ExploreThreeThreaded(KernelVm& vm, const ThreeThreadTest& test,
+                                    const ExplorerOptions& options);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_EXPLORER_H_

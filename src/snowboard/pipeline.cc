@@ -1,0 +1,197 @@
+#include "src/snowboard/pipeline.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "src/sim/site.h"
+#include "src/util/assert.h"
+#include "src/util/log.h"
+#include "src/util/strings.h"
+
+namespace snowboard {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Classifies one test's raw outcome into findings.
+void RecordOutcome(const ConcurrentTest& test, const ExploreOutcome& outcome,
+                   size_t test_index, FindingsLog* findings) {
+  bool duplicate_input = test.write_test == test.read_test;
+  auto record = [&](int issue_id, const std::string& evidence) {
+    Finding finding;
+    finding.issue_id = issue_id;
+    finding.evidence = evidence;
+    finding.test_index = test_index;
+    finding.trial = outcome.first_bug_trial;
+    finding.duplicate_input = duplicate_input;
+    findings->Record(finding);
+  };
+  for (const RaceReport& race : outcome.races) {
+    std::string evidence =
+        StrPrintf("data race: %s / %s @0x%x", SiteName(race.write_site).c_str(),
+                  SiteName(race.other_site).c_str(), race.addr);
+    record(ClassifyRace(race), evidence);
+  }
+  for (const std::string& line : outcome.console_hits) {
+    record(ClassifyConsoleLine(line), line);
+  }
+  for (const std::string& line : outcome.panic_messages) {
+    record(ClassifyConsoleLine(line), line);
+  }
+}
+
+}  // namespace
+
+PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
+  PreparedCampaign campaign;
+  KernelVm vm;
+
+  auto t0 = std::chrono::steady_clock::now();
+  CorpusOptions corpus_options = options.corpus;
+  corpus_options.seed = corpus_options.seed ^ options.seed;
+  campaign.corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
+  campaign.corpus_seconds = SecondsSince(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  campaign.profiles = ProfileCorpus(vm, campaign.corpus);
+  campaign.profile_seconds = SecondsSince(t1);
+
+  auto t2 = std::chrono::steady_clock::now();
+  campaign.pmcs = IdentifyPmcs(campaign.profiles, options.pmc);
+  campaign.identify_seconds = SecondsSince(t2);
+  return campaign;
+}
+
+std::vector<ConcurrentTest> GenerateTestsForStrategy(const PreparedCampaign& campaign,
+                                                     const PipelineOptions& options,
+                                                     size_t* cluster_count_out) {
+  if (!StrategyUsesPmcs(options.strategy)) {
+    if (cluster_count_out != nullptr) {
+      *cluster_count_out = 0;
+    }
+    if (options.strategy == Strategy::kRandomPairing) {
+      return GenerateRandomPairs(campaign.corpus, options.max_concurrent_tests,
+                                 options.seed);
+    }
+    return GenerateDuplicatePairs(campaign.corpus, options.max_concurrent_tests,
+                                  options.seed);
+  }
+  std::vector<PmcCluster> clusters = ClusterPmcs(campaign.pmcs, options.strategy);
+  if (cluster_count_out != nullptr) {
+    *cluster_count_out = clusters.size();
+  }
+  SelectOptions select;
+  select.seed = options.seed * 0x9e3779b9ull + 17;
+  select.max_tests = options.max_concurrent_tests;
+  select.randomize_cluster_order = options.strategy == Strategy::kRandomSInsPair;
+  return SelectConcurrentTests(campaign.pmcs, clusters, campaign.corpus, select);
+}
+
+void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hints,
+                     const PmcMatcher* matcher, const PipelineOptions& options,
+                     PipelineResult* result) {
+  auto t0 = std::chrono::steady_clock::now();
+  int num_workers = options.num_workers > 0 ? options.num_workers : 1;
+  std::atomic<size_t> next_test{0};
+  std::mutex merge_mutex;
+
+  // Each worker owns a booted VM (shared-nothing, as in the paper's distributed queue).
+  auto worker_fn = [&]() {
+    KernelVm vm;
+    FindingsLog local_findings;
+    size_t local_executed = 0;
+    size_t local_with_bug = 0;
+    size_t local_exercised = 0;
+    uint64_t local_trials = 0;
+
+    for (;;) {
+      size_t index = next_test.fetch_add(1);
+      if (index >= tests.size()) {
+        break;
+      }
+      const ConcurrentTest& test = tests[index];
+      ExplorerOptions explorer = options.explorer;
+      explorer.seed = options.explorer.seed + index * 1000003ull;
+      ExploreOutcome outcome;
+      if (use_pmc_hints) {
+        outcome = ExploreConcurrentTest(vm, test, matcher, explorer);
+      } else {
+        RandomPreemptScheduler scheduler;
+        outcome = ExploreWithScheduler(vm, test, scheduler, /*check_channel=*/false,
+                                       explorer);
+      }
+      local_executed++;
+      local_trials += static_cast<uint64_t>(outcome.trials_run);
+      if (outcome.bug_found) {
+        local_with_bug++;
+      }
+      if (outcome.channel_exercised) {
+        local_exercised++;
+      }
+      RecordOutcome(test, outcome, index, &local_findings);
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    result->tests_executed += local_executed;
+    result->tests_with_bug += local_with_bug;
+    result->channel_exercised += local_exercised;
+    result->total_trials += local_trials;
+    result->findings.Merge(local_findings);
+  };
+
+  if (num_workers == 1) {
+    worker_fn();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_workers));
+    for (int i = 0; i < num_workers; i++) {
+      workers.emplace_back(worker_fn);
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+  result->execute_seconds += SecondsSince(t0);
+}
+
+PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
+  PipelineResult result;
+  PreparedCampaign campaign = PrepareCampaign(options);
+
+  result.corpus_size = campaign.corpus.size();
+  for (const SequentialProfile& profile : campaign.profiles) {
+    if (profile.ok) {
+      result.profiled_ok++;
+      result.shared_accesses += profile.accesses.size();
+    }
+  }
+  result.pmc_count = campaign.pmcs.size();
+  for (const Pmc& pmc : campaign.pmcs) {
+    result.total_pmc_pairs += pmc.total_pairs;
+  }
+  result.corpus_seconds = campaign.corpus_seconds;
+  result.profile_seconds = campaign.profile_seconds;
+  result.identify_seconds = campaign.identify_seconds;
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<ConcurrentTest> tests =
+      GenerateTestsForStrategy(campaign, options, &result.cluster_count);
+  result.cluster_seconds = SecondsSince(t0);
+  result.tests_generated = tests.size();
+
+  bool use_pmc = StrategyUsesPmcs(options.strategy);
+  PmcMatcher matcher(&campaign.pmcs);
+  ExecuteCampaign(tests, use_pmc, use_pmc ? &matcher : nullptr, options, &result);
+
+  SB_LOG(kInfo) << StrategyName(options.strategy) << ": " << result.tests_executed
+                << " tests executed, " << result.findings.first_findings().size()
+                << " distinct findings";
+  return result;
+}
+
+}  // namespace snowboard

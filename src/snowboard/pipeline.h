@@ -1,0 +1,84 @@
+// End-to-end pipeline — Figure 2: sequential test generation & profiling → PMC
+// identification → PMC selection (clustering + prioritization) → concurrent test execution.
+//
+// Execution is fanned out over a TestQueue of shared-nothing workers, each owning its own
+// booted KernelVm — the in-process analog of the paper's Redis-queue-plus-GCP-VMs deployment
+// (§4.4.1). Budgets are expressed in test counts rather than wall-clock so results are
+// deterministic for a fixed seed and worker count of one.
+#ifndef SRC_SNOWBOARD_PIPELINE_H_
+#define SRC_SNOWBOARD_PIPELINE_H_
+
+#include <vector>
+
+#include "src/fuzz/corpus.h"
+#include "src/snowboard/cluster.h"
+#include "src/snowboard/explorer.h"
+#include "src/snowboard/report.h"
+#include "src/snowboard/select.h"
+
+namespace snowboard {
+
+struct PipelineOptions {
+  uint64_t seed = 1;
+  CorpusOptions corpus;
+  PmcIdentifyOptions pmc;
+  Strategy strategy = Strategy::kSInsPair;
+  size_t max_concurrent_tests = 300;  // The per-strategy test budget (Table 3's time box).
+  ExplorerOptions explorer;
+  int num_workers = 1;  // Shared-nothing execution workers (machine-B fleet analog).
+};
+
+struct PipelineResult {
+  // Stage statistics (§5.4-style).
+  size_t corpus_size = 0;
+  size_t profiled_ok = 0;
+  uint64_t shared_accesses = 0;
+  size_t pmc_count = 0;          // Materialized unique PMCs.
+  uint64_t total_pmc_pairs = 0;  // Sum of test-pair multiplicities ("169 billion" analog).
+  size_t cluster_count = 0;      // Exemplar PMCs under the strategy.
+  size_t tests_generated = 0;
+  size_t tests_executed = 0;
+  size_t tests_with_bug = 0;
+  size_t channel_exercised = 0;  // §5.3.2 numerator.
+  uint64_t total_trials = 0;
+  FindingsLog findings;
+  // Wall-clock per stage (seconds).
+  double corpus_seconds = 0;
+  double profile_seconds = 0;
+  double identify_seconds = 0;
+  double cluster_seconds = 0;
+  double execute_seconds = 0;
+};
+
+// Runs the full campaign for one strategy (including the Random/Duplicate pairing baselines,
+// which skip profiling-derived hints and run under the random-preemption scheduler).
+PipelineResult RunSnowboardPipeline(const PipelineOptions& options);
+
+// --- Individual stages, exposed for benches that need intermediate artifacts. ---
+
+struct PreparedCampaign {
+  std::vector<Program> corpus;
+  std::vector<SequentialProfile> profiles;
+  std::vector<Pmc> pmcs;
+  double corpus_seconds = 0;
+  double profile_seconds = 0;
+  double identify_seconds = 0;
+};
+
+// Stages 1-2 (corpus, profiling, identification); shared across strategies in benches.
+PreparedCampaign PrepareCampaign(const PipelineOptions& options);
+
+// Stage 3: clustering + selection for one strategy (returns generated concurrent tests).
+std::vector<ConcurrentTest> GenerateTestsForStrategy(const PreparedCampaign& campaign,
+                                                     const PipelineOptions& options,
+                                                     size_t* cluster_count_out);
+
+// Stage 4: parallel execution of `tests`, filling execution stats + findings into `result`.
+// `use_pmc_hints` selects the Algorithm 2 scheduler vs the baseline random scheduler.
+void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hints,
+                     const PmcMatcher* matcher, const PipelineOptions& options,
+                     PipelineResult* result);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_PIPELINE_H_

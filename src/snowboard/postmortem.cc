@@ -1,0 +1,124 @@
+#include "src/snowboard/postmortem.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "src/sim/site.h"
+#include "src/util/strings.h"
+
+namespace snowboard {
+
+RacePmcVerdict VerifyRaceAgainstPmcs(const RaceReport& race, const std::vector<Pmc>& pmcs) {
+  RacePmcVerdict verdict;
+  for (size_t i = 0; i < pmcs.size(); i++) {
+    const PmcKey& key = pmcs[i].key;
+    bool forward = key.write.site == race.write_site && key.read.site == race.other_site;
+    bool backward = key.write.site == race.other_site && key.read.site == race.write_site;
+    if (!forward && !backward) {
+      continue;
+    }
+    bool exact = (race.addr >= key.write.addr && race.addr < key.write.end()) ||
+                 (race.addr >= key.read.addr && race.addr < key.read.end());
+    if (!verdict.predicted || (exact && !verdict.exact_range)) {
+      verdict.predicted = true;
+      verdict.pmc_index = i;
+      verdict.exact_range = exact;
+    }
+    if (verdict.exact_range) {
+      break;
+    }
+  }
+  return verdict;
+}
+
+std::string DescribeRace(const RaceReport& race, const std::vector<Pmc>& pmcs) {
+  std::ostringstream os;
+  os << (race.write_write ? "write/write" : "write/read") << " race @0x" << std::hex
+     << race.addr << std::dec << "\n";
+  os << "  writer: " << SiteName(race.write_site) << "\n";
+  os << "  other:  " << SiteName(race.other_site) << "\n";
+  RacePmcVerdict verdict = VerifyRaceAgainstPmcs(race, pmcs);
+  if (verdict.predicted) {
+    const PmcKey& key = pmcs[verdict.pmc_index].key;
+    os << StrPrintf("  predicted by PMC #%zu%s: write [0x%x..+%u] value=0x%llx -> "
+                    "read [0x%x..+%u] value=0x%llx\n",
+                    verdict.pmc_index, verdict.exact_range ? " (exact range)" : "",
+                    key.write.addr, key.write.len,
+                    static_cast<unsigned long long>(key.write.value), key.read.addr,
+                    key.read.len, static_cast<unsigned long long>(key.read.value));
+  } else {
+    os << "  not predicted by any identified PMC (incidental discovery)\n";
+  }
+  return os.str();
+}
+
+std::vector<ObservedCommunication> ExtractCommunications(const Trace& trace,
+                                                         size_t max_results) {
+  // Last writer per 4-byte granule (value + provenance), then any read by ANOTHER vCPU
+  // that returns the written bytes is a communication.
+  struct LastWrite {
+    VcpuId vcpu;
+    SiteId site;
+    GuestAddr addr;
+    uint8_t len;
+    uint64_t value;
+  };
+  std::unordered_map<GuestAddr, LastWrite> last_writes;
+  std::vector<ObservedCommunication> communications;
+
+  for (const Event& event : trace) {
+    if (event.kind != EventKind::kAccess) {
+      continue;
+    }
+    const Access& a = event.access;
+    GuestAddr granule = a.addr & ~3u;
+    if (a.type == AccessType::kWrite) {
+      last_writes[granule] = LastWrite{a.vcpu, a.site, a.addr, a.len, a.value};
+      continue;
+    }
+    auto it = last_writes.find(granule);
+    if (it == last_writes.end() || it->second.vcpu == a.vcpu) {
+      continue;
+    }
+    const LastWrite& w = it->second;
+    GuestAddr ov_start = std::max(w.addr, a.addr);
+    GuestAddr ov_end = std::min<GuestAddr>(w.addr + w.len, a.addr + a.len);
+    if (ov_start >= ov_end) {
+      continue;
+    }
+    uint32_t ov_len = ov_end - ov_start;
+    if (ProjectValue(w.addr, w.len, w.value, ov_start, ov_len) !=
+        ProjectValue(a.addr, a.len, a.value, ov_start, ov_len)) {
+      continue;  // The read did not return the written bytes (stale or partial).
+    }
+    communications.push_back(ObservedCommunication{w.vcpu, a.vcpu, w.site, a.site, ov_start,
+                                                   a.value});
+    if (communications.size() >= max_results) {
+      break;
+    }
+  }
+  return communications;
+}
+
+std::string FormatScheduleTail(const Trace& trace, size_t max_lines) {
+  std::ostringstream os;
+  size_t start = trace.size() > max_lines ? trace.size() - max_lines : 0;
+  for (size_t i = start; i < trace.size(); i++) {
+    const Event& event = trace[i];
+    if (event.kind == EventKind::kYield) {
+      os << StrPrintf("  [vcpu%d] --- yield ---\n", event.vcpu);
+      continue;
+    }
+    if (event.kind != EventKind::kAccess) {
+      continue;
+    }
+    const Access& a = event.access;
+    os << StrPrintf("  [vcpu%d] %s%s 0x%x+%u = 0x%llx  %s\n", a.vcpu,
+                    a.type == AccessType::kWrite ? "W" : "R", a.marked_atomic ? "*" : " ",
+                    a.addr, a.len, static_cast<unsigned long long>(a.value),
+                    SiteName(a.site).c_str());
+  }
+  return os.str();
+}
+
+}  // namespace snowboard

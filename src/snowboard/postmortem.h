@@ -1,0 +1,58 @@
+// Post-mortem analysis tools (§4.4.1).
+//
+// "Furthermore, to improve the diagnosis, we built post-mortem analysis tools that verify
+// that a data race is caused by an identified PMC and its kernel source code information."
+//
+// Given a detector finding and the identified PMC set, these helpers answer the questions a
+// developer asks while triaging: which PMC (if any) predicted this race? where in the
+// source are the two accesses? what did the trial's communication actually look like?
+#ifndef SRC_SNOWBOARD_POSTMORTEM_H_
+#define SRC_SNOWBOARD_POSTMORTEM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/snowboard/detectors.h"
+#include "src/snowboard/pmc.h"
+
+namespace snowboard {
+
+// Verdict of matching a race report against the PMC database.
+struct RacePmcVerdict {
+  bool predicted = false;   // Some identified PMC pairs the two racing instructions.
+  size_t pmc_index = 0;     // Index into the PMC vector (valid iff predicted).
+  bool exact_range = false;  // The PMC's memory ranges also cover the racing address.
+};
+
+// Checks whether `race` was predicted by an identified PMC: a PMC whose write/read
+// instruction sites match the race's sites (role-insensitively for write/write races).
+RacePmcVerdict VerifyRaceAgainstPmcs(const RaceReport& race, const std::vector<Pmc>& pmcs);
+
+// Human-readable diagnosis of a race: both sites with source locations, the address, and —
+// when a PMC predicted it — the predicted channel ("kernel source code information").
+std::string DescribeRace(const RaceReport& race, const std::vector<Pmc>& pmcs);
+
+// Per-trial communication summary: every writer-to-reader data flow observed in the trace
+// (a write by one vCPU whose value a later overlapping read by the other vCPU returned).
+struct ObservedCommunication {
+  VcpuId writer_vcpu = kInvalidVcpu;
+  VcpuId reader_vcpu = kInvalidVcpu;
+  SiteId write_site = kInvalidSite;
+  SiteId read_site = kInvalidSite;
+  GuestAddr addr = kGuestNull;
+  uint64_t value = 0;
+};
+
+// Extracts actual cross-thread communications from a trial trace (bounded to the first
+// `max_results`). This is the ground truth §5.3.2's accuracy measurement is built on.
+std::vector<ObservedCommunication> ExtractCommunications(const Trace& trace,
+                                                         size_t max_results = 256);
+
+// Renders a trace tail around the first panic/end as a schedule diagnostic: one line per
+// access with vCPU, site, and range. `max_lines` bounds the output.
+std::string FormatScheduleTail(const Trace& trace, size_t max_lines = 32);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_POSTMORTEM_H_

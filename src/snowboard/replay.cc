@@ -1,0 +1,64 @@
+#include "src/snowboard/replay.h"
+
+namespace snowboard {
+
+std::string RecordedSchedule::ToString() const {
+  std::string text;
+  text.reserve(switch_after.size());
+  for (bool decision : switch_after) {
+    text.push_back(decision ? 'S' : '.');
+  }
+  return text;
+}
+
+RecordedSchedule RecordedSchedule::FromString(const std::string& text) {
+  RecordedSchedule schedule;
+  schedule.switch_after.reserve(text.size());
+  for (char c : text) {
+    schedule.switch_after.push_back(c == 'S');
+  }
+  return schedule;
+}
+
+Engine::RunResult ReproduceTrial(KernelVm& vm, const ConcurrentTest& test, uint64_t seed,
+                                 int trial, BugCapsule* capsule) {
+  PmcScheduler pmc_scheduler;
+  pmc_scheduler.ResetForTest(test.hint);
+  RecordingScheduler recorder(&pmc_scheduler);
+  recorder.SeedTrial(seed + static_cast<uint64_t>(trial));
+
+  vm.RestoreSnapshot();
+  Engine::RunOptions opts;
+  opts.scheduler = &recorder;
+  Engine::RunResult result = vm.engine().Run(
+      {MakeProgramRunner(vm.globals(), test.writer, 0),
+       MakeProgramRunner(vm.globals(), test.reader, 1)},
+      opts);
+
+  if (capsule != nullptr) {
+    capsule->test = test;
+    capsule->schedule = recorder.schedule();
+    capsule->panic_message = result.panic_message;
+  }
+  return result;
+}
+
+bool ReplayCapsule(KernelVm& vm, const BugCapsule& capsule) {
+  ReplayScheduler replayer(capsule.schedule);
+  replayer.SeedTrial(0);
+
+  vm.RestoreSnapshot();
+  Engine::RunOptions opts;
+  opts.scheduler = &replayer;
+  Engine::RunResult result = vm.engine().Run(
+      {MakeProgramRunner(vm.globals(), capsule.test.writer, 0),
+       MakeProgramRunner(vm.globals(), capsule.test.reader, 1)},
+      opts);
+
+  if (!capsule.panic_message.empty()) {
+    return result.panicked && result.panic_message == capsule.panic_message;
+  }
+  return result.completed;
+}
+
+}  // namespace snowboard

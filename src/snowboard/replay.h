@@ -1,0 +1,97 @@
+// Deterministic bug reproduction (§6).
+//
+// "Snowboard has the benefit of providing a reliable environment to replicate bugs once they
+// are found ... in all cases we evaluated, Snowboard was able to reproduce found bugs."
+//
+// Two mechanisms, composable:
+//   * Seed replay — Algorithm 2's per-trial reseeding already makes any (test, seed, trial)
+//     triple re-runnable; ReproduceTrial() packages that.
+//   * Schedule recording — RecordingScheduler wraps any scheduler and logs its switch
+//     decisions as a compact decision string; ReplayScheduler re-applies the exact decision
+//     sequence with NO dependence on the original scheduler's internals. A recorded schedule
+//     survives scheduler-algorithm changes and can be attached to a bug report.
+#ifndef SRC_SNOWBOARD_REPLAY_H_
+#define SRC_SNOWBOARD_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/snowboard/explorer.h"
+
+namespace snowboard {
+
+// A recorded schedule: for each access (in per-vCPU execution order is not enough — the
+// global access index is used, which the serialized engine makes well-defined), whether a
+// switch was requested after it.
+struct RecordedSchedule {
+  std::vector<bool> switch_after;  // Indexed by global access ordinal.
+
+  // Compact textual form ("..S..S.S") for bug reports; parseable by FromString.
+  std::string ToString() const;
+  static RecordedSchedule FromString(const std::string& text);
+  bool operator==(const RecordedSchedule&) const = default;
+};
+
+// Wraps an inner scheduler, forwarding its decisions while recording them.
+class RecordingScheduler : public TrialScheduler {
+ public:
+  explicit RecordingScheduler(TrialScheduler* inner) : inner_(inner) {}
+
+  void SeedTrial(uint64_t seed) override {
+    schedule_.switch_after.clear();
+    inner_->SeedTrial(seed);
+  }
+  bool BeforeAccess(VcpuId vcpu, const Access& access) override {
+    return inner_->BeforeAccess(vcpu, access);
+  }
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    bool do_switch = inner_->AfterAccess(vcpu, access);
+    schedule_.switch_after.push_back(do_switch);
+    return do_switch;
+  }
+  void OnNotLive(VcpuId vcpu) override { inner_->OnNotLive(vcpu); }
+
+  const RecordedSchedule& schedule() const { return schedule_; }
+
+ private:
+  TrialScheduler* inner_;
+  RecordedSchedule schedule_;
+};
+
+// Replays a recorded decision sequence. Past the end of the recording it never switches
+// (the trial outcome of interest has already been steered into place by then).
+class ReplayScheduler : public TrialScheduler {
+ public:
+  explicit ReplayScheduler(RecordedSchedule schedule) : schedule_(std::move(schedule)) {}
+
+  void SeedTrial(uint64_t seed) override { next_ = 0; }
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    if (next_ >= schedule_.switch_after.size()) {
+      return false;
+    }
+    return schedule_.switch_after[next_++];
+  }
+
+ private:
+  RecordedSchedule schedule_;
+  size_t next_ = 0;
+};
+
+// A reproducible bug capsule: everything needed to re-trigger a finding.
+struct BugCapsule {
+  ConcurrentTest test;
+  RecordedSchedule schedule;
+  std::string panic_message;        // Expected console signature (may be empty for races).
+};
+
+// Re-runs one PMC-guided trial (test, seed, trial index) and captures its schedule.
+// Returns the trial's raw result; `capsule` (optional) receives the recording.
+Engine::RunResult ReproduceTrial(KernelVm& vm, const ConcurrentTest& test, uint64_t seed,
+                                 int trial, BugCapsule* capsule);
+
+// Replays a capsule and reports whether the original signature reproduced.
+bool ReplayCapsule(KernelVm& vm, const BugCapsule& capsule);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_REPLAY_H_

@@ -1,0 +1,74 @@
+// Findings triage and the Table 2 issue catalog.
+//
+// The paper's raw detector output (race reports + console hits) required ~80 person-hours
+// of manual inspection to map to the 17 issues of Table 2. Our substitute is a deterministic
+// triage table: each seeded issue is recognized by the kernel functions its accesses live in
+// (for races) or by its console signature (for AV/OV oracles). Detector findings that match
+// no catalog entry are reported as "unclassified" — the analog of the >100 inspected-and-
+// discarded reports.
+#ifndef SRC_SNOWBOARD_REPORT_H_
+#define SRC_SNOWBOARD_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/snowboard/detectors.h"
+
+namespace snowboard {
+
+enum class IssueType { kDataRace, kAtomicityViolation, kOrderViolation };
+
+const char* IssueTypeName(IssueType type);  // "DR" / "AV" / "OV".
+
+struct IssueInfo {
+  int id = 0;  // Table 2 numbering.
+  const char* summary = "";
+  IssueType type = IssueType::kDataRace;
+  const char* subsystem = "";
+  bool harmful = false;  // Bold rows of Table 2.
+  bool benign = false;   // #10, #13, #16.
+};
+
+// The 17 seeded issues, ordered by Table 2 id.
+const std::vector<IssueInfo>& IssueCatalog();
+const IssueInfo* FindIssue(int id);
+
+// Classification: Table 2 issue id, or 0 when unclassified.
+int ClassifyRace(const RaceReport& race);
+int ClassifyConsoleLine(const std::string& line);
+
+// A triaged finding attributed to a tested input.
+struct Finding {
+  int issue_id = 0;  // 0 = unclassified.
+  std::string evidence;
+  size_t test_index = 0;  // How many concurrent tests had been executed when it fired.
+  int trial = -1;
+  bool duplicate_input = false;  // writer test == reader test ("Duplicate" in Table 2).
+};
+
+// Aggregates findings across a testing campaign: first discovery per issue id.
+class FindingsLog {
+ public:
+  void Record(const Finding& finding);
+  void Merge(const FindingsLog& other);
+
+  // issue id -> first finding (unclassified findings keyed as 0, first only).
+  const std::map<int, Finding>& first_findings() const { return first_findings_; }
+  size_t total_findings() const { return total_; }
+  bool Found(int issue_id) const { return first_findings_.count(issue_id) != 0; }
+
+  // Human-readable multi-line summary in Table 2 style.
+  std::string Summarize() const;
+
+ private:
+  std::map<int, Finding> first_findings_;
+  size_t total_ = 0;
+};
+
+// Classifies everything in an ExploreOutcome-shaped set of raw findings and records them.
+struct ExploreOutcome;  // Fwd (explorer.h); definition not needed here.
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_REPORT_H_

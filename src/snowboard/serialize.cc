@@ -1,0 +1,185 @@
+#include "src/snowboard/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace snowboard {
+
+namespace {
+
+constexpr const char* kCorpusHeader = "snowboard-corpus-v1";
+constexpr const char* kPmcHeader = "snowboard-pmcs-v1";
+
+}  // namespace
+
+std::string SerializeProgram(const Program& program) {
+  std::ostringstream os;
+  for (const Call& call : program.calls) {
+    os << "call " << call.nr;
+    for (const Arg& arg : call.args) {
+      os << " " << (arg.kind == Arg::kResult ? 'r' : 'c') << ':' << arg.value;
+    }
+    os << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::optional<Program> DeserializeProgram(const std::string& text) {
+  std::optional<std::vector<Program>> corpus =
+      DeserializeCorpus(std::string(kCorpusHeader) + "\n" + text);
+  if (!corpus.has_value() || corpus->size() != 1) {
+    return std::nullopt;
+  }
+  return (*corpus)[0];
+}
+
+std::string SerializeCorpus(const std::vector<Program>& corpus) {
+  std::ostringstream os;
+  os << kCorpusHeader << "\n";
+  for (const Program& program : corpus) {
+    os << SerializeProgram(program);
+  }
+  return os.str();
+}
+
+std::optional<std::vector<Program>> DeserializeCorpus(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kCorpusHeader) {
+    return std::nullopt;
+  }
+  std::vector<Program> corpus;
+  Program current;
+  bool open = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "end") {
+      corpus.push_back(current);
+      current = Program();
+      open = false;
+      continue;
+    }
+    if (tag != "call") {
+      return std::nullopt;
+    }
+    Call call;
+    fields >> call.nr;
+    if (fields.fail() || call.nr >= kNumSyscalls) {
+      return std::nullopt;
+    }
+    std::string arg_text;
+    int index = 0;
+    while (index < kMaxSyscallArgs && fields >> arg_text) {
+      size_t colon = arg_text.find(':');
+      if (colon != 1 || (arg_text[0] != 'c' && arg_text[0] != 'r')) {
+        return std::nullopt;
+      }
+      Arg arg;
+      arg.kind = arg_text[0] == 'r' ? Arg::kResult : Arg::kConst;
+      try {
+        arg.value = std::stoll(arg_text.substr(colon + 1));
+      } catch (...) {
+        return std::nullopt;
+      }
+      call.args[index++] = arg;
+    }
+    if (current.calls.size() >= kMaxCallsPerProgram) {
+      return std::nullopt;
+    }
+    current.calls.push_back(call);
+    open = true;
+  }
+  if (open) {
+    return std::nullopt;  // Truncated: a program without its "end".
+  }
+  return corpus;
+}
+
+std::string SerializePmcs(const std::vector<Pmc>& pmcs) {
+  std::ostringstream os;
+  os << kPmcHeader << "\n";
+  for (const Pmc& pmc : pmcs) {
+    const PmcKey& k = pmc.key;
+    os << "pmc " << k.write.addr << ' ' << static_cast<uint32_t>(k.write.len) << ' '
+       << k.write.site << ' ' << k.write.value << ' ' << k.read.addr << ' '
+       << static_cast<uint32_t>(k.read.len) << ' ' << k.read.site << ' ' << k.read.value
+       << ' ' << (k.df_leader ? 1 : 0) << ' ' << pmc.total_pairs << ' ' << pmc.pairs.size();
+    for (const PmcTestPair& pair : pmc.pairs) {
+      os << ' ' << pair.write_test << ' ' << pair.read_test;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<std::vector<Pmc>> DeserializePmcs(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kPmcHeader) {
+    return std::nullopt;
+  }
+  std::vector<Pmc> pmcs;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag != "pmc") {
+      return std::nullopt;
+    }
+    Pmc pmc;
+    uint32_t wlen = 0;
+    uint32_t rlen = 0;
+    uint32_t df = 0;
+    size_t pair_count = 0;
+    fields >> pmc.key.write.addr >> wlen >> pmc.key.write.site >> pmc.key.write.value >>
+        pmc.key.read.addr >> rlen >> pmc.key.read.site >> pmc.key.read.value >> df >>
+        pmc.total_pairs >> pair_count;
+    if (fields.fail() || wlen == 0 || wlen > 8 || rlen == 0 || rlen > 8 ||
+        pair_count > kMaxPairsPerPmc) {
+      return std::nullopt;
+    }
+    pmc.key.write.len = static_cast<uint8_t>(wlen);
+    pmc.key.read.len = static_cast<uint8_t>(rlen);
+    pmc.key.df_leader = df != 0;
+    for (size_t i = 0; i < pair_count; i++) {
+      PmcTestPair pair;
+      fields >> pair.write_test >> pair.read_test;
+      if (fields.fail()) {
+        return std::nullopt;
+      }
+      pmc.pairs.push_back(pair);
+    }
+    pmcs.push_back(std::move(pmc));
+  }
+  return pmcs;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace snowboard

@@ -1,0 +1,43 @@
+// Persistence for pipeline artifacts.
+//
+// The paper's deployment stores intermediate artifacts between stages (profiles feed a
+// separate identification job; S-FULL's PMC keys are "stored on disk and sorted by
+// frequency"; concurrent tests travel through a Redis queue to workers). These helpers give
+// the same workflow: corpora and PMC sets round-trip through a line-oriented text format
+// that is stable, diffable, and versioned.
+#ifndef SRC_SNOWBOARD_SERIALIZE_H_
+#define SRC_SNOWBOARD_SERIALIZE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/program.h"
+#include "src/snowboard/pmc.h"
+
+namespace snowboard {
+
+// --- Programs / corpora. ---
+// One call per line: "call <nr> <kind>:<value> ..." (kind: c = const, r = result-ref);
+// programs separated by "end". The container starts with a version header.
+
+std::string SerializeProgram(const Program& program);
+std::optional<Program> DeserializeProgram(const std::string& text);
+
+std::string SerializeCorpus(const std::vector<Program>& corpus);
+std::optional<std::vector<Program>> DeserializeCorpus(const std::string& text);
+
+// --- PMC sets. ---
+// One PMC per line: "pmc <waddr> <wlen> <wsite> <wvalue> <raddr> <rlen> <rsite> <rvalue>
+// <df> <total_pairs> <pair_count> [<wtest> <rtest>]...".
+
+std::string SerializePmcs(const std::vector<Pmc>& pmcs);
+std::optional<std::vector<Pmc>> DeserializePmcs(const std::string& text);
+
+// --- File helpers (thin wrappers; return false / nullopt on IO failure). ---
+bool WriteStringToFile(const std::string& path, const std::string& contents);
+std::optional<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_SERIALIZE_H_

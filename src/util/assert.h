@@ -1,0 +1,37 @@
+// Invariant-checking macros for the Snowboard codebase.
+//
+// SB_CHECK is always on (including release builds): the simulator's correctness is the
+// foundation every experiment rests on, so internal invariant violations must abort loudly
+// rather than corrupt a trace. SB_DCHECK compiles out in NDEBUG builds and is reserved for
+// hot-path checks.
+#ifndef SRC_UTIL_ASSERT_H_
+#define SRC_UTIL_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snowboard {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "SB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace snowboard
+
+#define SB_CHECK(expr)                                   \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::snowboard::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define SB_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define SB_DCHECK(expr) SB_CHECK(expr)
+#endif
+
+#endif  // SRC_UTIL_ASSERT_H_

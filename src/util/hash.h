@@ -1,0 +1,36 @@
+// Hashing helpers used for PMC keys, clustering keys, and coverage edges.
+#ifndef SRC_UTIL_HASH_H_
+#define SRC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace snowboard {
+
+// FNV-1a over an arbitrary byte string; stable across runs (used for instruction-site ids).
+inline uint64_t Fnv1a(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ull) {
+  uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Order-dependent combiner (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4));
+}
+
+// Variadic convenience: HashAll(a, b, c) folds left with HashCombine.
+template <typename... Ts>
+uint64_t HashAll(Ts... vs) {
+  uint64_t h = 0x9ae16a3b2f90404full;
+  ((h = HashCombine(h, static_cast<uint64_t>(vs))), ...);
+  return h;
+}
+
+}  // namespace snowboard
+
+#endif  // SRC_UTIL_HASH_H_

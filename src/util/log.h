@@ -1,0 +1,40 @@
+// Minimal leveled logging. Single global level; thread-safe line emission.
+//
+// The simulator and pipeline run millions of events, so logging defaults to kWarn; benches
+// and examples raise it to kInfo for progress lines.
+#ifndef SRC_UTIL_LOG_H_
+#define SRC_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace snowboard {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+void EmitLogLine(LogLevel level, const std::string& line);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLogLine(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace snowboard
+
+#define SB_LOG(level)                                                \
+  if (::snowboard::LogLevel::level >= ::snowboard::GetLogLevel())    \
+  ::snowboard::LogMessage(::snowboard::LogLevel::level)
+
+#endif  // SRC_UTIL_LOG_H_

@@ -1,0 +1,28 @@
+#include "src/util/rng.h"
+
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+uint64_t Rng::Below(uint64_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Debiased multiply-shift (Lemire). The bias window for 64-bit output is negligible for the
+  // bounds used here, but the rejection loop keeps the draw exactly uniform regardless.
+  uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  SB_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Below(span));
+}
+
+}  // namespace snowboard

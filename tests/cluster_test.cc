@@ -1,0 +1,142 @@
+// Tests for the Table 1 clustering strategies: keys, filters, S-INS dual membership, and
+// relative cluster counts (S-FULL >= S-CH >= S-INS-PAIR ...).
+#include <gtest/gtest.h>
+
+#include "src/snowboard/cluster.h"
+
+namespace snowboard {
+namespace {
+
+Pmc MakePmc(SiteId ws, GuestAddr wa, uint8_t wl, uint64_t wv, SiteId rs, GuestAddr ra,
+            uint8_t rl, uint64_t rv, bool df = false) {
+  Pmc pmc;
+  pmc.key.write = PmcSide{wa, wl, ws, wv};
+  pmc.key.read = PmcSide{ra, rl, rs, rv};
+  pmc.key.df_leader = df;
+  pmc.pairs.push_back(PmcTestPair{0, 1});
+  pmc.total_pairs = 1;
+  return pmc;
+}
+
+TEST(ClusterTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kSFull), "S-FULL");
+  EXPECT_STREQ(StrategyName(Strategy::kSChDouble), "S-CH-DOUBLE");
+  EXPECT_STREQ(StrategyName(Strategy::kRandomPairing), "Random pairing");
+}
+
+TEST(ClusterTest, SFullSeparatesByValue) {
+  std::vector<Pmc> pmcs = {MakePmc(1, 0x100, 4, 5, 2, 0x100, 4, 0),
+                           MakePmc(1, 0x100, 4, 6, 2, 0x100, 4, 0)};
+  EXPECT_EQ(ClusterPmcs(pmcs, Strategy::kSFull).size(), 2u);
+  // S-CH ignores values: one cluster.
+  std::vector<PmcCluster> ch = ClusterPmcs(pmcs, Strategy::kSCh);
+  ASSERT_EQ(ch.size(), 1u);
+  EXPECT_EQ(ch[0].members.size(), 2u);
+}
+
+TEST(ClusterTest, SChNullFiltersNonZeroWrites) {
+  std::vector<Pmc> pmcs = {MakePmc(1, 0x100, 4, 0, 2, 0x100, 4, 7),
+                           MakePmc(1, 0x100, 4, 6, 2, 0x100, 4, 7)};
+  std::vector<PmcCluster> clusters = ClusterPmcs(pmcs, Strategy::kSChNull);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 1u);
+  EXPECT_EQ(clusters[0].members[0], 0u);  // Only the zero-write PMC survives.
+}
+
+TEST(ClusterTest, SChUnalignedFiltersMatchedRanges) {
+  std::vector<Pmc> pmcs = {
+      MakePmc(1, 0x100, 4, 5, 2, 0x100, 4, 0),   // Aligned: filtered out.
+      MakePmc(1, 0x100, 4, 5, 2, 0x102, 4, 0),   // Different start: kept.
+      MakePmc(1, 0x100, 2, 5, 2, 0x100, 4, 0),   // Different length: kept.
+  };
+  std::vector<PmcCluster> clusters = ClusterPmcs(pmcs, Strategy::kSChUnaligned);
+  size_t members = 0;
+  for (const PmcCluster& c : clusters) {
+    members += c.members.size();
+  }
+  EXPECT_EQ(members, 2u);
+}
+
+TEST(ClusterTest, SChDoubleKeepsOnlyDfLeaders) {
+  std::vector<Pmc> pmcs = {MakePmc(1, 0x100, 4, 5, 2, 0x100, 4, 0, /*df=*/true),
+                           MakePmc(1, 0x100, 4, 5, 3, 0x100, 4, 0, /*df=*/false)};
+  std::vector<PmcCluster> clusters = ClusterPmcs(pmcs, Strategy::kSChDouble);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members[0], 0u);
+}
+
+TEST(ClusterTest, SInsPutsPmcInTwoClusters) {
+  std::vector<Pmc> pmcs = {MakePmc(1, 0x100, 4, 5, 2, 0x200, 4, 0)};
+  std::vector<PmcCluster> clusters = ClusterPmcs(pmcs, Strategy::kSIns);
+  EXPECT_EQ(clusters.size(), 2u);  // One write-instruction, one read-instruction cluster.
+}
+
+TEST(ClusterTest, SInsSharedWriterMerges) {
+  // Two PMCs sharing the write instruction but with different read instructions: S-INS
+  // merges them on the writer side (3 clusters total), S-INS-PAIR keeps 2.
+  std::vector<Pmc> pmcs = {MakePmc(1, 0x100, 4, 5, 2, 0x200, 4, 0),
+                           MakePmc(1, 0x104, 4, 6, 3, 0x300, 4, 0)};
+  EXPECT_EQ(ClusterPmcs(pmcs, Strategy::kSIns).size(), 3u);
+  EXPECT_EQ(ClusterPmcs(pmcs, Strategy::kSInsPair).size(), 2u);
+}
+
+TEST(ClusterTest, SMemIgnoresInstructionsAndValues) {
+  std::vector<Pmc> pmcs = {MakePmc(1, 0x100, 4, 5, 2, 0x100, 4, 0),
+                           MakePmc(9, 0x100, 4, 8, 8, 0x100, 4, 1)};
+  std::vector<PmcCluster> clusters = ClusterPmcs(pmcs, Strategy::kSMem);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 2u);
+}
+
+TEST(ClusterTest, ClusterCountMonotonicity) {
+  // Build a synthetic PMC population with varying sites/addresses/values and check the
+  // expected coarseness ordering: |S-FULL| >= |S-CH| >= |S-INS-PAIR| >= |S-INS clusters
+  // per member dimension|.
+  std::vector<Pmc> pmcs;
+  for (SiteId ws = 1; ws <= 4; ws++) {
+    for (SiteId rs = 10; rs <= 13; rs++) {
+      for (uint64_t value = 0; value < 4; value++) {
+        pmcs.push_back(MakePmc(ws, 0x100 + 8 * static_cast<GuestAddr>(ws), 4, value, rs,
+                               0x100 + 8 * static_cast<GuestAddr>(ws), 4, value + 100));
+      }
+    }
+  }
+  size_t full = ClusterPmcs(pmcs, Strategy::kSFull).size();
+  size_t ch = ClusterPmcs(pmcs, Strategy::kSCh).size();
+  size_t ins_pair = ClusterPmcs(pmcs, Strategy::kSInsPair).size();
+  size_t mem = ClusterPmcs(pmcs, Strategy::kSMem).size();
+  EXPECT_GE(full, ch);
+  EXPECT_GE(ch, ins_pair);
+  EXPECT_GE(ins_pair, mem);
+  EXPECT_EQ(full, pmcs.size());       // All keys distinct by construction.
+  EXPECT_EQ(ins_pair, 16u);           // 4 write sites x 4 read sites.
+}
+
+TEST(ClusterTest, FilterPredicatesExposed) {
+  PmcKey key;
+  key.write = PmcSide{0x100, 4, 1, 0};
+  key.read = PmcSide{0x100, 4, 2, 5};
+  EXPECT_TRUE(StrategyFilter(Strategy::kSChNull, key));
+  key.write.value = 3;
+  EXPECT_FALSE(StrategyFilter(Strategy::kSChNull, key));
+  EXPECT_FALSE(StrategyFilter(Strategy::kSChUnaligned, key));
+  key.read.addr = 0x102;
+  EXPECT_TRUE(StrategyFilter(Strategy::kSChUnaligned, key));
+  EXPECT_FALSE(StrategyFilter(Strategy::kSChDouble, key));
+  key.df_leader = true;
+  EXPECT_TRUE(StrategyFilter(Strategy::kSChDouble, key));
+  EXPECT_TRUE(StrategyFilter(Strategy::kSFull, key));
+  EXPECT_TRUE(StrategyFilter(Strategy::kSCh, key));
+}
+
+TEST(ClusterTest, BaselinesDoNotCluster) {
+  EXPECT_FALSE(StrategyUsesPmcs(Strategy::kRandomPairing));
+  EXPECT_FALSE(StrategyUsesPmcs(Strategy::kDuplicatePairing));
+  EXPECT_TRUE(StrategyUsesPmcs(Strategy::kRandomSInsPair));
+  for (Strategy s : kAllClusteringStrategies) {
+    EXPECT_TRUE(StrategyUsesPmcs(s));
+  }
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,199 @@
+// Tests for kernel core pieces: kalloc, tasks/stacks, intrusive lists, and boot/snapshot.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kalloc.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/klist.h"
+#include "src/kernel/task.h"
+#include "src/sim/site.h"
+#include "src/sim/stackfilter.h"
+
+namespace snowboard {
+namespace {
+
+TEST(KallocTest, SizeClassMapping) {
+  EXPECT_EQ(KallocSizeClass(1), 0u);
+  EXPECT_EQ(KallocSizeClass(16), 0u);
+  EXPECT_EQ(KallocSizeClass(17), 1u);
+  EXPECT_EQ(KallocSizeClass(1024), 6u);
+  EXPECT_EQ(KallocSizeClass(1025), kNumSizeClasses);
+  EXPECT_EQ(KallocClassBytes(0), 16u);
+  EXPECT_EQ(KallocClassBytes(6), 1024u);
+}
+
+TEST(KallocTest, AllocZeroesAndFreesReuse) {
+  Engine engine(1 << 18);
+  GuestAddr heap = KallocInit(engine.mem(), 32 * 1024);
+  engine.RunSequential([&](Ctx& ctx) {
+    GuestAddr a = Kmalloc(ctx, heap, 32);
+    ASSERT_NE(a, kGuestNull);
+    for (uint32_t off = 0; off < 32; off += 4) {
+      EXPECT_EQ(ctx.Load32(a + off, SB_SITE()), 0u);
+    }
+    ctx.Store32(a, 0xAB, SB_SITE());
+    Kfree(ctx, heap, a, 32);
+    GuestAddr b = Kmalloc(ctx, heap, 32);
+    EXPECT_EQ(b, a);  // LIFO free-list reuse.
+    EXPECT_EQ(ctx.Load32(b, SB_SITE()), 0u);  // Rezeroed.
+  });
+}
+
+TEST(KallocTest, DistinctClassesDistinctBlocks) {
+  Engine engine(1 << 18);
+  GuestAddr heap = KallocInit(engine.mem(), 32 * 1024);
+  engine.RunSequential([&](Ctx& ctx) {
+    GuestAddr a = Kmalloc(ctx, heap, 16);
+    GuestAddr b = Kmalloc(ctx, heap, 64);
+    GuestAddr c = Kmalloc(ctx, heap, 16);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+  });
+}
+
+TEST(KallocTest, ExhaustionReturnsNull) {
+  Engine engine(1 << 18);
+  GuestAddr heap = KallocInit(engine.mem(), 1024);
+  Engine::RunResult result = engine.RunSequential([&](Ctx& ctx) {
+    GuestAddr last = 1;
+    for (int i = 0; i < 100 && last != kGuestNull; i++) {
+      last = Kmalloc(ctx, heap, 128);
+    }
+    EXPECT_EQ(last, kGuestNull);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(KallocTest, StatsCountersAreUnsynchronizedPlainAccesses) {
+  // The issue #13 seed: the counter update must be plain (not marked atomic) so the race
+  // oracle can see it.
+  Engine engine(1 << 18);
+  GuestAddr heap = KallocInit(engine.mem(), 32 * 1024);
+  Engine::RunResult result = engine.RunSequential([&](Ctx& ctx) {
+    Kmalloc(ctx, heap, 16);
+  });
+  bool saw_plain_counter_write = false;
+  for (const Event& e : result.trace) {
+    if (e.kind == EventKind::kAccess && e.access.type == AccessType::kWrite &&
+        e.access.addr == heap + kHeapTotalAllocs) {
+      EXPECT_FALSE(e.access.marked_atomic);
+      saw_plain_counter_write = true;
+    }
+  }
+  EXPECT_TRUE(saw_plain_counter_write);
+}
+
+TEST(TaskTest, StacksAlignedAndFdTableWorks) {
+  Engine engine(1 << 18);
+  GuestAddr task = TaskInit(engine.mem(), 1);
+  GuestAddr stack = static_cast<GuestAddr>(engine.mem().ReadRaw(task + kTaskStackBase, 4));
+  EXPECT_EQ(stack % kKernelStackSize, 0u);
+
+  engine.RunSequential([&](Ctx& ctx) {
+    TaskEnter(ctx, task);
+    EXPECT_EQ(ctx.current_task, task);
+    EXPECT_GT(ctx.esp, stack);
+    EXPECT_LE(ctx.esp, stack + kKernelStackSize);
+
+    int fd0 = FdAlloc(ctx, task, 0x5000);
+    int fd1 = FdAlloc(ctx, task, 0x6000);
+    EXPECT_EQ(fd0, 0);
+    EXPECT_EQ(fd1, 1);
+    EXPECT_EQ(FdGet(ctx, task, fd0), 0x5000u);
+    FdClear(ctx, task, fd0);
+    EXPECT_EQ(FdGet(ctx, task, fd0), kGuestNull);
+    EXPECT_EQ(FdGet(ctx, task, 99), kGuestNull);
+    EXPECT_EQ(FdGet(ctx, task, -1), kGuestNull);
+  });
+}
+
+TEST(TaskTest, FdTableExhausts) {
+  Engine engine(1 << 18);
+  GuestAddr task = TaskInit(engine.mem(), 1);
+  engine.RunSequential([&](Ctx& ctx) {
+    TaskEnter(ctx, task);
+    for (uint32_t i = 0; i < kMaxFds; i++) {
+      EXPECT_GE(FdAlloc(ctx, task, 0x5000 + i), 0);
+    }
+    EXPECT_EQ(FdAlloc(ctx, task, 0x9000), -1);
+  });
+}
+
+TEST(TaskTest, StackFrameAccessesAreFiltered) {
+  Engine engine(1 << 18);
+  GuestAddr task = TaskInit(engine.mem(), 1);
+  Engine::RunResult result = engine.RunSequential([&](Ctx& ctx) {
+    TaskEnter(ctx, task);
+    StackFrame frame(ctx, 32);
+    ctx.Store32(frame.base(), 42, SB_SITE());
+  });
+  ASSERT_EQ(result.trace.size(), 1u);
+  const Access& a = result.trace[0].access;
+  EXPECT_TRUE(IsStackAccess(a.esp, a.addr, a.len));
+}
+
+TEST(KlistTest, AddRemoveTraverse) {
+  Engine engine(1 << 18);
+  GuestAddr head = engine.mem().StaticAlloc(4, 4);
+  GuestAddr n1 = engine.mem().StaticAlloc(16, 8);
+  GuestAddr n2 = engine.mem().StaticAlloc(16, 8);
+  engine.mem().WriteRaw(head, 4, 0);
+  engine.RunSequential([&](Ctx& ctx) {
+    ListAddRcu(ctx, head, n1, 0, SB_SITE());
+    ListAddRcu(ctx, head, n2, 0, SB_SITE());
+    EXPECT_EQ(ListFirstRcu(ctx, head, SB_SITE()), n2);
+    EXPECT_EQ(ListNextRcu(ctx, n2, 0, SB_SITE()), n1);
+    EXPECT_TRUE(ListDelRcu(ctx, head, n1, 0));
+    EXPECT_FALSE(ListDelRcu(ctx, head, n1, 0));  // Already gone.
+    EXPECT_EQ(ListFirstRcu(ctx, head, SB_SITE()), n2);
+    EXPECT_EQ(ListNextRcu(ctx, n2, 0, SB_SITE()), kGuestNull);
+  });
+}
+
+TEST(BootTest, BootIsDeterministic) {
+  KernelVm vm_a;
+  KernelVm vm_b;
+  const KernelGlobals& a = vm_a.globals();
+  const KernelGlobals& b = vm_b.globals();
+  EXPECT_EQ(a.kheap, b.kheap);
+  EXPECT_EQ(a.l2tp, b.l2tp);
+  EXPECT_EQ(a.sbfs, b.sbfs);
+  EXPECT_EQ(a.tasks[0], b.tasks[0]);
+  EXPECT_EQ(a.tasks[1], b.tasks[1]);
+}
+
+TEST(BootTest, AllGlobalsAllocated) {
+  KernelVm vm;
+  const KernelGlobals& g = vm.globals();
+  EXPECT_NE(g.rcu_readers, kGuestNull);
+  EXPECT_NE(g.kheap, kGuestNull);
+  EXPECT_NE(g.rtnl_lock, kGuestNull);
+  EXPECT_NE(g.netdevs, kGuestNull);
+  EXPECT_NE(g.l2tp, kGuestNull);
+  EXPECT_NE(g.packet, kGuestNull);
+  EXPECT_NE(g.fib6, kGuestNull);
+  EXPECT_NE(g.tcp_cong, kGuestNull);
+  EXPECT_NE(g.sbfs, kGuestNull);
+  EXPECT_NE(g.configfs, kGuestNull);
+  EXPECT_NE(g.blockdevs, kGuestNull);
+  EXPECT_NE(g.msgipc, kGuestNull);
+  EXPECT_NE(g.tty, kGuestNull);
+  EXPECT_NE(g.sndcard, kGuestNull);
+}
+
+TEST(BootTest, SnapshotRestoreRewindsKernelState) {
+  KernelVm vm;
+  const KernelGlobals& g = vm.globals();
+  // Mutate some kernel state.
+  vm.engine().RunSequential([&](Ctx& ctx) {
+    TaskEnter(ctx, g.tasks[0]);
+    Kmalloc(ctx, g.kheap, 64);
+  });
+  uint64_t allocs = vm.engine().mem().ReadRaw(g.kheap + kHeapTotalAllocs, 4);
+  EXPECT_EQ(allocs, 1u);
+  vm.RestoreSnapshot();
+  EXPECT_EQ(vm.engine().mem().ReadRaw(g.kheap + kHeapTotalAllocs, 4), 0u);
+}
+
+}  // namespace
+}  // namespace snowboard

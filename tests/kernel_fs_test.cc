@@ -1,0 +1,295 @@
+// Tests for sbfs, configfs, and the VFS layer — including deterministic reproductions of
+// the seeded issues #2 (swap-boot checksum), #3 (extent magic), #4 (writeback TOCTOU), and
+// #11 (configfs lookup).
+#include <gtest/gtest.h>
+
+#include "src/kernel/fs/configfs.h"
+#include "src/kernel/fs/sbfs.h"
+#include "src/kernel/fs/vfs.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/sim/site.h"
+
+namespace snowboard {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  void Enter(Ctx& ctx, int task = 0) { TaskEnter(ctx, vm_.globals().tasks[task]); }
+  KernelVm vm_;
+};
+
+TEST_F(FsTest, SequentialReadWriteConsistent) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr inode = SbfsInodeAddr(ctx, g.sbfs, 1);
+    EXPECT_GE(SbfsRead(ctx, g, inode, 16), 0);
+    EXPECT_EQ(SbfsWrite(ctx, g, inode, 100, 0x42), 100);
+    EXPECT_GE(SbfsRead(ctx, g, inode, 16), 0);  // Checksum still valid.
+    EXPECT_EQ(ctx.Load32(inode + kInodeSize, SB_SITE()), 100u);
+  });
+  EXPECT_FALSE(vm_.engine().console().Contains("EXT4-fs error"));
+}
+
+TEST_F(FsTest, TruncateThenWriteReallocatesBlock) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr inode = SbfsInodeAddr(ctx, g.sbfs, 1);
+    EXPECT_EQ(SbfsFtruncate(ctx, g, inode, 0), 0);
+    EXPECT_EQ(ctx.Load32(inode + kInodeBlock0, SB_SITE()), kSbfsInvalidBlock);
+    EXPECT_EQ(SbfsWrite(ctx, g, inode, 10, 1), 10);
+    EXPECT_NE(ctx.Load32(inode + kInodeBlock0, SB_SITE()), kSbfsInvalidBlock);
+  });
+}
+
+TEST_F(FsTest, SwapBootLoaderSequentialIsClean) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr inode = SbfsInodeAddr(ctx, g.sbfs, 1);
+    SbfsWrite(ctx, g, inode, 64, 0x99);
+    EXPECT_EQ(SbfsSwapInodeBootLoader(ctx, g, inode), 0);
+    EXPECT_GE(SbfsRead(ctx, g, inode, 8), 0);
+    GuestAddr boot = SbfsInodeAddr(ctx, g.sbfs, 0);
+    EXPECT_EQ(ctx.Load32(boot + kInodeSize, SB_SITE()), 64u);  // Swapped in.
+  });
+  EXPECT_FALSE(vm_.engine().console().Contains("checksum invalid"));
+}
+
+// Switches vCPU 0 away right after SbfsSwapInodeBootLoader's Nth field access.
+class SwapWindowScheduler : public Scheduler {
+ public:
+  explicit SwapWindowScheduler(int switch_after) : remaining_(switch_after) {}
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    if (vcpu == 0 && remaining_ > 0) {
+      return --remaining_ == 0;
+    }
+    return false;
+  }
+
+ private:
+  int remaining_;
+};
+
+TEST_F(FsTest, Issue2SwapChecksumViolation) {
+  const KernelGlobals& g = vm_.globals();
+  // Writer swaps /f0 <-> boot inode; the other thread writes /f0 mid-swap.
+  bool reproduced = false;
+  for (int cut = 4; cut < 40 && !reproduced; cut++) {
+    vm_.RestoreSnapshot();
+    SwapWindowScheduler scheduler(cut);
+    Engine::RunOptions opts;
+    opts.scheduler = &scheduler;
+    Engine::RunResult result = vm_.engine().Run(
+        {[&](Ctx& ctx) {
+           Enter(ctx, 0);
+           GuestAddr inode = SbfsInodeAddr(ctx, g.sbfs, 1);
+           SbfsSwapInodeBootLoader(ctx, g, inode);
+         },
+         [&](Ctx& ctx) {
+           Enter(ctx, 1);
+           GuestAddr inode = SbfsInodeAddr(ctx, g.sbfs, 1);
+           SbfsWrite(ctx, g, inode, 48, 0x7);
+         }},
+        opts);
+    for (const std::string& line : result.console) {
+      if (line.find("sbfs_swap_inode_boot_loader: checksum invalid") != std::string::npos) {
+        reproduced = true;
+      }
+    }
+  }
+  EXPECT_TRUE(reproduced);
+}
+
+// Switches vCPU 0 away right after it zeroes the extent magic.
+class MagicWindowScheduler : public Scheduler {
+ public:
+  explicit MagicWindowScheduler(GuestAddr magic_addr) : magic_addr_(magic_addr) {}
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    return vcpu == 0 && access.type == AccessType::kWrite && access.addr == magic_addr_ &&
+           access.value == 0;
+  }
+
+ private:
+  GuestAddr magic_addr_;
+};
+
+TEST_F(FsTest, Issue3ExtentMagicViolation) {
+  const KernelGlobals& g = vm_.globals();
+  GuestAddr inode = 0;
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    inode = SbfsInodeAddr(ctx, g.sbfs, 1);
+  });
+  MagicWindowScheduler scheduler(inode + kInodeExtMagic);
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  vm_.RestoreSnapshot();
+  Engine::RunResult result = vm_.engine().Run(
+      {[&](Ctx& ctx) {
+         Enter(ctx, 0);
+         // Write crossing a 1024-block boundary triggers the extent rebuild.
+         SbfsWrite(ctx, g, inode, 2000, 0x11);
+       },
+       [&](Ctx& ctx) {
+         Enter(ctx, 1);
+         SbfsRead(ctx, g, inode, 8);  // Lockless magic check hits the zero window.
+       }},
+      opts);
+  bool saw_magic_error = false;
+  for (const std::string& line : result.console) {
+    saw_magic_error = saw_magic_error || line.find("invalid magic") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_magic_error);
+}
+
+// Switches vCPU 0 away right after it releases the inode lock in SbfsWrite (before the
+// unlocked writeback re-read of the block number).
+class WritebackWindowScheduler : public Scheduler {
+ public:
+  explicit WritebackWindowScheduler(GuestAddr lock_addr) : lock_addr_(lock_addr) {}
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    if (vcpu == 0 && !fired_ && access.type == AccessType::kWrite &&
+        access.addr == lock_addr_ && access.value == 0) {
+      fired_ = true;  // SpinUnlock's zero store: the lock is free, writeback comes next.
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  GuestAddr lock_addr_;
+  bool fired_ = false;
+};
+
+TEST_F(FsTest, Issue4WritebackIoError) {
+  const KernelGlobals& g = vm_.globals();
+  GuestAddr inode = 0;
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    inode = SbfsInodeAddr(ctx, g.sbfs, 1);
+  });
+  WritebackWindowScheduler scheduler(inode + kInodeLock);
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  vm_.RestoreSnapshot();
+  Engine::RunResult result = vm_.engine().Run(
+      {[&](Ctx& ctx) {
+         Enter(ctx, 0);
+         SbfsWrite(ctx, g, inode, 32, 0x5);  // Writeback re-reads block0 unlocked.
+       },
+       [&](Ctx& ctx) {
+         Enter(ctx, 1);
+         SbfsFtruncate(ctx, g, inode, 0);  // Invalidates block0 in the window.
+       }},
+      opts);
+  bool saw_io_error = false;
+  for (const std::string& line : result.console) {
+    saw_io_error =
+        saw_io_error || line.find("blk_update_request: I/O error") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_io_error);
+}
+
+TEST_F(FsTest, ConfigfsSequentialLifecycle) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    EXPECT_NE(ConfigfsLookup(ctx, g, 1), kGuestNull);  // Boot-created /cfg/a.
+    EXPECT_NE(ConfigfsLookup(ctx, g, 2), kGuestNull);
+    EXPECT_EQ(ConfigfsLookup(ctx, g, 3), kGuestNull);
+    EXPECT_EQ(ConfigfsMkdir(ctx, g, 3), 0);
+    EXPECT_NE(ConfigfsLookup(ctx, g, 3), kGuestNull);
+    EXPECT_EQ(ConfigfsMkdir(ctx, g, 3), kEEXIST);
+    EXPECT_EQ(ConfigfsRmdir(ctx, g, 3), 0);
+    EXPECT_EQ(ConfigfsLookup(ctx, g, 3), kGuestNull);
+    EXPECT_EQ(ConfigfsRmdir(ctx, g, 3), kENOENT);
+  });
+}
+
+// Switches the lookup away right after it reads the matching dirent's name, before it loads
+// the inode pointer — the issue #11 window.
+class LookupWindowScheduler : public Scheduler {
+ public:
+  explicit LookupWindowScheduler(uint32_t name_id) : name_id_(name_id) {}
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    if (vcpu == 0 && !fired_ && access.type == AccessType::kRead &&
+        access.value == name_id_ && access.len == 4) {
+      fired_ = true;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  uint32_t name_id_;
+  bool fired_ = false;
+};
+
+TEST_F(FsTest, Issue11ConfigfsLookupNullDeref) {
+  const KernelGlobals& g = vm_.globals();
+  LookupWindowScheduler scheduler(/*name_id=*/1);
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  vm_.RestoreSnapshot();
+  Engine::RunResult result = vm_.engine().Run(
+      {[&](Ctx& ctx) {
+         Enter(ctx, 0);
+         ConfigfsLookup(ctx, g, 1);  // open("/cfg/a").
+       },
+       [&](Ctx& ctx) {
+         Enter(ctx, 1);
+         ConfigfsRmdir(ctx, g, 1);  // rmdir("/cfg/a") poisons the dirent.
+       }},
+      opts);
+  EXPECT_TRUE(result.panicked);
+  EXPECT_NE(result.panic_message.find("NULL pointer dereference"), std::string::npos);
+  EXPECT_NE(result.panic_message.find("ConfigfsLookup"), std::string::npos);
+}
+
+TEST_F(FsTest, VfsOpenReadWriteCloseAcrossKinds) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    int64_t fd_file = VfsOpen(ctx, g, 0, 0);   // /f0
+    int64_t fd_bdev = VfsOpen(ctx, g, 3, 0);   // /dev/sbd0
+    int64_t fd_cfg = VfsOpen(ctx, g, 4, 0);    // /cfg/a
+    int64_t fd_tty = VfsOpen(ctx, g, 6, 0);    // /dev/ttyS0
+    int64_t fd_snd = VfsOpen(ctx, g, 7, 0);    // /dev/snd
+    EXPECT_GE(fd_file, 0);
+    EXPECT_GE(fd_bdev, 0);
+    EXPECT_GE(fd_cfg, 0);
+    EXPECT_GE(fd_tty, 0);
+    EXPECT_GE(fd_snd, 0);
+    EXPECT_GE(VfsWrite(ctx, g, static_cast<int>(fd_file), 8, 0x1), 0);
+    EXPECT_GE(VfsRead(ctx, g, static_cast<int>(fd_file), 8), 0);
+    EXPECT_GE(VfsRead(ctx, g, static_cast<int>(fd_bdev), 1), 0);
+    EXPECT_GE(VfsRead(ctx, g, static_cast<int>(fd_tty), 1), 0);
+    EXPECT_GE(VfsRead(ctx, g, static_cast<int>(fd_snd), 1), 0);
+    for (int64_t fd : {fd_file, fd_bdev, fd_cfg, fd_tty, fd_snd}) {
+      EXPECT_EQ(VfsClose(ctx, g, static_cast<int>(fd)), 0);
+    }
+    EXPECT_EQ(VfsClose(ctx, g, 99), kEBADF);
+    EXPECT_EQ(VfsOpen(ctx, g, 999, 0), kENOENT);
+  });
+}
+
+TEST_F(FsTest, VfsRenameSwapsData) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr i0 = SbfsInodeAddr(ctx, g.sbfs, 1);
+    GuestAddr i1 = SbfsInodeAddr(ctx, g.sbfs, 2);
+    uint32_t d0 = ctx.Load32(i0 + kInodeData, SB_SITE());
+    uint32_t d1 = ctx.Load32(i1 + kInodeData, SB_SITE());
+    EXPECT_EQ(VfsRename(ctx, g, 0, 1), 0);
+    EXPECT_EQ(ctx.Load32(i0 + kInodeData, SB_SITE()), d1);
+    EXPECT_EQ(ctx.Load32(i1 + kInodeData, SB_SITE()), d0);
+    EXPECT_EQ(VfsRename(ctx, g, 0, 3), kEINVAL);  // Block dev is not renameable.
+  });
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,122 @@
+// Tests for block, mm/fadvise, ipc/msg, tty/serial, and sound/ctl.
+#include <gtest/gtest.h>
+
+#include "src/kernel/block/blockdev.h"
+#include "src/kernel/ipc/msg.h"
+#include "src/kernel/mm/pagecache.h"
+#include "src/kernel/sound/ctl.h"
+#include "src/kernel/task.h"
+#include "src/kernel/tty/serial.h"
+#include "src/sim/site.h"
+
+namespace snowboard {
+namespace {
+
+class MiscTest : public ::testing::Test {
+ protected:
+  void Enter(Ctx& ctx, int task = 0) { TaskEnter(ctx, vm_.globals().tasks[task]); }
+  KernelVm vm_;
+};
+
+TEST_F(MiscTest, BlockdevReadWriteAndLimits) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    EXPECT_TRUE(SubmitBio(ctx, g, 10, true));
+    EXPECT_FALSE(SubmitBio(ctx, g, 100000, true));  // Out of range: I/O error.
+    EXPECT_GE(MpageReadpage(ctx, g, 0), 0);
+    EXPECT_EQ(BlkdevSetBlocksize(ctx, g, 2048), 0);
+    EXPECT_EQ(BlkdevSetBlocksize(ctx, g, 3000), kEINVAL);
+    EXPECT_EQ(BlkdevSetBlocksize(ctx, g, 256), kEINVAL);
+    EXPECT_EQ(BlkdevSetReadahead(ctx, g, 64), 0);
+  });
+  EXPECT_TRUE(vm_.engine().console().Contains("blk_update_request: I/O error"));
+}
+
+TEST_F(MiscTest, MpageReadpageUsesBlocksize) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    BlkdevSetBlocksize(ctx, g, 1024);
+    EXPECT_EQ(MpageReadpage(ctx, g, 0), 3);  // 4096/1024 - 1.
+    BlkdevSetBlocksize(ctx, g, 4096);
+    EXPECT_EQ(MpageReadpage(ctx, g, 0), 0);
+  });
+}
+
+TEST_F(MiscTest, FadvisePaths) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    EXPECT_GE(GenericFadviseBdev(ctx, g, kFadvNormal), 0);
+    EXPECT_GE(GenericFadviseBdev(ctx, g, kFadvSequential), 0);
+    EXPECT_GE(GenericFadviseBdev(ctx, g, kFadvDontneed), 0);
+    EXPECT_EQ(GenericFadviseBdev(ctx, g, 17), kEINVAL);
+  });
+}
+
+TEST_F(MiscTest, MsgQueueLifecycle) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    int64_t id = MsgGet(ctx, g, 2);
+    EXPECT_GT(id, 0);
+    EXPECT_EQ(MsgGet(ctx, g, 2), id);  // Same key, same queue.
+    EXPECT_EQ(MsgSnd(ctx, g, 2, 100), 0);
+    EXPECT_EQ(MsgCtl(ctx, g, 2, kIpcStat), 1);  // One queued message.
+    EXPECT_EQ(MsgCtl(ctx, g, 2, kIpcRmid), 0);
+    EXPECT_EQ(MsgCtl(ctx, g, 2, kIpcRmid), kENOENT);
+    EXPECT_EQ(MsgSnd(ctx, g, 2, 10), kENOENT);
+  });
+}
+
+TEST_F(MiscTest, MsgKeysAreFolded) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    // Out-of-range keys are folded into the small queue-key space: 0 and 16 collide.
+    int64_t a = MsgGet(ctx, g, 0);
+    int64_t b = MsgGet(ctx, g, 16);
+    EXPECT_EQ(a, b);
+    // Returned msqids round-trip: operating on the msqid hits the same queue.
+    EXPECT_EQ(MsgGet(ctx, g, static_cast<uint32_t>(a)), a);
+  });
+}
+
+TEST_F(MiscTest, TtyOpenCloseAutoconfig) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    EXPECT_EQ(TtyPortOpen(ctx, g), 0);
+    EXPECT_EQ(ctx.Load32(g.tty + kTtyCount, SB_SITE()), 1u);
+    EXPECT_EQ(ctx.Load32(g.tty + kTtyFlags, SB_SITE()) & kAsyncInitialized,
+              kAsyncInitialized);
+    EXPECT_EQ(TtyRead(ctx, g), 9600);
+    EXPECT_EQ(UartDoAutoconfig(ctx, g, 115200), 0);
+    EXPECT_EQ(TtyRead(ctx, g), 115200);
+    EXPECT_EQ(TtyWrite(ctx, g, 5), 5);
+    EXPECT_EQ(TtyPortClose(ctx, g), 0);
+    EXPECT_EQ(ctx.Load32(g.tty + kTtyCount, SB_SITE()), 0u);
+    EXPECT_EQ(TtyPortClose(ctx, g), 0);  // Under-close is clamped.
+  });
+}
+
+TEST_F(MiscTest, SndElemAddAccountsAndLimits) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    EXPECT_EQ(SndCtlRead(ctx, g), 0);
+    EXPECT_EQ(SndCtlElemAdd(ctx, g, 16), 1);
+    EXPECT_EQ(SndCtlElemAdd(ctx, g, 16), 2);
+    EXPECT_EQ(SndCtlRead(ctx, g), 2);
+    // Exhaust the 4096-byte accounting budget ((x & 0xFF) + 16 <= 271 per add).
+    int64_t last = 0;
+    for (int i = 0; i < 300 && last != kENOMEM; i++) {
+      last = SndCtlElemAdd(ctx, g, 255);
+    }
+    EXPECT_EQ(last, kENOMEM);
+  });
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,231 @@
+// Tests for the networking subsystems: netdev/MAC/MTU, l2tp (issue #12, Figure 1), packet
+// fanout (#17), fib6 (#10), and TCP congestion control (#16).
+#include <gtest/gtest.h>
+
+#include "src/kernel/net/fib6.h"
+#include "src/kernel/net/l2tp.h"
+#include "src/kernel/net/netdev.h"
+#include "src/kernel/net/packet.h"
+#include "src/kernel/net/tcp_cong.h"
+#include "src/kernel/task.h"
+#include "src/sim/site.h"
+
+namespace snowboard {
+namespace {
+
+class NetTest : public ::testing::Test {
+ protected:
+  void Enter(Ctx& ctx, int task = 0) { TaskEnter(ctx, vm_.globals().tasks[task]); }
+  KernelVm vm_;
+};
+
+TEST_F(NetTest, MacSetThenGetConsistentSequentially) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    EXPECT_EQ(DevIoctlSetMac(ctx, g, 0, 3), 0);
+    int64_t mac = DevIoctlGetMac(ctx, g, 0);
+    // Pattern bytes are 0x10 + 3*0x11 + i = 0x43..0x48: no tearing sequentially.
+    EXPECT_EQ(mac & 0xFF, 0x43);
+    EXPECT_EQ((mac >> 8) & 0xFF, 0x44);
+    EXPECT_EQ((mac >> 32) & 0xFF, 0x47);
+  });
+}
+
+// Interposes the reader between the writer's two MAC copy chunks (Figure 3).
+class TornMacScheduler : public Scheduler {
+ public:
+  explicit TornMacScheduler(GuestAddr dev_addr) : dev_addr_(dev_addr) {}
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    // After the writer's first 4-byte chunk lands in dev->dev_addr, switch to the reader.
+    return vcpu == 0 && access.type == AccessType::kWrite && access.addr == dev_addr_ &&
+           access.len == 4;
+  }
+
+ private:
+  GuestAddr dev_addr_;
+};
+
+TEST_F(NetTest, Issue9TornMacObservable) {
+  const KernelGlobals& g = vm_.globals();
+  GuestAddr dev = 0;
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    dev = DevGetByIndex(ctx, g, 0);
+  });
+  vm_.RestoreSnapshot();
+  TornMacScheduler scheduler(dev + kDevAddr);
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  int64_t observed = 0;
+  Engine::RunResult result = vm_.engine().Run(
+      {[&](Ctx& ctx) {
+         Enter(ctx, 0);
+         DevIoctlSetMac(ctx, g, 0, 3);  // New MAC bytes 0x43..: first chunk then switch.
+       },
+       [&](Ctx& ctx) {
+         Enter(ctx, 1);
+         observed = DevIoctlGetMac(ctx, g, 0);  // Boot MAC is AA:AA:AA:AA:AA:AA.
+       }},
+      opts);
+  EXPECT_TRUE(result.completed);
+  // Torn: first 4 bytes new (0x43..0x46), last 2 bytes old (0xAA).
+  EXPECT_EQ(observed & 0xFF, 0x43);
+  EXPECT_EQ((observed >> 32) & 0xFFFF, 0xAAAA);
+}
+
+TEST_F(NetTest, MtuSetAndRawSend) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr sk = SockAlloc(ctx, g, kAfInet6, 0);
+    ASSERT_NE(sk, kGuestNull);
+    EXPECT_EQ(DevSetMtu(ctx, g, 0, 900), 0);
+    EXPECT_EQ(Rawv6SendHdrinc(ctx, g, sk, 800), 800);
+    EXPECT_EQ(Rawv6SendHdrinc(ctx, g, sk, 1000), kEINVAL);  // Over MTU.
+    EXPECT_EQ(DevSetMtu(ctx, g, 0, 10), kEINVAL);           // Under the floor.
+  });
+}
+
+TEST_F(NetTest, L2tpRegisterAndGet) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr sk = SockAlloc(ctx, g, kPxProtoOl2tp, 0);
+    GuestAddr tunnel = L2tpTunnelRegister(ctx, g, 7, sk);
+    ASSERT_NE(tunnel, kGuestNull);
+    EXPECT_EQ(L2tpTunnelGet(ctx, g, 7), tunnel);
+    EXPECT_EQ(L2tpTunnelGet(ctx, g, 8), kGuestNull);
+    EXPECT_EQ(ctx.Load32(tunnel + kTunnelSock, SB_SITE()), sk);
+  });
+}
+
+TEST_F(NetTest, L2tpConnectThenXmitSequentialOk) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr sk = SockAlloc(ctx, g, kPxProtoOl2tp, 0);
+    EXPECT_EQ(PppoL2tpConnect(ctx, g, sk, 3), 0);
+    EXPECT_EQ(L2tpXmit(ctx, g, sk, 100), 100);
+    GuestAddr sk2 = SockAlloc(ctx, g, kPxProtoOl2tp, 0);
+    EXPECT_EQ(L2tpXmit(ctx, g, sk2, 10), kENOTCONN);  // Never connected.
+  });
+}
+
+// The Figure 1 interleaving: switch the registering writer away right after the RCU list
+// publish (➊), before tunnel->sock is set (➋).
+class L2tpWindowScheduler : public Scheduler {
+ public:
+  explicit L2tpWindowScheduler(GuestAddr list_head) : list_head_(list_head) {}
+  bool AfterAccess(VcpuId vcpu, const Access& access) override {
+    return vcpu == 0 && access.type == AccessType::kWrite && access.addr == list_head_;
+  }
+
+ private:
+  GuestAddr list_head_;
+};
+
+TEST_F(NetTest, Issue12Figure1NullDerefPanic) {
+  const KernelGlobals& g = vm_.globals();
+  L2tpWindowScheduler scheduler(g.l2tp + kL2tpListHead);
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  Engine::RunResult result = vm_.engine().Run(
+      {[&](Ctx& ctx) {
+         // Test 1 (writer): connect() registers tunnel 1.
+         Enter(ctx, 0);
+         GuestAddr sk = SockAlloc(ctx, g, kPxProtoOl2tp, 0);
+         PppoL2tpConnect(ctx, g, sk, 1);
+       },
+       [&](Ctx& ctx) {
+         // Test 2 (reader): connect() finds the half-registered tunnel; sendmsg()
+         // dereferences its null sock.
+         Enter(ctx, 1);
+         GuestAddr sk = SockAlloc(ctx, g, kPxProtoOl2tp, 0);
+         PppoL2tpConnect(ctx, g, sk, 1);
+         L2tpXmit(ctx, g, sk, 64);
+       }},
+      opts);
+  EXPECT_TRUE(result.panicked);
+  EXPECT_NE(result.panic_message.find("NULL pointer dereference"), std::string::npos);
+  EXPECT_NE(result.panic_message.find("L2tpXmit"), std::string::npos);
+}
+
+TEST_F(NetTest, FanoutJoinSendLeave) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr sk1 = SockAlloc(ctx, g, kAfPacket, 0);
+    GuestAddr sk2 = SockAlloc(ctx, g, kAfPacket, 0);
+    EXPECT_EQ(FanoutAdd(ctx, g, sk1, 0), 0);
+    EXPECT_EQ(FanoutAdd(ctx, g, sk2, 0), 0);
+    EXPECT_EQ(PacketSendmsg(ctx, g, sk1, 100), 100);
+    EXPECT_EQ(FanoutUnlink(ctx, g, sk1), 0);
+    EXPECT_EQ(FanoutUnlink(ctx, g, sk1), kENOENT);  // Already left.
+    EXPECT_EQ(PacketSendmsg(ctx, g, sk2, 100), 100);
+    EXPECT_EQ(FanoutUnlink(ctx, g, sk2), 0);
+    // Empty group: demux refuses.
+    GuestAddr sk3 = SockAlloc(ctx, g, kAfPacket, 0);
+    EXPECT_EQ(FanoutAdd(ctx, g, sk3, 0), 0);
+    EXPECT_EQ(FanoutUnlink(ctx, g, sk3), 0);
+    ctx.Store32(sk3 + kSockProtoData, 0, SB_SITE());
+    EXPECT_EQ(PacketSendmsg(ctx, g, sk3, 5), 5);  // Non-fanout path.
+  });
+}
+
+TEST_F(NetTest, FanoutGroupFillsUp) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    for (uint32_t i = 0; i < kFanoutMaxMembers; i++) {
+      GuestAddr sk = SockAlloc(ctx, g, kAfPacket, 0);
+      EXPECT_EQ(FanoutAdd(ctx, g, sk, 1), 0);
+    }
+    GuestAddr overflow = SockAlloc(ctx, g, kAfPacket, 0);
+    EXPECT_EQ(FanoutAdd(ctx, g, overflow, 1), kENOMEM);
+  });
+}
+
+TEST_F(NetTest, Fib6CookieAndFlush) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    int64_t before = Fib6GetCookieSafe(ctx, g, 0);
+    EXPECT_EQ(Fib6CleanTree(ctx, g), 0);
+    int64_t after = Fib6GetCookieSafe(ctx, g, 0);
+    EXPECT_NE(before, after);  // Sernum bumped.
+    EXPECT_EQ(before & 0xFFFF, after & 0xFFFF);  // Cookie unchanged.
+  });
+}
+
+TEST_F(NetTest, TcpCongestionDefaultPropagates) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr sk = SockAlloc(ctx, g, kAfInet, 0);
+    EXPECT_EQ(TcpSetDefaultCongestionControl(ctx, g, 2), 0);  // "bbr".
+    EXPECT_EQ(TcpSetCongestionControl(ctx, g, sk, 0), 0);     // Copy default.
+    EXPECT_EQ(ctx.Load8(sk + kSockCongName, SB_SITE()), 'b');
+    EXPECT_EQ(ctx.Load8(sk + kSockCongName + 1, SB_SITE()), 'b');
+    EXPECT_EQ(ctx.Load8(sk + kSockCongName + 2, SB_SITE()), 'r');
+    EXPECT_EQ(TcpSetCongestionControl(ctx, g, sk, 1), 0);  // Direct "reno".
+    EXPECT_EQ(ctx.Load8(sk + kSockCongName, SB_SITE()), 'r');
+  });
+}
+
+TEST_F(NetTest, PacketGetnameReadsMac) {
+  const KernelGlobals& g = vm_.globals();
+  vm_.engine().RunSequential([&](Ctx& ctx) {
+    Enter(ctx);
+    GuestAddr sk = SockAlloc(ctx, g, kAfPacket, 0);
+    ctx.Store32(sk + kSockBoundIf, 0, SB_SITE());
+    int64_t name = PacketGetname(ctx, g, sk);
+    EXPECT_EQ(name & 0xFF, 0xAA);  // Boot MAC.
+    EXPECT_EQ(E1000SetMac(ctx, g, 0, 1), 0);
+    int64_t renamed = PacketGetname(ctx, g, sk);
+    EXPECT_NE(renamed, name);
+  });
+}
+
+}  // namespace
+}  // namespace snowboard

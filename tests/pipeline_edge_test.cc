@@ -1,0 +1,129 @@
+// Edge cases of the pipeline and its options: degenerate budgets, tiny corpora, PMC
+// identification caps, hot-cell pruning, and matcher bounds.
+#include <gtest/gtest.h>
+
+#include "src/fuzz/generator.h"
+#include "src/snowboard/pipeline.h"
+
+namespace snowboard {
+namespace {
+
+TEST(PipelineEdgeTest, ZeroBudgetExecutesNothing) {
+  PipelineOptions options;
+  options.corpus.max_iterations = 10;
+  options.corpus.target_size = 10;
+  options.max_concurrent_tests = 0;
+  PipelineResult result = RunSnowboardPipeline(options);
+  EXPECT_EQ(result.tests_generated, 0u);
+  EXPECT_EQ(result.tests_executed, 0u);
+  EXPECT_EQ(result.findings.total_findings(), 0u);
+  EXPECT_GT(result.pmc_count, 0u);  // Identification still ran.
+}
+
+TEST(PipelineEdgeTest, SingleTestCorpusStillWorks) {
+  // One sequential test: all PMCs are self-pairs; duplicate-style concurrent tests result.
+  KernelVm vm;
+  std::vector<Program> corpus = {SeedPrograms()[1]};  // l2tp reader (connect+sendmsg).
+  std::vector<SequentialProfile> profiles = ProfileCorpus(vm, corpus);
+  std::vector<Pmc> pmcs = IdentifyPmcs(profiles);
+  EXPECT_GT(pmcs.size(), 0u);
+  for (const Pmc& pmc : pmcs) {
+    for (const PmcTestPair& pair : pmc.pairs) {
+      EXPECT_EQ(pair.write_test, 0);
+      EXPECT_EQ(pair.read_test, 0);
+    }
+  }
+  std::vector<PmcCluster> clusters = ClusterPmcs(pmcs, Strategy::kSInsPair);
+  SelectOptions select;
+  std::vector<ConcurrentTest> tests = SelectConcurrentTests(pmcs, clusters, corpus, select);
+  ASSERT_GT(tests.size(), 0u);
+  EXPECT_EQ(tests[0].write_test, tests[0].read_test);
+}
+
+TEST(PipelineEdgeTest, MaxPmcCapStopsIdentification) {
+  KernelVm vm;
+  std::vector<Program> corpus = {SeedPrograms()[0], SeedPrograms()[1]};
+  std::vector<SequentialProfile> profiles = ProfileCorpus(vm, corpus);
+  PmcIdentifyOptions options;
+  options.max_pmcs = 5;
+  EXPECT_EQ(IdentifyPmcs(profiles, options).size(), 5u);
+}
+
+TEST(PipelineEdgeTest, HotCellPruningReducesPmcs) {
+  KernelVm vm;
+  std::vector<Program> corpus = CorpusPrograms(BuildCorpus(vm, CorpusOptions{}));
+  std::vector<SequentialProfile> profiles = ProfileCorpus(vm, corpus);
+  std::vector<Pmc> unpruned = IdentifyPmcs(profiles);
+  PmcIdentifyOptions pruned_options;
+  pruned_options.max_keys_per_address = 2;  // Drop hot cells (counters, lock words).
+  std::vector<Pmc> pruned = IdentifyPmcs(profiles, pruned_options);
+  EXPECT_LT(pruned.size(), unpruned.size());
+  EXPECT_GT(pruned.size(), 0u);
+}
+
+TEST(PipelineEdgeTest, MatcherIndexBoundRespected) {
+  std::vector<Pmc> pmcs;
+  for (uint32_t i = 0; i < 100; i++) {
+    Pmc pmc;
+    pmc.key.write = PmcSide{0x1000 + 4 * i, 4, 100 + i, 1};
+    pmc.key.read = PmcSide{0x1000 + 4 * i, 4, 200 + i, 2};
+    pmcs.push_back(pmc);
+  }
+  PmcMatcher matcher(&pmcs, /*max_indexed=*/10);
+  // Write features beyond the indexed prefix are not findable.
+  uint64_t indexed = AccessFeatureHash(AccessType::kWrite, 0x1000, 4, 100, 1);
+  uint64_t unindexed = AccessFeatureHash(AccessType::kWrite, 0x1000 + 4 * 50, 4, 150, 1);
+  EXPECT_NE(matcher.CandidatesForWrite(indexed), nullptr);
+  EXPECT_EQ(matcher.CandidatesForWrite(unindexed), nullptr);
+}
+
+TEST(PipelineEdgeTest, ExplorerZeroTrials) {
+  KernelVm vm;
+  ConcurrentTest test;
+  test.writer = SeedPrograms()[0];
+  test.reader = SeedPrograms()[1];
+  ExplorerOptions options;
+  options.num_trials = 0;
+  ExploreOutcome outcome = ExploreConcurrentTest(vm, test, nullptr, options);
+  EXPECT_EQ(outcome.trials_run, 0);
+  EXPECT_FALSE(outcome.bug_found);
+}
+
+TEST(PipelineEdgeTest, BudgetLargerThanClusterCountIsClamped) {
+  PipelineOptions options;
+  options.corpus.max_iterations = 20;
+  options.corpus.target_size = 20;
+  options.max_concurrent_tests = 1'000'000;
+  options.explorer.num_trials = 2;
+  options.strategy = Strategy::kSMem;
+  PipelineResult result = RunSnowboardPipeline(options);
+  EXPECT_EQ(result.tests_generated, result.cluster_count);  // One exemplar per cluster.
+  EXPECT_EQ(result.tests_executed, result.tests_generated);
+}
+
+TEST(PipelineEdgeTest, FindingsSurviveWorkerCountChange) {
+  // The set of found issue ids must not depend on worker parallelism (order may).
+  PipelineOptions options;
+  options.corpus.max_iterations = 30;
+  options.corpus.target_size = 30;
+  options.max_concurrent_tests = 25;
+  options.explorer.num_trials = 6;
+  options.strategy = Strategy::kSIns;
+
+  options.num_workers = 1;
+  PipelineResult one = RunSnowboardPipeline(options);
+  options.num_workers = 8;
+  PipelineResult eight = RunSnowboardPipeline(options);
+  std::set<int> ids_one;
+  std::set<int> ids_eight;
+  for (const auto& [id, finding] : one.findings.first_findings()) {
+    ids_one.insert(id);
+  }
+  for (const auto& [id, finding] : eight.findings.first_findings()) {
+    ids_eight.insert(id);
+  }
+  EXPECT_EQ(ids_one, ids_eight);
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,250 @@
+// Property-based tests: randomized sweeps over the algorithmic core, checking invariants
+// rather than examples. Parameterized over seeds so each instantiation explores a different
+// region of the input space deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "src/snowboard/cluster.h"
+#include "src/snowboard/pmc.h"
+#include "src/snowboard/profile.h"
+#include "src/util/rng.h"
+
+namespace snowboard {
+namespace {
+
+// --- ProjectValue: projection must agree with byte-level extraction. ---
+
+class ProjectValueProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProjectValueProperty, MatchesByteExtraction) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; i++) {
+    GuestAddr addr = 0x1000 + static_cast<GuestAddr>(rng.Below(64));
+    uint32_t len = 1 + static_cast<uint32_t>(rng.Below(8));
+    uint64_t value = rng.Next();
+    if (len < 8) {
+      value &= (1ull << (8 * len)) - 1;
+    }
+    uint32_t ov_off = static_cast<uint32_t>(rng.Below(len));
+    uint32_t ov_len = 1 + static_cast<uint32_t>(rng.Below(len - ov_off));
+
+    uint64_t projected = ProjectValue(addr, len, value, addr + ov_off, ov_len);
+    // Reference: extract bytes one by one.
+    uint64_t expected = 0;
+    for (uint32_t b = 0; b < ov_len; b++) {
+      uint64_t byte = (value >> (8 * (ov_off + b))) & 0xFF;
+      expected |= byte << (8 * b);
+    }
+    ASSERT_EQ(projected, expected)
+        << "addr=" << addr << " len=" << len << " off=" << ov_off << " ov_len=" << ov_len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectValueProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- IdentifyPmcs: agreement with a brute-force oracle on random profiles. ---
+
+class IdentifyPmcsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+SharedAccess RandomAccess(Rng& rng) {
+  SharedAccess a;
+  a.type = rng.Coin() ? AccessType::kWrite : AccessType::kRead;
+  a.addr = 0x2000 + static_cast<GuestAddr>(4 * rng.Below(8));  // Small space: collisions.
+  a.len = rng.Coin() ? 4 : static_cast<uint8_t>(1 + rng.Below(4));
+  a.site = 100 + rng.Below(6);
+  a.value = rng.Below(4);
+  return a;
+}
+
+TEST_P(IdentifyPmcsProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; round++) {
+    std::vector<SequentialProfile> profiles;
+    for (int t = 0; t < 4; t++) {
+      SequentialProfile profile;
+      profile.test_id = t;
+      profile.ok = true;
+      int n = 1 + static_cast<int>(rng.Below(10));
+      for (int i = 0; i < n; i++) {
+        profile.accesses.push_back(RandomAccess(rng));
+      }
+      profiles.push_back(std::move(profile));
+    }
+
+    // Brute force: every (write occurrence, read occurrence) pair over all tests.
+    std::unordered_set<uint64_t> expected_keys;
+    for (const SequentialProfile& wp : profiles) {
+      for (const SharedAccess& w : wp.accesses) {
+        if (w.type != AccessType::kWrite) {
+          continue;
+        }
+        for (const SequentialProfile& rp : profiles) {
+          for (const SharedAccess& r : rp.accesses) {
+            if (r.type != AccessType::kRead) {
+              continue;
+            }
+            GuestAddr ov_start = std::max(w.addr, r.addr);
+            GuestAddr ov_end = std::min<GuestAddr>(w.addr + w.len, r.addr + r.len);
+            if (ov_start >= ov_end) {
+              continue;
+            }
+            uint32_t ov_len = ov_end - ov_start;
+            if (ProjectValue(w.addr, w.len, w.value, ov_start, ov_len) ==
+                ProjectValue(r.addr, r.len, r.value, ov_start, ov_len)) {
+              continue;
+            }
+            PmcKey key;
+            key.write = PmcSide{w.addr, w.len, w.site, w.value};
+            key.read = PmcSide{r.addr, r.len, r.site, r.value};
+            expected_keys.insert(key.Hash());
+          }
+        }
+      }
+    }
+
+    std::vector<Pmc> pmcs = IdentifyPmcs(profiles);
+    std::unordered_set<uint64_t> actual_keys;
+    for (const Pmc& pmc : pmcs) {
+      PmcKey key = pmc.key;
+      key.df_leader = false;  // Brute force above ignores the df feature.
+      actual_keys.insert(key.Hash());
+    }
+    ASSERT_EQ(actual_keys, expected_keys) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdentifyPmcsProperty, ::testing::Values(11, 22, 33, 44));
+
+// --- Clustering: partition and filter invariants over random PMC populations. ---
+
+class ClusterProperty : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<Pmc> RandomPmcs(Rng& rng, size_t count) {
+  std::vector<Pmc> pmcs;
+  std::unordered_set<uint64_t> seen;
+  while (pmcs.size() < count) {
+    Pmc pmc;
+    pmc.key.write = PmcSide{static_cast<GuestAddr>(0x1000 + 4 * rng.Below(16)),
+                            static_cast<uint8_t>(rng.Coin() ? 4 : 2), 10 + rng.Below(8),
+                            rng.Below(5)};
+    pmc.key.read = PmcSide{static_cast<GuestAddr>(0x1000 + 4 * rng.Below(16)),
+                           static_cast<uint8_t>(rng.Coin() ? 4 : 2), 30 + rng.Below(8),
+                           rng.Below(5)};
+    pmc.key.df_leader = rng.Chance(1, 4);
+    if (!seen.insert(pmc.key.Hash()).second) {
+      continue;  // Keep keys unique, as IdentifyPmcs guarantees.
+    }
+    pmc.pairs.push_back(PmcTestPair{0, 1});
+    pmc.total_pairs = 1;
+    pmcs.push_back(std::move(pmc));
+  }
+  return pmcs;
+}
+
+TEST_P(ClusterProperty, UnfilteredStrategiesPartition) {
+  Rng rng(GetParam());
+  std::vector<Pmc> pmcs = RandomPmcs(rng, 200);
+  for (Strategy strategy : {Strategy::kSFull, Strategy::kSCh, Strategy::kSInsPair,
+                            Strategy::kSMem}) {
+    std::vector<PmcCluster> clusters = ClusterPmcs(pmcs, strategy);
+    size_t members = 0;
+    std::unordered_set<uint32_t> seen_members;
+    for (const PmcCluster& cluster : clusters) {
+      ASSERT_FALSE(cluster.members.empty());
+      members += cluster.members.size();
+      for (uint32_t m : cluster.members) {
+        ASSERT_TRUE(seen_members.insert(m).second)
+            << StrategyName(strategy) << ": PMC in two clusters";
+        // Every member of a cluster shares the clustering key.
+        ASSERT_EQ(StrategyKey(strategy, pmcs[m].key, 0), cluster.key);
+      }
+    }
+    ASSERT_EQ(members, pmcs.size()) << StrategyName(strategy) << " must partition";
+  }
+}
+
+TEST_P(ClusterProperty, SInsIsDualMembership) {
+  Rng rng(GetParam() ^ 0x5a5a);
+  std::vector<Pmc> pmcs = RandomPmcs(rng, 150);
+  std::vector<PmcCluster> clusters = ClusterPmcs(pmcs, Strategy::kSIns);
+  std::map<uint32_t, int> membership;
+  for (const PmcCluster& cluster : clusters) {
+    for (uint32_t m : cluster.members) {
+      membership[m]++;
+    }
+  }
+  for (const auto& [member, count] : membership) {
+    ASSERT_EQ(count, 2) << "S-INS puts each PMC in exactly two clusters";
+  }
+  ASSERT_EQ(membership.size(), pmcs.size());
+}
+
+TEST_P(ClusterProperty, FiltersAreSubsetsOfSCh) {
+  Rng rng(GetParam() ^ 0xfefe);
+  std::vector<Pmc> pmcs = RandomPmcs(rng, 200);
+  size_t ch_members = 0;
+  for (const PmcCluster& c : ClusterPmcs(pmcs, Strategy::kSCh)) {
+    ch_members += c.members.size();
+  }
+  for (Strategy strategy : {Strategy::kSChNull, Strategy::kSChUnaligned,
+                            Strategy::kSChDouble}) {
+    size_t filtered_members = 0;
+    for (const PmcCluster& cluster : ClusterPmcs(pmcs, strategy)) {
+      for (uint32_t m : cluster.members) {
+        filtered_members++;
+        ASSERT_TRUE(StrategyFilter(strategy, pmcs[m].key));
+      }
+    }
+    ASSERT_LE(filtered_members, ch_members);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterProperty, ::testing::Values(7, 8, 9));
+
+// --- Double-fetch leader: brute-force agreement. ---
+
+class DoubleFetchProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DoubleFetchProperty, LeaderImpliesValidPair) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; round++) {
+    std::vector<SharedAccess> accesses;
+    int n = 3 + static_cast<int>(rng.Below(15));
+    for (int i = 0; i < n; i++) {
+      accesses.push_back(RandomAccess(rng));
+    }
+    std::vector<SharedAccess> marked = accesses;
+    ComputeDoubleFetchLeaders(&marked);
+    for (size_t i = 0; i < marked.size(); i++) {
+      if (!marked[i].df_leader) {
+        continue;
+      }
+      // A leader must be a read with a later same-range same-value read by a different
+      // site, with no overlapping write in between.
+      ASSERT_EQ(marked[i].type, AccessType::kRead);
+      bool valid = false;
+      for (size_t j = i + 1; j < marked.size() && !valid; j++) {
+        const SharedAccess& later = marked[j];
+        if (later.type == AccessType::kWrite &&
+            later.addr < marked[i].addr + marked[i].len &&
+            marked[i].addr < later.addr + later.len) {
+          break;  // Intervening write: nothing after j can justify the leader.
+        }
+        if (later.type == AccessType::kRead && later.addr == marked[i].addr &&
+            later.len == marked[i].len && later.site != marked[i].site &&
+            later.value == marked[i].value) {
+          valid = true;
+        }
+      }
+      ASSERT_TRUE(valid) << "df_leader without a justifying second fetch";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoubleFetchProperty, ::testing::Values(3, 6, 9));
+
+}  // namespace
+}  // namespace snowboard

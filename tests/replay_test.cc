@@ -1,0 +1,128 @@
+// Tests for deterministic bug reproduction (§6): schedule recording, the compact string
+// form, replay fidelity, and end-to-end capsule replay of the Figure 1 panic.
+#include <gtest/gtest.h>
+
+#include "src/fuzz/generator.h"
+#include "src/snowboard/pipeline.h"
+#include "src/snowboard/replay.h"
+
+namespace snowboard {
+namespace {
+
+TEST(RecordedScheduleTest, StringRoundTrip) {
+  RecordedSchedule schedule;
+  schedule.switch_after = {false, false, true, false, true};
+  EXPECT_EQ(schedule.ToString(), "..S.S");
+  EXPECT_EQ(RecordedSchedule::FromString("..S.S"), schedule);
+  EXPECT_EQ(RecordedSchedule::FromString(""), RecordedSchedule{});
+}
+
+TEST(RecordingSchedulerTest, RecordsInnerDecisions) {
+  RandomPreemptScheduler inner(/*period=*/2);
+  RecordingScheduler recorder(&inner);
+  recorder.SeedTrial(3);
+  Access access;
+  access.type = AccessType::kRead;
+  access.addr = 0x2000;
+  access.len = 4;
+  int switches = 0;
+  for (int i = 0; i < 100; i++) {
+    switches += recorder.AfterAccess(0, access) ? 1 : 0;
+  }
+  ASSERT_EQ(recorder.schedule().switch_after.size(), 100u);
+  int recorded = 0;
+  for (bool decision : recorder.schedule().switch_after) {
+    recorded += decision ? 1 : 0;
+  }
+  EXPECT_EQ(recorded, switches);
+  EXPECT_GT(switches, 10);  // Period 2: roughly half.
+}
+
+TEST(ReplaySchedulerTest, ReappliesDecisionsThenStops) {
+  ReplayScheduler replayer(RecordedSchedule::FromString("S.S"));
+  replayer.SeedTrial(0);
+  Access access;
+  EXPECT_TRUE(replayer.AfterAccess(0, access));
+  EXPECT_FALSE(replayer.AfterAccess(1, access));
+  EXPECT_TRUE(replayer.AfterAccess(0, access));
+  EXPECT_FALSE(replayer.AfterAccess(0, access));  // Past the recording: never switch.
+  EXPECT_FALSE(replayer.AfterAccess(1, access));
+}
+
+class ReplayE2eTest : public ::testing::Test {
+ protected:
+  // Builds the Figure 1 concurrent test with its registration-PMC hint.
+  static ConcurrentTest BuildL2tpTest(KernelVm& vm) {
+    std::vector<Program> seeds = SeedPrograms();
+    std::vector<Program> corpus = {seeds[0], seeds[1]};
+    std::vector<SequentialProfile> profiles = ProfileCorpus(vm, corpus);
+    std::vector<Pmc> pmcs = IdentifyPmcs(profiles);
+    ConcurrentTest test;
+    test.writer = corpus[0];
+    test.reader = corpus[1];
+    GuestAddr list_head = vm.globals().l2tp + 4;
+    for (const Pmc& pmc : pmcs) {
+      if (pmc.key.write.addr == list_head && pmc.key.read.addr == list_head &&
+          pmc.key.write.value != 0) {
+        test.hint = pmc.key;
+        break;
+      }
+    }
+    return test;
+  }
+};
+
+TEST_F(ReplayE2eTest, SeedReplayIsExact) {
+  KernelVm vm;
+  ConcurrentTest test = BuildL2tpTest(vm);
+  BugCapsule first;
+  Engine::RunResult a = ReproduceTrial(vm, test, /*seed=*/2021, /*trial=*/5, &first);
+  BugCapsule second;
+  Engine::RunResult b = ReproduceTrial(vm, test, /*seed=*/2021, /*trial=*/5, &second);
+  EXPECT_EQ(a.panicked, b.panicked);
+  EXPECT_EQ(a.panic_message, b.panic_message);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(first.schedule, second.schedule);
+}
+
+TEST_F(ReplayE2eTest, CapsuleReplaysThePanic) {
+  KernelVm vm;
+  ConcurrentTest test = BuildL2tpTest(vm);
+  // Find a panicking trial with the per-trial seed sweep (Algorithm 2's reseeding).
+  BugCapsule capsule;
+  bool captured = false;
+  for (int trial = 0; trial < 64 && !captured; trial++) {
+    Engine::RunResult result = ReproduceTrial(vm, test, 2021, trial, &capsule);
+    captured = result.panicked;
+  }
+  ASSERT_TRUE(captured) << "no panicking trial within the sweep";
+  ASSERT_FALSE(capsule.panic_message.empty());
+
+  // The capsule replays the identical panic — through the RECORDED schedule, independent of
+  // the PMC scheduler's internals.
+  EXPECT_TRUE(ReplayCapsule(vm, capsule));
+
+  // And the string round-trip preserves it (a bug report attachment).
+  BugCapsule from_text = capsule;
+  from_text.schedule = RecordedSchedule::FromString(capsule.schedule.ToString());
+  EXPECT_TRUE(ReplayCapsule(vm, from_text));
+}
+
+TEST_F(ReplayE2eTest, CorruptedScheduleDoesNotReproduce) {
+  KernelVm vm;
+  ConcurrentTest test = BuildL2tpTest(vm);
+  BugCapsule capsule;
+  bool captured = false;
+  for (int trial = 0; trial < 64 && !captured; trial++) {
+    captured = ReproduceTrial(vm, test, 2021, trial, &capsule).panicked;
+  }
+  ASSERT_TRUE(captured);
+  // Remove every switch: the serialized no-preemption run cannot hit the window.
+  BugCapsule broken = capsule;
+  broken.schedule = RecordedSchedule::FromString(
+      std::string(capsule.schedule.switch_after.size(), '.'));
+  EXPECT_FALSE(ReplayCapsule(vm, broken));
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,142 @@
+// Tests for the issue catalog and finding triage.
+#include <gtest/gtest.h>
+
+#include "src/sim/site.h"
+#include "src/snowboard/report.h"
+#include "src/util/hash.h"
+
+namespace snowboard {
+namespace {
+
+SiteId FakeSite(const char* function, int salt) {
+  // Site ids are keyed by (file, line, counter): derive a distinct line per function name
+  // so each fake function gets its own site.
+  int line = static_cast<int>(Fnv1a(function) % 1000000) + salt;
+  return RegisterSite("triage_test.cc", line, function, 0);
+}
+
+RaceReport MakeRace(const char* write_fn, const char* read_fn) {
+  RaceReport race;
+  race.write_site = FakeSite(write_fn, 1);
+  race.other_site = FakeSite(read_fn, 2);
+  race.addr = 0x2000;
+  return race;
+}
+
+TEST(CatalogTest, SeventeenIssues) {
+  const std::vector<IssueInfo>& catalog = IssueCatalog();
+  EXPECT_EQ(catalog.size(), 17u);
+  for (size_t i = 0; i < catalog.size(); i++) {
+    EXPECT_EQ(catalog[i].id, static_cast<int>(i) + 1);
+  }
+  // Table 2 type distribution: 13 DR, 3 AV, 1 OV.
+  int dr = 0;
+  int av = 0;
+  int ov = 0;
+  for (const IssueInfo& issue : catalog) {
+    dr += issue.type == IssueType::kDataRace ? 1 : 0;
+    av += issue.type == IssueType::kAtomicityViolation ? 1 : 0;
+    ov += issue.type == IssueType::kOrderViolation ? 1 : 0;
+  }
+  EXPECT_EQ(dr, 13);
+  EXPECT_EQ(av, 3);
+  EXPECT_EQ(ov, 1);
+  // Benign set: #10, #13, #16.
+  EXPECT_TRUE(FindIssue(10)->benign);
+  EXPECT_TRUE(FindIssue(13)->benign);
+  EXPECT_TRUE(FindIssue(16)->benign);
+  EXPECT_FALSE(FindIssue(12)->benign);
+  EXPECT_EQ(FindIssue(99), nullptr);
+}
+
+TEST(CatalogTest, TypeNames) {
+  EXPECT_STREQ(IssueTypeName(IssueType::kDataRace), "DR");
+  EXPECT_STREQ(IssueTypeName(IssueType::kAtomicityViolation), "AV");
+  EXPECT_STREQ(IssueTypeName(IssueType::kOrderViolation), "OV");
+}
+
+TEST(ClassifyRaceTest, KnownPairsBothOrders) {
+  EXPECT_EQ(ClassifyRace(MakeRace("UartDoAutoconfig", "TtyPortOpen")), 14);
+  EXPECT_EQ(ClassifyRace(MakeRace("TtyPortOpen", "UartDoAutoconfig")), 14);
+  EXPECT_EQ(ClassifyRace(MakeRace("DevIoctlSetMac", "DevIoctlGetMac")), 9);
+  EXPECT_EQ(ClassifyRace(MakeRace("E1000SetMac", "PacketGetname")), 8);
+  EXPECT_EQ(ClassifyRace(MakeRace("DevSetMtu", "Rawv6SendHdrinc")), 7);
+  EXPECT_EQ(ClassifyRace(MakeRace("BlkdevSetReadahead", "GenericFadviseBdev")), 5);
+  EXPECT_EQ(ClassifyRace(MakeRace("BlkdevSetBlocksize", "MpageReadpage")), 6);
+  EXPECT_EQ(ClassifyRace(MakeRace("Fib6CleanTree", "Fib6GetCookieSafe")), 10);
+  EXPECT_EQ(ClassifyRace(MakeRace("Kmalloc", "Kmalloc")), 13);
+  EXPECT_EQ(ClassifyRace(MakeRace("Kfree", "Kmalloc")), 13);
+  EXPECT_EQ(ClassifyRace(MakeRace("SndCtlElemAdd", "SndCtlElemAdd")), 15);
+  EXPECT_EQ(
+      ClassifyRace(MakeRace("TcpSetDefaultCongestionControl", "TcpSetCongestionControl")),
+      16);
+  EXPECT_EQ(ClassifyRace(MakeRace("FanoutUnlink", "PacketSendmsg")), 17);
+  EXPECT_EQ(ClassifyRace(MakeRace("RhtAssignUnlock", "RhtPtr")), 1);
+  EXPECT_EQ(ClassifyRace(MakeRace("ConfigfsRmdir", "ConfigfsLookup")), 11);
+  EXPECT_EQ(ClassifyRace(MakeRace("SbfsSwapInodeBootLoader", "SbfsWrite")), 2);
+  EXPECT_EQ(ClassifyRace(MakeRace("SbfsFtruncate", "SbfsWrite")), 4);
+}
+
+TEST(ClassifyRaceTest, UnknownPairUnclassified) {
+  EXPECT_EQ(ClassifyRace(MakeRace("FooBar", "BazQux")), 0);
+  EXPECT_EQ(ClassifyRace(MakeRace("TtyPortOpen", "TtyPortOpen")), 0);
+}
+
+TEST(ClassifyConsoleTest, PanicsAndFsErrors) {
+  EXPECT_EQ(ClassifyConsoleLine(
+                "BUG: kernel NULL pointer dereference, address: 0x24 at L2tpXmit (l2tp.cc:93)"),
+            12);
+  EXPECT_EQ(ClassifyConsoleLine("BUG: kernel NULL pointer dereference at ConfigfsLookup"),
+            11);
+  EXPECT_EQ(ClassifyConsoleLine("BUG: unable to handle page fault at RhtLookup (x:1)"), 1);
+  EXPECT_EQ(ClassifyConsoleLine("BUG: kernel NULL pointer dereference at PacketSendmsg"),
+            17);
+  EXPECT_EQ(ClassifyConsoleLine("EXT4-fs error: sbfs_swap_inode_boot_loader: "
+                                "checksum invalid for inode #1"),
+            2);
+  EXPECT_EQ(ClassifyConsoleLine("EXT4-fs error: sbfs_ext_check_inode: invalid magic 0x0"),
+            3);
+  EXPECT_EQ(ClassifyConsoleLine("blk_update_request: I/O error, dev sbd0, sector 65535"),
+            4);
+  EXPECT_EQ(ClassifyConsoleLine("BUG: something novel"), 0);
+  EXPECT_EQ(ClassifyConsoleLine("hello world"), 0);
+}
+
+TEST(FindingsLogTest, KeepsEarliestPerIssue) {
+  FindingsLog log;
+  log.Record(Finding{14, "later", 50, 3, false});
+  log.Record(Finding{14, "earlier", 10, 1, false});
+  log.Record(Finding{9, "only", 20, 0, true});
+  EXPECT_EQ(log.total_findings(), 3u);
+  ASSERT_TRUE(log.Found(14));
+  EXPECT_EQ(log.first_findings().at(14).test_index, 10u);
+  EXPECT_EQ(log.first_findings().at(14).evidence, "earlier");
+  EXPECT_TRUE(log.Found(9));
+  EXPECT_FALSE(log.Found(12));
+}
+
+TEST(FindingsLogTest, MergePrefersEarliest) {
+  FindingsLog a;
+  FindingsLog b;
+  a.Record(Finding{14, "a", 30, 0, false});
+  b.Record(Finding{14, "b", 5, 0, false});
+  b.Record(Finding{12, "b12", 7, 0, false});
+  a.Merge(b);
+  EXPECT_EQ(a.first_findings().at(14).test_index, 5u);
+  EXPECT_TRUE(a.Found(12));
+  EXPECT_EQ(a.total_findings(), 3u);
+}
+
+TEST(FindingsLogTest, SummaryMentionsIssues) {
+  FindingsLog log;
+  log.Record(Finding{12, "BUG: ...", 3, 2, false});
+  log.Record(Finding{0, "data race: A / B", 4, 1, true});
+  std::string summary = log.Summarize();
+  EXPECT_NE(summary.find("#12"), std::string::npos);
+  EXPECT_NE(summary.find("OV"), std::string::npos);
+  EXPECT_NE(summary.find("HARMFUL"), std::string::npos);
+  EXPECT_NE(summary.find("unclassified"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snowboard

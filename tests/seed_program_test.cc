@@ -1,0 +1,127 @@
+// Parameterized per-seed-program sweep: every hand-written seed program (the corpus
+// bootstrap) must satisfy the pipeline's contracts individually — clean sequential
+// execution, reproducible profiles, self-PMC identification, and round-trippable
+// serialization. One instantiation per seed program.
+#include <gtest/gtest.h>
+
+#include "src/fuzz/generator.h"
+#include "src/kernel/task.h"
+#include "src/snowboard/pipeline.h"
+#include "src/snowboard/serialize.h"
+
+namespace snowboard {
+namespace {
+
+class SeedProgramSweep : public ::testing::TestWithParam<size_t> {
+ protected:
+  static KernelVm& SharedVm() {
+    static KernelVm* vm = new KernelVm();
+    return *vm;
+  }
+  Program GetProgram() { return SeedPrograms()[GetParam()]; }
+};
+
+TEST_P(SeedProgramSweep, RunsCleanSequentially) {
+  KernelVm& vm = SharedVm();
+  vm.RestoreSnapshot();
+  Engine::RunOptions opts;
+  opts.max_instructions = 1'000'000;
+  Engine::RunResult result =
+      vm.engine().Run({MakeProgramRunner(vm.globals(), GetProgram(), 0)}, opts);
+  EXPECT_TRUE(result.completed) << GetProgram().Format();
+  EXPECT_FALSE(result.panicked) << GetProgram().Format();
+  EXPECT_FALSE(result.hang);
+}
+
+TEST_P(SeedProgramSweep, SyscallsMostlySucceed) {
+  // Seed programs are curated reproducers: their syscalls must not fail (a failing seed
+  // would silently weaken the corpus bootstrap).
+  KernelVm& vm = SharedVm();
+  vm.RestoreSnapshot();
+  Program program = GetProgram();
+  bool all_ok = true;
+  std::string failures;
+  Engine::RunResult run = vm.engine().Run(
+      {[&](Ctx& ctx) {
+        TaskEnter(ctx, vm.globals().tasks[0]);
+        ProgramResult result = RunProgram(ctx, vm.globals(), program);
+        for (size_t i = 0; i < result.call_results.size(); i++) {
+          if (result.call_results[i] < 0) {
+            all_ok = false;
+            failures += " call" + std::to_string(i) + "=" +
+                        std::to_string(result.call_results[i]);
+          }
+        }
+      }},
+      Engine::RunOptions{});
+  EXPECT_TRUE(run.completed);
+  EXPECT_TRUE(all_ok) << GetProgram().Format() << "\nfailures:" << failures;
+}
+
+TEST_P(SeedProgramSweep, ProfileIsReproducible) {
+  KernelVm& vm = SharedVm();
+  SequentialProfile a = ProfileTest(vm, GetProgram(), 0);
+  SequentialProfile b = ProfileTest(vm, GetProgram(), 0);
+  ASSERT_TRUE(a.ok);
+  ASSERT_EQ(a.accesses.size(), b.accesses.size());
+  for (size_t i = 0; i < a.accesses.size(); i++) {
+    ASSERT_EQ(a.accesses[i].addr, b.accesses[i].addr);
+    ASSERT_EQ(a.accesses[i].value, b.accesses[i].value);
+    ASSERT_EQ(a.accesses[i].site, b.accesses[i].site);
+    ASSERT_EQ(a.accesses[i].df_leader, b.accesses[i].df_leader);
+  }
+}
+
+TEST_P(SeedProgramSweep, ProfileHasSharedAccesses) {
+  KernelVm& vm = SharedVm();
+  SequentialProfile profile = ProfileTest(vm, GetProgram(), 0);
+  ASSERT_TRUE(profile.ok);
+  // Every seed drives at least one kernel subsystem: shared accesses must exist.
+  EXPECT_GT(profile.accesses.size(), 5u) << GetProgram().Format();
+  // Accesses carry valid feature tuples.
+  for (const SharedAccess& access : profile.accesses) {
+    EXPECT_NE(access.site, kInvalidSite);
+    EXPECT_GE(access.len, 1);
+    EXPECT_LE(access.len, 8);
+    EXPECT_GE(access.addr, kGuestNullPageSize);
+  }
+}
+
+TEST_P(SeedProgramSweep, SerializationRoundTrips) {
+  Program program = GetProgram();
+  std::optional<Program> restored = DeserializeProgram(SerializeProgram(program));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, program);
+  EXPECT_EQ(restored->Hash(), program.Hash());
+}
+
+TEST_P(SeedProgramSweep, SelfPairIdentifiesPmcsOrIsReadOnly) {
+  // Pairing a seed with itself (duplicate pairing) must produce PMCs whenever the program
+  // writes shared state that it also reads.
+  KernelVm& vm = SharedVm();
+  SequentialProfile profile = ProfileTest(vm, GetProgram(), 0);
+  ASSERT_TRUE(profile.ok);
+  bool has_write = false;
+  bool has_read = false;
+  for (const SharedAccess& access : profile.accesses) {
+    has_write = has_write || access.type == AccessType::kWrite;
+    has_read = has_read || access.type == AccessType::kRead;
+  }
+  std::vector<Pmc> pmcs = IdentifyPmcs({profile});
+  if (!has_write || !has_read) {
+    EXPECT_TRUE(pmcs.empty());
+    return;
+  }
+  // All seeds mutate counters/objects they re-read through syscalls; at minimum the
+  // allocator and fd-table traffic yields channels.
+  EXPECT_GT(pmcs.size(), 0u) << GetProgram().Format();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeeds, SeedProgramSweep,
+                         ::testing::Range<size_t>(0, SeedPrograms().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,154 @@
+// Tests for PMC selection/prioritization (§4.3/§4.4) and the baseline pairing generators.
+#include <gtest/gtest.h>
+
+#include "src/snowboard/select.h"
+
+namespace snowboard {
+namespace {
+
+Pmc MakePmc(SiteId ws, SiteId rs, std::vector<PmcTestPair> pairs) {
+  Pmc pmc;
+  pmc.key.write = PmcSide{0x100, 4, ws, 1};
+  pmc.key.read = PmcSide{0x100, 4, rs, 2};
+  pmc.pairs = std::move(pairs);
+  pmc.total_pairs = pmc.pairs.size();
+  return pmc;
+}
+
+std::vector<Program> TinyCorpus(int n) {
+  std::vector<Program> corpus;
+  for (int i = 0; i < n; i++) {
+    Program p;
+    Call call;
+    call.nr = kSysMsgget;
+    call.args[0] = Arg::Const(i);
+    p.calls.push_back(call);
+    corpus.push_back(p);
+  }
+  return corpus;
+}
+
+TEST(OrderClustersTest, UncommonFirst) {
+  std::vector<PmcCluster> clusters = {
+      PmcCluster{10, {0, 1, 2}},
+      PmcCluster{20, {3}},
+      PmcCluster{30, {4, 5}},
+  };
+  Rng rng(1);
+  std::vector<size_t> order = OrderClusters(clusters, /*randomize=*/false, rng);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);  // Size 1.
+  EXPECT_EQ(order[1], 2u);  // Size 2.
+  EXPECT_EQ(order[2], 0u);  // Size 3.
+}
+
+TEST(OrderClustersTest, DeterministicTieBreakByKey) {
+  std::vector<PmcCluster> clusters = {PmcCluster{50, {0}}, PmcCluster{40, {1}}};
+  Rng rng(1);
+  std::vector<size_t> order = OrderClusters(clusters, false, rng);
+  EXPECT_EQ(order[0], 1u);  // Key 40 < 50.
+}
+
+TEST(OrderClustersTest, RandomizedOrderIsSeededShuffle) {
+  std::vector<PmcCluster> clusters;
+  for (uint64_t i = 0; i < 20; i++) {
+    clusters.push_back(PmcCluster{i, {static_cast<uint32_t>(i)}});
+  }
+  Rng rng_a(7);
+  Rng rng_b(7);
+  std::vector<size_t> a = OrderClusters(clusters, true, rng_a);
+  std::vector<size_t> b = OrderClusters(clusters, true, rng_b);
+  EXPECT_EQ(a, b);  // Same seed, same shuffle.
+  Rng rng_c(8);
+  std::vector<size_t> c = OrderClusters(clusters, true, rng_c);
+  EXPECT_NE(a, c);  // Different seed, (almost surely) different order.
+  // Still a permutation.
+  std::vector<size_t> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); i++) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(SelectTest, OneExemplarPerCluster) {
+  std::vector<Pmc> pmcs = {MakePmc(1, 2, {{0, 1}}), MakePmc(1, 3, {{1, 2}}),
+                           MakePmc(4, 5, {{2, 0}})};
+  std::vector<PmcCluster> clusters = {PmcCluster{100, {0, 1}}, PmcCluster{200, {2}}};
+  SelectOptions options;
+  std::vector<ConcurrentTest> tests =
+      SelectConcurrentTests(pmcs, clusters, TinyCorpus(3), options);
+  EXPECT_EQ(tests.size(), 2u);
+  for (const ConcurrentTest& test : tests) {
+    EXPECT_GE(test.write_test, 0);
+    EXPECT_LT(test.write_test, 3);
+    EXPECT_GE(test.read_test, 0);
+    EXPECT_LT(test.read_test, 3);
+  }
+  // Uncommon first: the singleton cluster's exemplar comes first.
+  EXPECT_EQ(tests[0].cluster_size, 1u);
+  EXPECT_EQ(tests[1].cluster_size, 2u);
+}
+
+TEST(SelectTest, MaxTestsBudgetRespected) {
+  std::vector<Pmc> pmcs;
+  std::vector<PmcCluster> clusters;
+  for (uint32_t i = 0; i < 50; i++) {
+    pmcs.push_back(MakePmc(i, i + 100, {{0, 1}}));
+    clusters.push_back(PmcCluster{i, {i}});
+  }
+  SelectOptions options;
+  options.max_tests = 7;
+  EXPECT_EQ(SelectConcurrentTests(pmcs, clusters, TinyCorpus(2), options).size(), 7u);
+}
+
+TEST(SelectTest, DeterministicForSeed) {
+  std::vector<Pmc> pmcs;
+  std::vector<PmcCluster> clusters;
+  for (uint32_t i = 0; i < 10; i++) {
+    pmcs.push_back(MakePmc(i, i + 100, {{0, 1}, {1, 0}, {2, 2}}));
+    clusters.push_back(PmcCluster{i, {i}});
+  }
+  SelectOptions options;
+  options.seed = 77;
+  std::vector<ConcurrentTest> a = SelectConcurrentTests(pmcs, clusters, TinyCorpus(3), options);
+  std::vector<ConcurrentTest> b = SelectConcurrentTests(pmcs, clusters, TinyCorpus(3), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(a[i].write_test, b[i].write_test);
+    EXPECT_EQ(a[i].read_test, b[i].read_test);
+    EXPECT_EQ(a[i].hint.Hash(), b[i].hint.Hash());
+  }
+}
+
+TEST(SelectTest, HintComesFromExemplarPmc) {
+  std::vector<Pmc> pmcs = {MakePmc(11, 22, {{0, 1}})};
+  std::vector<PmcCluster> clusters = {PmcCluster{1, {0}}};
+  SelectOptions options;
+  std::vector<ConcurrentTest> tests =
+      SelectConcurrentTests(pmcs, clusters, TinyCorpus(2), options);
+  ASSERT_EQ(tests.size(), 1u);
+  EXPECT_EQ(tests[0].hint.write.site, 11u);
+  EXPECT_EQ(tests[0].hint.read.site, 22u);
+}
+
+TEST(BaselinesTest, RandomPairsCoverCorpus) {
+  std::vector<ConcurrentTest> tests = GenerateRandomPairs(TinyCorpus(10), 100, 3);
+  EXPECT_EQ(tests.size(), 100u);
+  bool saw_distinct = false;
+  for (const ConcurrentTest& test : tests) {
+    saw_distinct = saw_distinct || test.write_test != test.read_test;
+  }
+  EXPECT_TRUE(saw_distinct);
+}
+
+TEST(BaselinesTest, DuplicatePairsAreIdentical) {
+  std::vector<ConcurrentTest> tests = GenerateDuplicatePairs(TinyCorpus(10), 50, 3);
+  EXPECT_EQ(tests.size(), 50u);
+  for (const ConcurrentTest& test : tests) {
+    EXPECT_EQ(test.write_test, test.read_test);
+    EXPECT_EQ(test.writer.Hash(), test.reader.Hash());
+  }
+}
+
+}  // namespace
+}  // namespace snowboard

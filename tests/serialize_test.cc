@@ -1,0 +1,145 @@
+// Tests for artifact serialization: program/corpus/PMC round-trips, version checking,
+// and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/fuzz/generator.h"
+#include "src/snowboard/pipeline.h"
+#include "src/snowboard/serialize.h"
+
+namespace snowboard {
+namespace {
+
+TEST(SerializeProgramTest, RoundTrip) {
+  Program p;
+  p.calls.push_back(Call{kSysSocket, {Arg::Const(2), Arg::Const(0)}});
+  p.calls.push_back(Call{kSysConnect, {Arg::Result(0), Arg::Const(1)}});
+  std::optional<Program> restored = DeserializeProgram(SerializeProgram(p));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, p);
+}
+
+TEST(SerializeCorpusTest, RoundTripWholeSeedSet) {
+  std::vector<Program> corpus = SeedPrograms();
+  std::optional<std::vector<Program>> restored = DeserializeCorpus(SerializeCorpus(corpus));
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); i++) {
+    EXPECT_EQ((*restored)[i], corpus[i]) << "program " << i;
+  }
+}
+
+TEST(SerializeCorpusTest, RoundTripRandomPrograms) {
+  Generator generator(17);
+  std::vector<Program> corpus;
+  for (int i = 0; i < 50; i++) {
+    corpus.push_back(generator.Generate());
+  }
+  std::optional<std::vector<Program>> restored = DeserializeCorpus(SerializeCorpus(corpus));
+  ASSERT_TRUE(restored.has_value());
+  for (size_t i = 0; i < corpus.size(); i++) {
+    EXPECT_EQ((*restored)[i].Hash(), corpus[i].Hash());
+  }
+}
+
+TEST(SerializeCorpusTest, RejectsBadHeader) {
+  EXPECT_FALSE(DeserializeCorpus("not-a-corpus\ncall 0 c:0\nend\n").has_value());
+  EXPECT_FALSE(DeserializeCorpus("").has_value());
+}
+
+TEST(SerializeCorpusTest, RejectsMalformedLines) {
+  const char* header = "snowboard-corpus-v1\n";
+  EXPECT_FALSE(DeserializeCorpus(std::string(header) + "bogus 1 2 3\nend\n").has_value());
+  EXPECT_FALSE(DeserializeCorpus(std::string(header) + "call 9999 c:0\nend\n").has_value());
+  EXPECT_FALSE(DeserializeCorpus(std::string(header) + "call 0 x:0\nend\n").has_value());
+  // Truncated: calls without a terminating "end".
+  EXPECT_FALSE(DeserializeCorpus(std::string(header) + "call 0 c:0\n").has_value());
+}
+
+TEST(SerializePmcsTest, RoundTrip) {
+  std::vector<Pmc> pmcs;
+  Pmc pmc;
+  pmc.key.write = PmcSide{0x2000, 4, 0xabcdef, 0x1234};
+  pmc.key.read = PmcSide{0x2002, 2, 0xfedcba, 0x56};
+  pmc.key.df_leader = true;
+  pmc.pairs = {{0, 1}, {2, 2}};
+  pmc.total_pairs = 99;
+  pmcs.push_back(pmc);
+
+  std::optional<std::vector<Pmc>> restored = DeserializePmcs(SerializePmcs(pmcs));
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), 1u);
+  EXPECT_EQ((*restored)[0].key, pmc.key);
+  EXPECT_EQ((*restored)[0].total_pairs, 99u);
+  ASSERT_EQ((*restored)[0].pairs.size(), 2u);
+  EXPECT_EQ((*restored)[0].pairs[1].write_test, 2);
+}
+
+TEST(SerializePmcsTest, RejectsBadData) {
+  EXPECT_FALSE(DeserializePmcs("wrong-header\n").has_value());
+  const char* header = "snowboard-pmcs-v1\n";
+  // Length out of range.
+  EXPECT_FALSE(
+      DeserializePmcs(std::string(header) + "pmc 1 99 2 3 4 4 5 6 0 1 0\n").has_value());
+  // Pair count exceeding the cap.
+  EXPECT_FALSE(
+      DeserializePmcs(std::string(header) + "pmc 1 4 2 3 4 4 5 6 0 1 999\n").has_value());
+  // Truncated pair list.
+  EXPECT_FALSE(
+      DeserializePmcs(std::string(header) + "pmc 1 4 2 3 4 4 5 6 0 1 1 7\n").has_value());
+}
+
+TEST(SerializePmcsTest, EmptySetRoundTrips) {
+  std::optional<std::vector<Pmc>> restored = DeserializePmcs(SerializePmcs({}));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(FileHelpersTest, WriteReadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/sb_serialize_test.txt";
+  EXPECT_TRUE(WriteStringToFile(path, "hello\nworld\n"));
+  std::optional<std::string> contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(*contents, "hello\nworld\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadFileToString(path).has_value());
+}
+
+TEST(SerializeE2eTest, PipelineArtifactsSurviveDisk) {
+  // Identify PMCs, save corpus + PMCs to disk, reload, and check the reloaded artifacts
+  // drive SelectConcurrentTests identically.
+  KernelVm vm;
+  std::vector<Program> corpus = {SeedPrograms()[0], SeedPrograms()[1]};
+  std::vector<SequentialProfile> profiles = ProfileCorpus(vm, corpus);
+  std::vector<Pmc> pmcs = IdentifyPmcs(profiles);
+
+  std::string corpus_path = ::testing::TempDir() + "/sb_corpus.txt";
+  std::string pmcs_path = ::testing::TempDir() + "/sb_pmcs.txt";
+  ASSERT_TRUE(WriteStringToFile(corpus_path, SerializeCorpus(corpus)));
+  ASSERT_TRUE(WriteStringToFile(pmcs_path, SerializePmcs(pmcs)));
+
+  std::optional<std::vector<Program>> corpus2 =
+      DeserializeCorpus(*ReadFileToString(corpus_path));
+  std::optional<std::vector<Pmc>> pmcs2 = DeserializePmcs(*ReadFileToString(pmcs_path));
+  ASSERT_TRUE(corpus2.has_value());
+  ASSERT_TRUE(pmcs2.has_value());
+
+  SelectOptions select;
+  std::vector<PmcCluster> clusters_a = ClusterPmcs(pmcs, Strategy::kSInsPair);
+  std::vector<PmcCluster> clusters_b = ClusterPmcs(*pmcs2, Strategy::kSInsPair);
+  std::vector<ConcurrentTest> tests_a =
+      SelectConcurrentTests(pmcs, clusters_a, corpus, select);
+  std::vector<ConcurrentTest> tests_b =
+      SelectConcurrentTests(*pmcs2, clusters_b, *corpus2, select);
+  ASSERT_EQ(tests_a.size(), tests_b.size());
+  for (size_t i = 0; i < tests_a.size(); i++) {
+    EXPECT_EQ(tests_a[i].hint.Hash(), tests_b[i].hint.Hash());
+    EXPECT_EQ(tests_a[i].write_test, tests_b[i].write_test);
+  }
+  std::remove(corpus_path.c_str());
+  std::remove(pmcs_path.c_str());
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,147 @@
+// Tests for the is_live heuristic (§4.4.1).
+#include <gtest/gtest.h>
+
+#include "src/sim/liveness.h"
+
+namespace snowboard {
+namespace {
+
+Access MakeRead(GuestAddr addr, uint64_t value) {
+  Access a;
+  a.type = AccessType::kRead;
+  a.addr = addr;
+  a.len = 4;
+  a.value = value;
+  return a;
+}
+
+Access MakeWrite(GuestAddr addr, uint64_t value) {
+  Access a = MakeRead(addr, value);
+  a.type = AccessType::kWrite;
+  return a;
+}
+
+TEST(LivenessTest, FreshMonitorIsLive) {
+  LivenessMonitor monitor(2);
+  EXPECT_TRUE(monitor.IsLive(0));
+  EXPECT_TRUE(monitor.IsLive(1));
+}
+
+TEST(LivenessTest, StuckSameValueReadsGoNotLive) {
+  LivenessMonitor::Options options;
+  options.stuck_read_threshold = 8;
+  LivenessMonitor monitor(1, options);
+  for (int i = 0; i < 10; i++) {
+    monitor.OnAccess(0, MakeRead(0x2000, 1));  // Spinning on a held lock word.
+  }
+  EXPECT_FALSE(monitor.IsLive(0));
+}
+
+TEST(LivenessTest, ValueChangeIsProgress) {
+  LivenessMonitor::Options options;
+  options.stuck_read_threshold = 8;
+  LivenessMonitor monitor(1, options);
+  for (int i = 0; i < 20; i++) {
+    monitor.OnAccess(0, MakeRead(0x2000, static_cast<uint64_t>(i)));  // Counter moving.
+  }
+  EXPECT_TRUE(monitor.IsLive(0));
+}
+
+TEST(LivenessTest, AddressChangeIsProgress) {
+  LivenessMonitor::Options options;
+  options.stuck_read_threshold = 8;
+  LivenessMonitor monitor(1, options);
+  for (int i = 0; i < 20; i++) {
+    monitor.OnAccess(0, MakeRead(0x2000 + static_cast<GuestAddr>(4 * (i % 2)), 1));
+  }
+  EXPECT_TRUE(monitor.IsLive(0));
+}
+
+TEST(LivenessTest, WriteIsProgress) {
+  LivenessMonitor::Options options;
+  options.stuck_read_threshold = 8;
+  LivenessMonitor monitor(1, options);
+  for (int i = 0; i < 7; i++) {
+    monitor.OnAccess(0, MakeRead(0x2000, 1));
+  }
+  monitor.OnAccess(0, MakeWrite(0x2000, 1));
+  for (int i = 0; i < 7; i++) {
+    monitor.OnAccess(0, MakeRead(0x2000, 1));
+  }
+  EXPECT_TRUE(monitor.IsLive(0));
+}
+
+TEST(LivenessTest, PauseStreakGoesNotLive) {
+  LivenessMonitor::Options options;
+  options.pause_threshold = 4;
+  LivenessMonitor monitor(1, options);
+  for (int i = 0; i < 5; i++) {
+    monitor.OnPause(0);
+  }
+  EXPECT_FALSE(monitor.IsLive(0));
+}
+
+TEST(LivenessTest, StuckReadDoesNotClearPauseStreak) {
+  LivenessMonitor::Options options;
+  options.pause_threshold = 6;
+  options.stuck_read_threshold = 100;
+  LivenessMonitor monitor(1, options);
+  // Cas+Pause spin: pause, read-same-value, pause, ... streak must keep growing.
+  monitor.OnAccess(0, MakeRead(0x2000, 1));
+  for (int i = 0; i < 7; i++) {
+    monitor.OnPause(0);
+    monitor.OnAccess(0, MakeRead(0x2000, 1));
+  }
+  EXPECT_FALSE(monitor.IsLive(0));
+}
+
+TEST(LivenessTest, ProgressClearsPauseStreak) {
+  LivenessMonitor::Options options;
+  options.pause_threshold = 6;
+  LivenessMonitor monitor(1, options);
+  for (int i = 0; i < 5; i++) {
+    monitor.OnPause(0);
+  }
+  monitor.OnAccess(0, MakeWrite(0x2000, 1));  // Lock acquired: progress.
+  for (int i = 0; i < 5; i++) {
+    monitor.OnPause(0);
+  }
+  EXPECT_TRUE(monitor.IsLive(0));
+}
+
+TEST(LivenessTest, OnProgressResetsEverything) {
+  LivenessMonitor::Options options;
+  options.stuck_read_threshold = 4;
+  LivenessMonitor monitor(1, options);
+  for (int i = 0; i < 6; i++) {
+    monitor.OnAccess(0, MakeRead(0x2000, 1));
+  }
+  EXPECT_FALSE(monitor.IsLive(0));
+  monitor.OnProgress(0);
+  EXPECT_TRUE(monitor.IsLive(0));
+}
+
+TEST(LivenessTest, VcpusTrackedIndependently) {
+  LivenessMonitor::Options options;
+  options.stuck_read_threshold = 4;
+  LivenessMonitor monitor(2, options);
+  for (int i = 0; i < 6; i++) {
+    monitor.OnAccess(0, MakeRead(0x2000, 1));
+  }
+  EXPECT_FALSE(monitor.IsLive(0));
+  EXPECT_TRUE(monitor.IsLive(1));
+}
+
+TEST(LivenessTest, ResetRestoresLiveness) {
+  LivenessMonitor::Options options;
+  options.stuck_read_threshold = 4;
+  LivenessMonitor monitor(1, options);
+  for (int i = 0; i < 6; i++) {
+    monitor.OnAccess(0, MakeRead(0x2000, 1));
+  }
+  monitor.Reset();
+  EXPECT_TRUE(monitor.IsLive(0));
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,122 @@
+// Unit tests for guest memory: raw accessors, the null page, static allocation, snapshots,
+// sites, and the ESP stack filter.
+#include <gtest/gtest.h>
+
+#include "src/sim/memory.h"
+#include "src/sim/site.h"
+#include "src/sim/stackfilter.h"
+
+namespace snowboard {
+namespace {
+
+TEST(MemoryTest, RawRoundTrip) {
+  Memory mem(1 << 16);
+  GuestAddr a = mem.StaticAlloc(16);
+  mem.WriteRaw(a, 4, 0xdeadbeef);
+  EXPECT_EQ(mem.ReadRaw(a, 4), 0xdeadbeefu);
+  mem.WriteRaw(a + 4, 8, 0x1122334455667788ull);
+  EXPECT_EQ(mem.ReadRaw(a + 4, 8), 0x1122334455667788ull);
+}
+
+TEST(MemoryTest, LittleEndianByteOrder) {
+  Memory mem(1 << 16);
+  GuestAddr a = mem.StaticAlloc(8);
+  mem.WriteRaw(a, 4, 0x04030201);
+  EXPECT_EQ(mem.ReadRaw(a, 1), 0x01u);
+  EXPECT_EQ(mem.ReadRaw(a + 1, 1), 0x02u);
+  EXPECT_EQ(mem.ReadRaw(a + 3, 1), 0x04u);
+  EXPECT_EQ(mem.ReadRaw(a, 2), 0x0201u);
+}
+
+TEST(MemoryTest, NullPageIsInvalid) {
+  Memory mem(1 << 16);
+  EXPECT_FALSE(mem.Valid(0, 4));
+  EXPECT_FALSE(mem.Valid(kGuestNullPageSize - 1, 4));
+  EXPECT_TRUE(mem.Valid(kGuestNullPageSize, 4));
+}
+
+TEST(MemoryTest, OutOfRangeIsInvalid) {
+  Memory mem(1 << 16);
+  EXPECT_FALSE(mem.Valid((1 << 16) - 2, 4));
+  EXPECT_FALSE(mem.Valid(1 << 16, 1));
+  EXPECT_FALSE(mem.Valid(kGuestNullPageSize, 0));  // Zero length.
+}
+
+TEST(MemoryTest, StaticAllocAligns) {
+  Memory mem(1 << 16);
+  mem.StaticAlloc(3, 1);
+  GuestAddr a = mem.StaticAlloc(8, 64);
+  EXPECT_EQ(a % 64, 0u);
+  GuestAddr b = mem.StaticAlloc(8192, 8192);
+  EXPECT_EQ(b % 8192, 0u);
+}
+
+TEST(MemoryTest, SnapshotRestoreRewindsAllState) {
+  Memory mem(1 << 16);
+  GuestAddr a = mem.StaticAlloc(8);
+  mem.WriteRaw(a, 4, 111);
+  Memory::Snapshot snap = mem.TakeSnapshot();
+  mem.WriteRaw(a, 4, 222);
+  EXPECT_EQ(mem.ReadRaw(a, 4), 222u);
+  mem.Restore(snap);
+  EXPECT_EQ(mem.ReadRaw(a, 4), 111u);
+}
+
+TEST(MemoryTest, SnapshotRestoreIsRepeatable) {
+  Memory mem(1 << 16);
+  GuestAddr a = mem.StaticAlloc(8);
+  mem.WriteRaw(a, 4, 5);
+  Memory::Snapshot snap = mem.TakeSnapshot();
+  for (int i = 0; i < 3; i++) {
+    mem.WriteRaw(a, 4, 100 + static_cast<uint32_t>(i));
+    mem.Restore(snap);
+    EXPECT_EQ(mem.ReadRaw(a, 4), 5u);
+  }
+}
+
+TEST(SiteTest, SameLocationSameId) {
+  SiteId a = SB_SITE();
+  SiteId b = SB_SITE();
+  EXPECT_NE(a, b);  // Different source locations (different lines).
+  auto get = []() { return SB_SITE(); };
+  EXPECT_EQ(get(), get());  // Same location: stable id.
+}
+
+TEST(SiteTest, LookupReturnsRegisteredInfo) {
+  SiteId id = SB_SITE();
+  SiteInfo info = LookupSite(id);
+  EXPECT_NE(info.file.find("sim_memory_test.cc"), std::string::npos);
+  EXPECT_GT(info.line, 0);
+}
+
+TEST(SiteTest, NameForUnknownSite) {
+  EXPECT_NE(SiteName(0xdeadbeefdeadbeefull).find("<site"), std::string::npos);
+}
+
+TEST(StackFilterTest, PaperFormula) {
+  // ESP inside an 8 KiB-aligned stack: the range must be that 8 KiB window.
+  GuestAddr esp = 5 * kKernelStackSize + 100;
+  StackRange range = KernelStackRangeFromEsp(esp);
+  EXPECT_EQ(range.base, 5 * kKernelStackSize);
+  EXPECT_EQ(range.top, 6 * kKernelStackSize);
+}
+
+TEST(StackFilterTest, InStackAccessFiltered) {
+  GuestAddr esp = 3 * kKernelStackSize + 512;
+  EXPECT_TRUE(IsStackAccess(esp, 3 * kKernelStackSize + 1000, 4));
+  EXPECT_FALSE(IsStackAccess(esp, 4 * kKernelStackSize + 4, 4));
+  EXPECT_FALSE(IsStackAccess(esp, 3 * kKernelStackSize - 4, 4));
+}
+
+TEST(StackFilterTest, ZeroEspMeansNoFilter) {
+  EXPECT_FALSE(IsStackAccess(0, 100, 4));
+}
+
+TEST(StackFilterTest, StraddlingAccessNotFiltered) {
+  GuestAddr esp = 2 * kKernelStackSize + 16;
+  // An access crossing out of the stack window is not a pure stack access.
+  EXPECT_FALSE(IsStackAccess(esp, 3 * kKernelStackSize - 2, 4));
+}
+
+}  // namespace
+}  // namespace snowboard

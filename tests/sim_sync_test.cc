@@ -1,0 +1,194 @@
+// Tests for guest synchronization primitives: mutual exclusion under adversarial
+// scheduling, lock events, seqlock and RCU semantics.
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/site.h"
+#include "src/sim/sync.h"
+
+namespace snowboard {
+namespace {
+
+// Preempts after every access — the harshest legal schedule.
+class AlternatingScheduler : public Scheduler {
+ public:
+  bool AfterAccess(VcpuId vcpu, const Access& access) override { return true; }
+};
+
+TEST(SpinLockTest, MutualExclusionUnderPreemption) {
+  Engine engine(1 << 16);
+  GuestAddr lock = engine.mem().StaticAlloc(4, 4);
+  GuestAddr counter = engine.mem().StaticAlloc(4, 4);
+  SpinLockInit(engine.mem(), lock);
+
+  AlternatingScheduler scheduler;
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  opts.max_instructions = 500'000;
+
+  auto incrementer = [&](Ctx& ctx) {
+    for (int i = 0; i < 20; i++) {
+      SpinLock(ctx, lock);
+      uint32_t v = ctx.Load32(counter, SB_SITE());
+      ctx.Store32(counter, v + 1, SB_SITE());
+      SpinUnlock(ctx, lock);
+    }
+  };
+  Engine::RunResult result = engine.Run({incrementer, incrementer}, opts);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(engine.mem().ReadRaw(counter, 4), 40u);
+}
+
+TEST(SpinLockTest, TryLockFailsWhenHeld) {
+  Engine engine(1 << 16);
+  GuestAddr lock = engine.mem().StaticAlloc(4, 4);
+  SpinLockInit(engine.mem(), lock);
+  engine.RunSequential([&](Ctx& ctx) {
+    EXPECT_TRUE(SpinTryLock(ctx, lock));
+    EXPECT_FALSE(SpinTryLock(ctx, lock));
+    SpinUnlock(ctx, lock);
+    EXPECT_TRUE(SpinTryLock(ctx, lock));
+  });
+}
+
+TEST(SpinLockTest, EmitsLockEvents) {
+  Engine engine(1 << 16);
+  GuestAddr lock = engine.mem().StaticAlloc(4, 4);
+  SpinLockInit(engine.mem(), lock);
+  Engine::RunResult result = engine.RunSequential([&](Ctx& ctx) {
+    SpinLock(ctx, lock);
+    SpinUnlock(ctx, lock);
+  });
+  int acquires = 0;
+  int releases = 0;
+  for (const Event& e : result.trace) {
+    acquires += e.kind == EventKind::kLockAcquire ? 1 : 0;
+    releases += e.kind == EventKind::kLockRelease ? 1 : 0;
+  }
+  EXPECT_EQ(acquires, 1);
+  EXPECT_EQ(releases, 1);
+}
+
+TEST(SpinLockTest, DeadlockDetectedAsHang) {
+  Engine engine(1 << 16);
+  GuestAddr lock_a = engine.mem().StaticAlloc(4, 4);
+  GuestAddr lock_b = engine.mem().StaticAlloc(4, 4);
+  SpinLockInit(engine.mem(), lock_a);
+  SpinLockInit(engine.mem(), lock_b);
+
+  AlternatingScheduler scheduler;
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  opts.max_instructions = 200'000;
+  Engine::RunResult result = engine.Run(
+      {[&](Ctx& ctx) {
+         SpinLock(ctx, lock_a);
+         SpinLock(ctx, lock_b);  // AB.
+         SpinUnlock(ctx, lock_b);
+         SpinUnlock(ctx, lock_a);
+       },
+       [&](Ctx& ctx) {
+         SpinLock(ctx, lock_b);
+         SpinLock(ctx, lock_a);  // BA: classic ABBA deadlock.
+         SpinUnlock(ctx, lock_a);
+         SpinUnlock(ctx, lock_b);
+       }},
+      opts);
+  // With the alternating scheduler the interleaving deadlocks; the engine must end the
+  // trial as a hang rather than wedge the process.
+  EXPECT_TRUE(result.hang);
+}
+
+TEST(RwLockTest, WritersExcludeEachOther) {
+  Engine engine(1 << 16);
+  GuestAddr lock = engine.mem().StaticAlloc(4, 4);
+  GuestAddr cell = engine.mem().StaticAlloc(4, 4);
+  RwLockInit(engine.mem(), lock);
+  AlternatingScheduler scheduler;
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  opts.max_instructions = 500'000;
+  auto writer = [&](Ctx& ctx) {
+    for (int i = 0; i < 10; i++) {
+      WriteLock(ctx, lock);
+      uint32_t v = ctx.Load32(cell, SB_SITE());
+      ctx.Store32(cell, v + 1, SB_SITE());
+      WriteUnlock(ctx, lock);
+    }
+  };
+  Engine::RunResult result = engine.Run({writer, writer}, opts);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(engine.mem().ReadRaw(cell, 4), 20u);
+}
+
+TEST(RwLockTest, ReadersShareButBlockWriters) {
+  Engine engine(1 << 16);
+  GuestAddr lock = engine.mem().StaticAlloc(4, 4);
+  RwLockInit(engine.mem(), lock);
+  engine.RunSequential([&](Ctx& ctx) {
+    ReadLock(ctx, lock);
+    ReadLock(ctx, lock);  // Second reader shares.
+    EXPECT_EQ(ctx.Load32(lock, SB_SITE()), 2u);
+    ReadUnlock(ctx, lock);
+    ReadUnlock(ctx, lock);
+    WriteLock(ctx, lock);
+    WriteUnlock(ctx, lock);
+  });
+}
+
+TEST(SeqLockTest, ReaderRetriesAcrossWriterWindow) {
+  Engine engine(1 << 16);
+  GuestAddr seq = engine.mem().StaticAlloc(4, 4);
+  SeqCountInit(engine.mem(), seq);
+  engine.RunSequential([&](Ctx& ctx) {
+    uint32_t start = ReadSeqBegin(ctx, seq);
+    EXPECT_FALSE(ReadSeqRetry(ctx, seq, start));
+    WriteSeqBegin(ctx, seq);
+    WriteSeqEnd(ctx, seq);
+    EXPECT_TRUE(ReadSeqRetry(ctx, seq, start));  // Sequence moved: retry needed.
+  });
+}
+
+TEST(RcuTest, ReadSideCountsAndSynchronizeWaits) {
+  Engine engine(1 << 16);
+  GuestAddr counter = engine.mem().StaticAlloc(4, 4);
+  RcuInit(engine.mem(), counter);
+  engine.RunSequential([&](Ctx& ctx) {
+    RcuReadLock(ctx, counter);
+    EXPECT_EQ(engine.mem().ReadRaw(counter, 4), 1u);
+    RcuReadUnlock(ctx, counter);
+    EXPECT_EQ(engine.mem().ReadRaw(counter, 4), 0u);
+    SynchronizeRcu(ctx, counter);  // No readers: returns immediately.
+  });
+}
+
+TEST(RcuTest, AssignAndDereferenceAreMarked) {
+  Engine engine(1 << 16);
+  GuestAddr slot = engine.mem().StaticAlloc(4, 4);
+  Engine::RunResult result = engine.RunSequential([&](Ctx& ctx) {
+    RcuAssignPointer(ctx, slot, 0x2000, SB_SITE());
+    EXPECT_EQ(RcuDereference(ctx, slot, SB_SITE()), 0x2000u);
+  });
+  for (const Event& e : result.trace) {
+    if (e.kind == EventKind::kAccess) {
+      EXPECT_TRUE(e.access.marked_atomic);
+    }
+  }
+}
+
+TEST(SyncTest, ReadWriteOnceAreMarked) {
+  Engine engine(1 << 16);
+  GuestAddr cell = engine.mem().StaticAlloc(4, 4);
+  Engine::RunResult result = engine.RunSequential([&](Ctx& ctx) {
+    WriteOnce32(ctx, cell, 9, SB_SITE());
+    EXPECT_EQ(ReadOnce32(ctx, cell, SB_SITE()), 9u);
+  });
+  for (const Event& e : result.trace) {
+    if (e.kind == EventKind::kAccess) {
+      EXPECT_TRUE(e.access.marked_atomic);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -1,0 +1,85 @@
+// Tests for campaign statistics (cluster-size distributions).
+#include <gtest/gtest.h>
+
+#include "src/snowboard/stats.h"
+
+namespace snowboard {
+namespace {
+
+std::vector<PmcCluster> ClustersOfSizes(std::vector<size_t> sizes) {
+  std::vector<PmcCluster> clusters;
+  uint32_t next = 0;
+  for (size_t i = 0; i < sizes.size(); i++) {
+    PmcCluster cluster;
+    cluster.key = i;
+    for (size_t m = 0; m < sizes[i]; m++) {
+      cluster.members.push_back(next++);
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+TEST(StatsTest, EmptyDistribution) {
+  DistributionSummary summary = SummarizeClusterSizes({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.gini, 0.0);
+  EXPECT_EQ(SingletonFraction({}), 0.0);
+  EXPECT_TRUE(ClusterSizeHistogram({}).empty());
+}
+
+TEST(StatsTest, UniformSizesHaveZeroGini) {
+  DistributionSummary summary = SummarizeClusterSizes(ClustersOfSizes({4, 4, 4, 4}));
+  EXPECT_EQ(summary.count, 4u);
+  EXPECT_EQ(summary.min, 4u);
+  EXPECT_EQ(summary.max, 4u);
+  EXPECT_DOUBLE_EQ(summary.mean, 4.0);
+  EXPECT_NEAR(summary.gini, 0.0, 1e-9);
+}
+
+TEST(StatsTest, SkewedSizesHaveHighGini) {
+  DistributionSummary uniform = SummarizeClusterSizes(ClustersOfSizes({5, 5, 5, 5}));
+  DistributionSummary skewed = SummarizeClusterSizes(ClustersOfSizes({1, 1, 1, 97}));
+  EXPECT_GT(skewed.gini, uniform.gini + 0.5);
+  EXPECT_EQ(skewed.max, 97u);
+  EXPECT_EQ(skewed.median, 1u);
+}
+
+TEST(StatsTest, SummaryOrderStatistics) {
+  DistributionSummary summary =
+      SummarizeClusterSizes(ClustersOfSizes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  EXPECT_EQ(summary.count, 10u);
+  EXPECT_EQ(summary.min, 1u);
+  EXPECT_EQ(summary.max, 10u);
+  EXPECT_EQ(summary.median, 6u);  // sizes[5] of the sorted vector.
+  EXPECT_EQ(summary.p90, 10u);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.5);
+}
+
+TEST(StatsTest, SingletonFraction) {
+  // 3 singleton clusters out of 3 + 7 members total.
+  EXPECT_NEAR(SingletonFraction(ClustersOfSizes({1, 1, 1, 7})), 0.3, 1e-9);
+  EXPECT_DOUBLE_EQ(SingletonFraction(ClustersOfSizes({1, 1})), 1.0);
+  EXPECT_DOUBLE_EQ(SingletonFraction(ClustersOfSizes({5})), 0.0);
+}
+
+TEST(StatsTest, HistogramBuckets) {
+  // Sizes: 1 -> bucket0, 2,3 -> bucket1, 4..7 -> bucket2, 8 -> bucket3.
+  std::vector<size_t> histogram =
+      ClusterSizeHistogram(ClustersOfSizes({1, 1, 2, 3, 4, 7, 8}));
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_EQ(histogram[0], 2u);
+  EXPECT_EQ(histogram[1], 2u);
+  EXPECT_EQ(histogram[2], 2u);
+  EXPECT_EQ(histogram[3], 1u);
+}
+
+TEST(StatsTest, FormatMentionsAllFields) {
+  std::string text = FormatSummary(SummarizeClusterSizes(ClustersOfSizes({1, 2, 3})));
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("gini="), std::string::npos);
+  EXPECT_NE(text.find("max=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snowboard

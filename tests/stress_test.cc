@@ -1,0 +1,156 @@
+// Robustness sweeps: random concurrent syscall workloads under random schedules must never
+// wedge the engine — every trial ends in completion, a clean panic, or a detected hang —
+// and kernel invariants (fd tables, allocator bookkeeping, lock words) must hold afterward.
+#include <gtest/gtest.h>
+
+#include "src/fuzz/generator.h"
+#include "src/kernel/kalloc.h"
+#include "src/kernel/task.h"
+#include "src/snowboard/explorer.h"
+#include "src/snowboard/pipeline.h"
+
+namespace snowboard {
+namespace {
+
+class ConcurrentStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConcurrentStress, RandomPairsNeverWedge) {
+  KernelVm vm;
+  Generator generator(GetParam());
+  RandomPreemptScheduler scheduler(/*period=*/4);
+
+  for (int round = 0; round < 30; round++) {
+    Program a = generator.Generate();
+    Program b = generator.Generate();
+    scheduler.SeedTrial(generator.rng().Next());
+    vm.RestoreSnapshot();
+    Engine::RunOptions opts;
+    opts.scheduler = &scheduler;
+    opts.max_instructions = 300'000;
+    Engine::RunResult result = vm.engine().Run(
+        {MakeProgramRunner(vm.globals(), a, 0), MakeProgramRunner(vm.globals(), b, 1)},
+        opts);
+    // The trial must terminate in a recognized state.
+    ASSERT_TRUE(result.completed || result.panicked || result.hang)
+        << "unrecognized trial end";
+    if (result.panicked) {
+      ASSERT_NE(result.panic_message.find("BUG:"), std::string::npos);
+    }
+  }
+}
+
+TEST_P(ConcurrentStress, CompletedTrialsLeaveLocksReleased) {
+  KernelVm vm;
+  const KernelGlobals& g = vm.globals();
+  Generator generator(GetParam() ^ 0x77);
+  RandomPreemptScheduler scheduler(/*period=*/3);
+
+  for (int round = 0; round < 20; round++) {
+    Program a = generator.Generate();
+    Program b = generator.Generate();
+    scheduler.SeedTrial(generator.rng().Next());
+    vm.RestoreSnapshot();
+    Engine::RunOptions opts;
+    opts.scheduler = &scheduler;
+    opts.max_instructions = 300'000;
+    Engine::RunResult result = vm.engine().Run(
+        {MakeProgramRunner(vm.globals(), a, 0), MakeProgramRunner(vm.globals(), b, 1)},
+        opts);
+    if (!result.completed) {
+      continue;  // Aborted trials legitimately leave guest locks held; snapshot resets.
+    }
+    // Global locks must all be free after both programs ran to completion.
+    Memory& mem = vm.engine().mem();
+    EXPECT_EQ(mem.ReadRaw(g.kheap + kHeapLock, 4), 0u);
+    EXPECT_EQ(mem.ReadRaw(g.rtnl_lock, 4), 0u);
+    EXPECT_EQ(mem.ReadRaw(g.rcu_readers, 4), 0u) << "unbalanced RCU read section";
+  }
+}
+
+TEST_P(ConcurrentStress, SequentialProgramsAlwaysComplete) {
+  // Sequential execution (the profiling configuration) of ANY generated program must
+  // complete: no single-threaded panic, hang, or budget blowup.
+  KernelVm vm;
+  Generator generator(GetParam() ^ 0x1234);
+  for (int round = 0; round < 60; round++) {
+    Program program = generator.Generate();
+    vm.RestoreSnapshot();
+    Engine::RunOptions opts;
+    opts.max_instructions = 1'000'000;
+    Engine::RunResult result =
+        vm.engine().Run({MakeProgramRunner(vm.globals(), program, 0)}, opts);
+    ASSERT_TRUE(result.completed) << program.Format();
+    ASSERT_FALSE(result.panicked) << program.Format();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrentStress, ::testing::Values(101, 202, 303, 404));
+
+class KallocStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KallocStress, RandomAllocFreePatternsStayConsistent) {
+  Engine engine(1 << 18);
+  GuestAddr heap = KallocInit(engine.mem(), 64 * 1024);
+  Rng rng(GetParam());
+
+  Engine::RunOptions opts;
+  opts.max_instructions = 5'000'000;
+  Engine::RunResult result = engine.Run(
+      {[&](Ctx& ctx) {
+        std::vector<std::pair<GuestAddr, uint32_t>> live;
+        for (int i = 0; i < 400; i++) {
+          if (live.empty() || rng.Coin()) {
+            uint32_t size = 8u << rng.Below(6);  // 8..256.
+            GuestAddr block = Kmalloc(ctx, heap, size);
+            if (block != kGuestNull) {
+              // No overlap with any live block.
+              uint32_t bytes = KallocClassBytes(KallocSizeClass(size));
+              for (const auto& [other, other_size] : live) {
+                uint32_t other_bytes = KallocClassBytes(KallocSizeClass(other_size));
+                ASSERT_TRUE(block + bytes <= other || other + other_bytes <= block)
+                    << "allocator handed out overlapping blocks";
+              }
+              live.emplace_back(block, size);
+            }
+          } else {
+            size_t pick = rng.Below(live.size());
+            Kfree(ctx, heap, live[pick].first, live[pick].second);
+            live.erase(live.begin() + static_cast<long>(pick));
+          }
+        }
+        for (const auto& [block, size] : live) {
+          Kfree(ctx, heap, block, size);
+        }
+      }},
+      opts);
+  EXPECT_TRUE(result.completed);
+  // Heap bookkeeping: allocs == frees after full teardown.
+  EXPECT_EQ(engine.mem().ReadRaw(heap + kHeapTotalAllocs, 4),
+            engine.mem().ReadRaw(heap + kHeapTotalFrees, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KallocStress, ::testing::Values(1, 2, 3));
+
+TEST(ThreeThreadStress, RandomTriplesNeverWedge) {
+  KernelVm vm;
+  Generator generator(909);
+  RandomPreemptScheduler scheduler(4);
+  for (int round = 0; round < 20; round++) {
+    Program programs[3] = {generator.Generate(), generator.Generate(),
+                           generator.Generate()};
+    scheduler.SeedTrial(generator.rng().Next());
+    vm.RestoreSnapshot();
+    Engine::RunOptions opts;
+    opts.scheduler = &scheduler;
+    opts.max_instructions = 400'000;
+    Engine::RunResult result = vm.engine().Run(
+        {MakeProgramRunner(vm.globals(), programs[0], 0),
+         MakeProgramRunner(vm.globals(), programs[1], 1),
+         MakeProgramRunner(vm.globals(), programs[2], 2)},
+        opts);
+    ASSERT_TRUE(result.completed || result.panicked || result.hang);
+  }
+}
+
+}  // namespace
+}  // namespace snowboard

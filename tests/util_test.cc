@@ -1,0 +1,100 @@
+// Unit tests for src/util: deterministic RNG, hashing, string formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace snowboard {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, ReseedReproduces) {
+  Rng rng(7);
+  uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(7);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(1);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; i++) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowZeroReturnsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 400; i++) {
+    int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All five values hit.
+}
+
+TEST(RngTest, CoinIsRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; i++) {
+    heads += rng.Coin() ? 1 : 0;
+  }
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Chance(0, 10));
+  EXPECT_FALSE(rng.Chance(1, 0));  // Zero denominator: never.
+  EXPECT_TRUE(rng.Chance(10, 10));
+}
+
+TEST(HashTest, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a("snowboard"), Fnv1a("snowboard"));
+  EXPECT_NE(Fnv1a("snowboard"), Fnv1a("snowboarD"));
+}
+
+TEST(HashTest, HashAllOrderSensitive) {
+  EXPECT_NE(HashAll(1, 2), HashAll(2, 1));
+  EXPECT_EQ(HashAll(1, 2, 3), HashAll(1, 2, 3));
+}
+
+TEST(HashTest, HashAllLowCollisionOnSmallDomain) {
+  std::unordered_set<uint64_t> hashes;
+  for (uint64_t a = 0; a < 64; a++) {
+    for (uint64_t b = 0; b < 64; b++) {
+      hashes.insert(HashAll(a, b));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 64u * 64u);
+}
+
+TEST(StringsTest, StrPrintfFormats) {
+  EXPECT_EQ(StrPrintf("x=%d, s=%s", 42, "hi"), "x=42, s=hi");
+  EXPECT_EQ(StrPrintf("%s", ""), "");
+  EXPECT_EQ(StrPrintf("0x%08x", 0x1234u), "0x00001234");
+}
+
+}  // namespace
+}  // namespace snowboard

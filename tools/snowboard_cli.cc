@@ -1,0 +1,243 @@
+// snowboard_cli — drive the pipeline from the command line, stage by stage or end to end.
+//
+// The stages mirror the paper's deployment (Figure 2): a fuzzing job builds a corpus; an
+// identification job profiles it and emits the PMC database; test workers consume generated
+// concurrent tests. Artifacts travel through the serialize.h text formats, so stages can run
+// in separate invocations (or be inspected/edited in between).
+//
+//   snowboard_cli corpus   --out corpus.txt [--size N] [--iters N] [--seed S]
+//   snowboard_cli identify --corpus corpus.txt --out pmcs.txt
+//   snowboard_cli run      --corpus corpus.txt --pmcs pmcs.txt
+//                          [--strategy S-INS-PAIR] [--budget N] [--trials N] [--workers N]
+//   snowboard_cli campaign [--strategy S-INS-PAIR] [--budget N] [--workers N] [--seed S]
+//   snowboard_cli strategies
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/snowboard/pipeline.h"
+#include "src/snowboard/serialize.h"
+#include "src/util/log.h"
+
+namespace snowboard {
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> values;
+
+  const char* Get(const std::string& key, const char* fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second.c_str();
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atol(it->second.c_str());
+  }
+};
+
+bool ParseArgs(int argc, char** argv, int first, Args* args) {
+  for (int i = first; i < argc; i++) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "bad argument: %s\n", arg);
+      return false;
+    }
+    args->values[arg + 2] = argv[++i];
+  }
+  return true;
+}
+
+const std::map<std::string, Strategy>& StrategyTable() {
+  static const std::map<std::string, Strategy>* table = new std::map<std::string, Strategy>{
+      {"S-FULL", Strategy::kSFull},
+      {"S-CH", Strategy::kSCh},
+      {"S-CH-NULL", Strategy::kSChNull},
+      {"S-CH-UNALIGNED", Strategy::kSChUnaligned},
+      {"S-CH-DOUBLE", Strategy::kSChDouble},
+      {"S-INS", Strategy::kSIns},
+      {"S-INS-PAIR", Strategy::kSInsPair},
+      {"S-MEM", Strategy::kSMem},
+      {"RANDOM-S-INS-PAIR", Strategy::kRandomSInsPair},
+      {"RANDOM-PAIRING", Strategy::kRandomPairing},
+      {"DUPLICATE-PAIRING", Strategy::kDuplicatePairing},
+  };
+  return *table;
+}
+
+int CmdStrategies() {
+  for (const auto& [name, strategy] : StrategyTable()) {
+    std::printf("%-20s %s\n", name.c_str(),
+                StrategyUsesPmcs(strategy) ? "(PMC clustering)" : "(baseline)");
+  }
+  return 0;
+}
+
+int CmdCorpus(const Args& args) {
+  const char* out = args.Get("out", nullptr);
+  if (out == nullptr) {
+    std::fprintf(stderr, "corpus: --out is required\n");
+    return 2;
+  }
+  KernelVm vm;
+  CorpusOptions options;
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.target_size = static_cast<int>(args.GetInt("size", 80));
+  options.max_iterations = static_cast<int>(args.GetInt("iters", 300));
+  std::vector<Program> corpus = CorpusPrograms(BuildCorpus(vm, options));
+  if (!WriteStringToFile(out, SerializeCorpus(corpus))) {
+    std::fprintf(stderr, "corpus: cannot write %s\n", out);
+    return 1;
+  }
+  std::printf("wrote %zu sequential tests to %s\n", corpus.size(), out);
+  return 0;
+}
+
+int CmdIdentify(const Args& args) {
+  const char* corpus_path = args.Get("corpus", nullptr);
+  const char* out = args.Get("out", nullptr);
+  if (corpus_path == nullptr || out == nullptr) {
+    std::fprintf(stderr, "identify: --corpus and --out are required\n");
+    return 2;
+  }
+  std::optional<std::string> text = ReadFileToString(corpus_path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "identify: cannot read %s\n", corpus_path);
+    return 1;
+  }
+  std::optional<std::vector<Program>> corpus = DeserializeCorpus(*text);
+  if (!corpus.has_value()) {
+    std::fprintf(stderr, "identify: %s is not a corpus file\n", corpus_path);
+    return 1;
+  }
+  KernelVm vm;
+  std::vector<SequentialProfile> profiles = ProfileCorpus(vm, *corpus);
+  std::vector<Pmc> pmcs = IdentifyPmcs(profiles);
+  if (!WriteStringToFile(out, SerializePmcs(pmcs))) {
+    std::fprintf(stderr, "identify: cannot write %s\n", out);
+    return 1;
+  }
+  uint64_t pairs = 0;
+  for (const Pmc& pmc : pmcs) {
+    pairs += pmc.total_pairs;
+  }
+  std::printf("profiled %zu tests; wrote %zu PMCs (%llu test pairs) to %s\n",
+              corpus->size(), pmcs.size(), static_cast<unsigned long long>(pairs), out);
+  return 0;
+}
+
+void PrintResult(const PipelineResult& result) {
+  std::printf("tests executed: %zu (%llu trials); with findings: %zu; channel exercised: "
+              "%zu\n",
+              result.tests_executed, static_cast<unsigned long long>(result.total_trials),
+              result.tests_with_bug, result.channel_exercised);
+  std::printf("findings:\n%s", result.findings.Summarize().c_str());
+}
+
+int CmdRun(const Args& args) {
+  const char* corpus_path = args.Get("corpus", nullptr);
+  const char* pmcs_path = args.Get("pmcs", nullptr);
+  if (corpus_path == nullptr || pmcs_path == nullptr) {
+    std::fprintf(stderr, "run: --corpus and --pmcs are required\n");
+    return 2;
+  }
+  std::optional<std::string> corpus_text = ReadFileToString(corpus_path);
+  std::optional<std::string> pmcs_text = ReadFileToString(pmcs_path);
+  if (!corpus_text.has_value() || !pmcs_text.has_value()) {
+    std::fprintf(stderr, "run: cannot read input files\n");
+    return 1;
+  }
+  std::optional<std::vector<Program>> corpus = DeserializeCorpus(*corpus_text);
+  std::optional<std::vector<Pmc>> pmcs = DeserializePmcs(*pmcs_text);
+  if (!corpus.has_value() || !pmcs.has_value()) {
+    std::fprintf(stderr, "run: malformed input files\n");
+    return 1;
+  }
+  auto strategy_it = StrategyTable().find(args.Get("strategy", "S-INS-PAIR"));
+  if (strategy_it == StrategyTable().end()) {
+    std::fprintf(stderr, "run: unknown strategy (see `snowboard_cli strategies`)\n");
+    return 2;
+  }
+
+  PreparedCampaign campaign;
+  campaign.corpus = *corpus;
+  campaign.pmcs = *pmcs;
+  PipelineOptions options;
+  options.strategy = strategy_it->second;
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.max_concurrent_tests = static_cast<size_t>(args.GetInt("budget", 300));
+  options.explorer.num_trials = static_cast<int>(args.GetInt("trials", 24));
+  options.num_workers = static_cast<int>(args.GetInt("workers", 4));
+
+  size_t clusters = 0;
+  std::vector<ConcurrentTest> tests = GenerateTestsForStrategy(campaign, options, &clusters);
+  std::printf("%s: %zu clusters -> %zu concurrent tests\n", StrategyName(options.strategy),
+              clusters, tests.size());
+  PmcMatcher matcher(&campaign.pmcs);
+  PipelineResult result;
+  ExecuteCampaign(tests, StrategyUsesPmcs(options.strategy),
+                  StrategyUsesPmcs(options.strategy) ? &matcher : nullptr, options, &result);
+  PrintResult(result);
+  return 0;
+}
+
+int CmdCampaign(const Args& args) {
+  auto strategy_it = StrategyTable().find(args.Get("strategy", "S-INS-PAIR"));
+  if (strategy_it == StrategyTable().end()) {
+    std::fprintf(stderr, "campaign: unknown strategy (see `snowboard_cli strategies`)\n");
+    return 2;
+  }
+  PipelineOptions options;
+  options.strategy = strategy_it->second;
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.corpus.seed = static_cast<uint64_t>(args.GetInt("seed", 1)) * 41 + 1;
+  options.corpus.target_size = static_cast<int>(args.GetInt("corpus-size", 80));
+  options.corpus.max_iterations = static_cast<int>(args.GetInt("corpus-iters", 300));
+  options.max_concurrent_tests = static_cast<size_t>(args.GetInt("budget", 300));
+  options.explorer.num_trials = static_cast<int>(args.GetInt("trials", 24));
+  options.num_workers = static_cast<int>(args.GetInt("workers", 4));
+
+  PipelineResult result = RunSnowboardPipeline(options);
+  std::printf("%s: corpus=%zu pmcs=%zu clusters=%zu\n", StrategyName(options.strategy),
+              result.corpus_size, result.pmc_count, result.cluster_count);
+  PrintResult(result);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: snowboard_cli <corpus|identify|run|campaign|strategies> "
+                 "[--key value]...\n");
+    return 2;
+  }
+  SetLogLevel(LogLevel::kInfo);
+  std::string command = argv[1];
+  Args args;
+  if (!ParseArgs(argc, argv, 2, &args)) {
+    return 2;
+  }
+  if (command == "strategies") {
+    return CmdStrategies();
+  }
+  if (command == "corpus") {
+    return CmdCorpus(args);
+  }
+  if (command == "identify") {
+    return CmdIdentify(args);
+  }
+  if (command == "run") {
+    return CmdRun(args);
+  }
+  if (command == "campaign") {
+    return CmdCampaign(args);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace snowboard
+
+int main(int argc, char** argv) { return snowboard::Main(argc, argv); }
