@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_l2tp.dir/bench_fig1_l2tp.cc.o"
+  "CMakeFiles/bench_fig1_l2tp.dir/bench_fig1_l2tp.cc.o.d"
+  "bench_fig1_l2tp"
+  "bench_fig1_l2tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_l2tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

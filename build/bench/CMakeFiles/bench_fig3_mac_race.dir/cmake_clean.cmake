@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mac_race.dir/bench_fig3_mac_race.cc.o"
+  "CMakeFiles/bench_fig3_mac_race.dir/bench_fig3_mac_race.cc.o.d"
+  "bench_fig3_mac_race"
+  "bench_fig3_mac_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mac_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

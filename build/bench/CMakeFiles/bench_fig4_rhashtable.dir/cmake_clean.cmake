@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rhashtable.dir/bench_fig4_rhashtable.cc.o"
+  "CMakeFiles/bench_fig4_rhashtable.dir/bench_fig4_rhashtable.cc.o.d"
+  "bench_fig4_rhashtable"
+  "bench_fig4_rhashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rhashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

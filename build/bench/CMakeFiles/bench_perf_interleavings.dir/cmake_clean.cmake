@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_interleavings.dir/bench_perf_interleavings.cc.o"
+  "CMakeFiles/bench_perf_interleavings.dir/bench_perf_interleavings.cc.o.d"
+  "bench_perf_interleavings"
+  "bench_perf_interleavings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_interleavings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pmc_accuracy.dir/bench_pmc_accuracy.cc.o"
+  "CMakeFiles/bench_pmc_accuracy.dir/bench_pmc_accuracy.cc.o.d"
+  "bench_pmc_accuracy"
+  "bench_pmc_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pmc_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2tp_bug_hunt.dir/l2tp_bug_hunt.cc.o"
+  "CMakeFiles/l2tp_bug_hunt.dir/l2tp_bug_hunt.cc.o.d"
+  "l2tp_bug_hunt"
+  "l2tp_bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2tp_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

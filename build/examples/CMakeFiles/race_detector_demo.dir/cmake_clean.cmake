@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_detector_demo.dir/race_detector_demo.cc.o"
+  "CMakeFiles/race_detector_demo.dir/race_detector_demo.cc.o.d"
+  "race_detector_demo"
+  "race_detector_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_detector_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

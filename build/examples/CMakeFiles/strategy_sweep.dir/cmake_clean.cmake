@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_sweep.dir/strategy_sweep.cc.o"
+  "CMakeFiles/strategy_sweep.dir/strategy_sweep.cc.o.d"
+  "strategy_sweep"
+  "strategy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/corpus.cc" "src/CMakeFiles/sb_fuzz.dir/fuzz/corpus.cc.o" "gcc" "src/CMakeFiles/sb_fuzz.dir/fuzz/corpus.cc.o.d"
+  "/root/repo/src/fuzz/coverage.cc" "src/CMakeFiles/sb_fuzz.dir/fuzz/coverage.cc.o" "gcc" "src/CMakeFiles/sb_fuzz.dir/fuzz/coverage.cc.o.d"
+  "/root/repo/src/fuzz/generator.cc" "src/CMakeFiles/sb_fuzz.dir/fuzz/generator.cc.o" "gcc" "src/CMakeFiles/sb_fuzz.dir/fuzz/generator.cc.o.d"
+  "/root/repo/src/fuzz/program.cc" "src/CMakeFiles/sb_fuzz.dir/fuzz/program.cc.o" "gcc" "src/CMakeFiles/sb_fuzz.dir/fuzz/program.cc.o.d"
+  "/root/repo/src/fuzz/syscall_desc.cc" "src/CMakeFiles/sb_fuzz.dir/fuzz/syscall_desc.cc.o" "gcc" "src/CMakeFiles/sb_fuzz.dir/fuzz/syscall_desc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

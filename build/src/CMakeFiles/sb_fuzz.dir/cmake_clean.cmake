@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_fuzz.dir/fuzz/corpus.cc.o"
+  "CMakeFiles/sb_fuzz.dir/fuzz/corpus.cc.o.d"
+  "CMakeFiles/sb_fuzz.dir/fuzz/coverage.cc.o"
+  "CMakeFiles/sb_fuzz.dir/fuzz/coverage.cc.o.d"
+  "CMakeFiles/sb_fuzz.dir/fuzz/generator.cc.o"
+  "CMakeFiles/sb_fuzz.dir/fuzz/generator.cc.o.d"
+  "CMakeFiles/sb_fuzz.dir/fuzz/program.cc.o"
+  "CMakeFiles/sb_fuzz.dir/fuzz/program.cc.o.d"
+  "CMakeFiles/sb_fuzz.dir/fuzz/syscall_desc.cc.o"
+  "CMakeFiles/sb_fuzz.dir/fuzz/syscall_desc.cc.o.d"
+  "libsb_fuzz.a"
+  "libsb_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/block/blockdev.cc" "src/CMakeFiles/sb_kernel.dir/kernel/block/blockdev.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/block/blockdev.cc.o.d"
+  "/root/repo/src/kernel/boot.cc" "src/CMakeFiles/sb_kernel.dir/kernel/boot.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/boot.cc.o.d"
+  "/root/repo/src/kernel/fs/configfs.cc" "src/CMakeFiles/sb_kernel.dir/kernel/fs/configfs.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/fs/configfs.cc.o.d"
+  "/root/repo/src/kernel/fs/sbfs.cc" "src/CMakeFiles/sb_kernel.dir/kernel/fs/sbfs.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/fs/sbfs.cc.o.d"
+  "/root/repo/src/kernel/fs/vfs.cc" "src/CMakeFiles/sb_kernel.dir/kernel/fs/vfs.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/fs/vfs.cc.o.d"
+  "/root/repo/src/kernel/ipc/msg.cc" "src/CMakeFiles/sb_kernel.dir/kernel/ipc/msg.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/ipc/msg.cc.o.d"
+  "/root/repo/src/kernel/kalloc.cc" "src/CMakeFiles/sb_kernel.dir/kernel/kalloc.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/kalloc.cc.o.d"
+  "/root/repo/src/kernel/mm/pagecache.cc" "src/CMakeFiles/sb_kernel.dir/kernel/mm/pagecache.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/mm/pagecache.cc.o.d"
+  "/root/repo/src/kernel/net/fib6.cc" "src/CMakeFiles/sb_kernel.dir/kernel/net/fib6.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/net/fib6.cc.o.d"
+  "/root/repo/src/kernel/net/l2tp.cc" "src/CMakeFiles/sb_kernel.dir/kernel/net/l2tp.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/net/l2tp.cc.o.d"
+  "/root/repo/src/kernel/net/netdev.cc" "src/CMakeFiles/sb_kernel.dir/kernel/net/netdev.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/net/netdev.cc.o.d"
+  "/root/repo/src/kernel/net/packet.cc" "src/CMakeFiles/sb_kernel.dir/kernel/net/packet.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/net/packet.cc.o.d"
+  "/root/repo/src/kernel/net/tcp_cong.cc" "src/CMakeFiles/sb_kernel.dir/kernel/net/tcp_cong.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/net/tcp_cong.cc.o.d"
+  "/root/repo/src/kernel/rhashtable.cc" "src/CMakeFiles/sb_kernel.dir/kernel/rhashtable.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/rhashtable.cc.o.d"
+  "/root/repo/src/kernel/sound/ctl.cc" "src/CMakeFiles/sb_kernel.dir/kernel/sound/ctl.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/sound/ctl.cc.o.d"
+  "/root/repo/src/kernel/syscalls.cc" "src/CMakeFiles/sb_kernel.dir/kernel/syscalls.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/syscalls.cc.o.d"
+  "/root/repo/src/kernel/task.cc" "src/CMakeFiles/sb_kernel.dir/kernel/task.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/task.cc.o.d"
+  "/root/repo/src/kernel/tty/serial.cc" "src/CMakeFiles/sb_kernel.dir/kernel/tty/serial.cc.o" "gcc" "src/CMakeFiles/sb_kernel.dir/kernel/tty/serial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

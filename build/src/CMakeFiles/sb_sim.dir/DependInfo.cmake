@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/console.cc" "src/CMakeFiles/sb_sim.dir/sim/console.cc.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/console.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/sb_sim.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/liveness.cc" "src/CMakeFiles/sb_sim.dir/sim/liveness.cc.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/liveness.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/sb_sim.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/site.cc" "src/CMakeFiles/sb_sim.dir/sim/site.cc.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/site.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/CMakeFiles/sb_sim.dir/sim/sync.cc.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_sim.dir/sim/console.cc.o"
+  "CMakeFiles/sb_sim.dir/sim/console.cc.o.d"
+  "CMakeFiles/sb_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/sb_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/sb_sim.dir/sim/liveness.cc.o"
+  "CMakeFiles/sb_sim.dir/sim/liveness.cc.o.d"
+  "CMakeFiles/sb_sim.dir/sim/memory.cc.o"
+  "CMakeFiles/sb_sim.dir/sim/memory.cc.o.d"
+  "CMakeFiles/sb_sim.dir/sim/site.cc.o"
+  "CMakeFiles/sb_sim.dir/sim/site.cc.o.d"
+  "CMakeFiles/sb_sim.dir/sim/sync.cc.o"
+  "CMakeFiles/sb_sim.dir/sim/sync.cc.o.d"
+  "libsb_sim.a"
+  "libsb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

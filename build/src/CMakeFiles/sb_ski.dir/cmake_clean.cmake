@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_ski.dir/ski/baselines.cc.o"
+  "CMakeFiles/sb_ski.dir/ski/baselines.cc.o.d"
+  "CMakeFiles/sb_ski.dir/ski/ski_scheduler.cc.o"
+  "CMakeFiles/sb_ski.dir/ski/ski_scheduler.cc.o.d"
+  "libsb_ski.a"
+  "libsb_ski.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_ski.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snowboard/cluster.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/cluster.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/cluster.cc.o.d"
+  "/root/repo/src/snowboard/detectors.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/detectors.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/detectors.cc.o.d"
+  "/root/repo/src/snowboard/explorer.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/explorer.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/explorer.cc.o.d"
+  "/root/repo/src/snowboard/pipeline.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/pipeline.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/pipeline.cc.o.d"
+  "/root/repo/src/snowboard/pmc.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/pmc.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/pmc.cc.o.d"
+  "/root/repo/src/snowboard/postmortem.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/postmortem.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/postmortem.cc.o.d"
+  "/root/repo/src/snowboard/profile.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/profile.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/profile.cc.o.d"
+  "/root/repo/src/snowboard/replay.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/replay.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/replay.cc.o.d"
+  "/root/repo/src/snowboard/report.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/report.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/report.cc.o.d"
+  "/root/repo/src/snowboard/select.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/select.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/select.cc.o.d"
+  "/root/repo/src/snowboard/serialize.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/serialize.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/serialize.cc.o.d"
+  "/root/repo/src/snowboard/stats.cc" "src/CMakeFiles/sb_snowboard.dir/snowboard/stats.cc.o" "gcc" "src/CMakeFiles/sb_snowboard.dir/snowboard/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_snowboard.dir/snowboard/cluster.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/cluster.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/detectors.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/detectors.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/explorer.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/explorer.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/pipeline.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/pipeline.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/pmc.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/pmc.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/postmortem.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/postmortem.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/profile.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/profile.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/replay.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/replay.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/report.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/report.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/select.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/select.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/serialize.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/serialize.cc.o.d"
+  "CMakeFiles/sb_snowboard.dir/snowboard/stats.cc.o"
+  "CMakeFiles/sb_snowboard.dir/snowboard/stats.cc.o.d"
+  "libsb_snowboard.a"
+  "libsb_snowboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_snowboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

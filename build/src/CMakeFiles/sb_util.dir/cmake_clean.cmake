@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_util.dir/util/log.cc.o"
+  "CMakeFiles/sb_util.dir/util/log.cc.o.d"
+  "CMakeFiles/sb_util.dir/util/rng.cc.o"
+  "CMakeFiles/sb_util.dir/util/rng.cc.o.d"
+  "libsb_util.a"
+  "libsb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

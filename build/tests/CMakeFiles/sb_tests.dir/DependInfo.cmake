@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bug_repro_test.cc" "tests/CMakeFiles/sb_tests.dir/bug_repro_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/bug_repro_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/sb_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/detectors_test.cc" "tests/CMakeFiles/sb_tests.dir/detectors_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/detectors_test.cc.o.d"
+  "/root/repo/tests/engine_property_test.cc" "tests/CMakeFiles/sb_tests.dir/engine_property_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/engine_property_test.cc.o.d"
+  "/root/repo/tests/explorer_test.cc" "tests/CMakeFiles/sb_tests.dir/explorer_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/explorer_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/sb_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/kernel_core_test.cc" "tests/CMakeFiles/sb_tests.dir/kernel_core_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/kernel_core_test.cc.o.d"
+  "/root/repo/tests/kernel_edge_test.cc" "tests/CMakeFiles/sb_tests.dir/kernel_edge_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/kernel_edge_test.cc.o.d"
+  "/root/repo/tests/kernel_fs_test.cc" "tests/CMakeFiles/sb_tests.dir/kernel_fs_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/kernel_fs_test.cc.o.d"
+  "/root/repo/tests/kernel_misc_test.cc" "tests/CMakeFiles/sb_tests.dir/kernel_misc_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/kernel_misc_test.cc.o.d"
+  "/root/repo/tests/kernel_net_test.cc" "tests/CMakeFiles/sb_tests.dir/kernel_net_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/kernel_net_test.cc.o.d"
+  "/root/repo/tests/kernel_rhashtable_test.cc" "tests/CMakeFiles/sb_tests.dir/kernel_rhashtable_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/kernel_rhashtable_test.cc.o.d"
+  "/root/repo/tests/kernel_syscall_test.cc" "tests/CMakeFiles/sb_tests.dir/kernel_syscall_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/kernel_syscall_test.cc.o.d"
+  "/root/repo/tests/pipeline_edge_test.cc" "tests/CMakeFiles/sb_tests.dir/pipeline_edge_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/pipeline_edge_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/sb_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/pmc_test.cc" "tests/CMakeFiles/sb_tests.dir/pmc_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/pmc_test.cc.o.d"
+  "/root/repo/tests/postmortem_test.cc" "tests/CMakeFiles/sb_tests.dir/postmortem_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/postmortem_test.cc.o.d"
+  "/root/repo/tests/profile_test.cc" "tests/CMakeFiles/sb_tests.dir/profile_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/profile_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/sb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/replay_test.cc" "tests/CMakeFiles/sb_tests.dir/replay_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/replay_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/sb_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/seed_program_test.cc" "tests/CMakeFiles/sb_tests.dir/seed_program_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/seed_program_test.cc.o.d"
+  "/root/repo/tests/select_test.cc" "tests/CMakeFiles/sb_tests.dir/select_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/select_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/sb_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/sim_engine_test.cc" "tests/CMakeFiles/sb_tests.dir/sim_engine_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/sim_engine_test.cc.o.d"
+  "/root/repo/tests/sim_liveness_test.cc" "tests/CMakeFiles/sb_tests.dir/sim_liveness_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/sim_liveness_test.cc.o.d"
+  "/root/repo/tests/sim_memory_test.cc" "tests/CMakeFiles/sb_tests.dir/sim_memory_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/sim_memory_test.cc.o.d"
+  "/root/repo/tests/sim_sync_test.cc" "tests/CMakeFiles/sb_tests.dir/sim_sync_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/sim_sync_test.cc.o.d"
+  "/root/repo/tests/ski_test.cc" "tests/CMakeFiles/sb_tests.dir/ski_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/ski_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/sb_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/sb_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/sync_property_test.cc" "tests/CMakeFiles/sb_tests.dir/sync_property_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/sync_property_test.cc.o.d"
+  "/root/repo/tests/three_thread_test.cc" "tests/CMakeFiles/sb_tests.dir/three_thread_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/three_thread_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/sb_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/sb_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_ski.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_snowboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snowboard_cli.dir/snowboard_cli.cc.o"
+  "CMakeFiles/snowboard_cli.dir/snowboard_cli.cc.o.d"
+  "snowboard_cli"
+  "snowboard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snowboard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
