@@ -31,6 +31,42 @@ std::vector<ConcurrentTest> HintedTests(size_t count) {
 
 // --- Stage benchmarks. ---
 
+// Campaign preparation (stages 1-2: sharded profiling + sharded PMC identification) at
+// several worker counts. The determinism harness proves the outputs are byte-identical
+// across counts; this measures the wall-clock payoff (≥2× at 4 workers on ≥4 host cores —
+// corpus construction is excluded from the reported counter since it stays sequential).
+void BM_CampaignPreparation(benchmark::State& state) {
+  int workers = static_cast<int>(state.range(0));
+  double prep_seconds = 0;
+  for (auto _ : state) {
+    PipelineOptions options = bench::CanonicalOptions(Strategy::kSInsPair, 0, workers);
+    PreparedCampaign campaign = PrepareCampaign(options);
+    prep_seconds += campaign.profile_seconds + campaign.identify_seconds;
+    benchmark::DoNotOptimize(campaign);
+  }
+  state.counters["profile+identify_s"] =
+      benchmark::Counter(prep_seconds, benchmark::Counter::kAvgIterations);
+  state.SetLabel(workers == 1 ? "sequential baseline" : "sharded preparation");
+}
+BENCHMARK(BM_CampaignPreparation)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Multi-strategy preparation with a shared profile cache: the second strategy's profiling
+// stage is served entirely from the cache (Table 3 runs 5+ strategies over one corpus).
+void BM_PreparationWithProfileCache(benchmark::State& state) {
+  for (auto _ : state) {
+    ProfileCache cache;
+    PipelineOptions options = bench::CanonicalOptions(Strategy::kSInsPair, 0, 1);
+    options.profile_cache = &cache;
+    PreparedCampaign first = PrepareCampaign(options);
+    options.strategy = Strategy::kSCh;
+    PreparedCampaign second = PrepareCampaign(options);
+    benchmark::DoNotOptimize(first);
+    benchmark::DoNotOptimize(second);
+  }
+  state.SetLabel("2 strategies, 1 profiling pass");
+}
+BENCHMARK(BM_PreparationWithProfileCache)->Unit(benchmark::kMillisecond);
+
 void BM_SequentialProfiling(benchmark::State& state) {
   KernelVm vm;
   const std::vector<Program>& corpus = Campaign().corpus;

@@ -9,7 +9,7 @@
 namespace snowboard {
 
 uint64_t Program::Hash() const {
-  uint64_t h = 0x5b5b5b5b5b5b5b5bull;
+  uint64_t h = HashCombine(0x5b5b5b5b5b5b5b5bull, calls.size());
   for (const Call& call : calls) {
     h = HashCombine(h, call.nr);
     for (const Arg& arg : call.args) {

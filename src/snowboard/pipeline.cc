@@ -49,20 +49,36 @@ void RecordOutcome(const ConcurrentTest& test, const ExploreOutcome& outcome,
 
 PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
   PreparedCampaign campaign;
-  KernelVm vm;
+  int num_workers = options.num_workers > 0 ? options.num_workers : 1;
 
+  // Stage 0: corpus construction stays sequential — admission is a serial fold over the
+  // shared coverage map (each admit changes what counts as fresh for every later candidate).
   auto t0 = std::chrono::steady_clock::now();
-  CorpusOptions corpus_options = options.corpus;
-  corpus_options.seed = corpus_options.seed ^ options.seed;
-  campaign.corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
+  {
+    KernelVm vm;
+    CorpusOptions corpus_options = options.corpus;
+    corpus_options.seed = corpus_options.seed ^ options.seed;
+    campaign.corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
+  }
   campaign.corpus_seconds = SecondsSince(t0);
 
+  // Stage 1: profiling shards over a shared-nothing VM pool; profiles return in corpus
+  // order regardless of worker count.
   auto t1 = std::chrono::steady_clock::now();
-  campaign.profiles = ProfileCorpus(vm, campaign.corpus);
+  ProfileOptions profile_options;
+  profile_options.num_workers = num_workers;
+  profile_options.cache = options.profile_cache;
+  campaign.profiles = ProfileCorpusParallel(campaign.corpus, profile_options);
   campaign.profile_seconds = SecondsSince(t1);
 
+  // Stage 2: the overlap scan shards over disjoint ranges of the ordered nested index and
+  // merges in canonical PMC order (num_workers == 0 in the options means "inherit").
   auto t2 = std::chrono::steady_clock::now();
-  campaign.pmcs = IdentifyPmcs(campaign.profiles, options.pmc);
+  PmcIdentifyOptions pmc_options = options.pmc;
+  if (pmc_options.num_workers <= 0) {
+    pmc_options.num_workers = num_workers;
+  }
+  campaign.pmcs = IdentifyPmcs(campaign.profiles, pmc_options);
   campaign.identify_seconds = SecondsSince(t2);
   return campaign;
 }
@@ -81,7 +97,9 @@ std::vector<ConcurrentTest> GenerateTestsForStrategy(const PreparedCampaign& cam
     return GenerateDuplicatePairs(campaign.corpus, options.max_concurrent_tests,
                                   options.seed);
   }
-  std::vector<PmcCluster> clusters = ClusterPmcs(campaign.pmcs, options.strategy);
+  std::vector<PmcCluster> clusters =
+      ClusterPmcs(campaign.pmcs, options.strategy,
+                  options.num_workers > 0 ? options.num_workers : 1);
   if (cluster_count_out != nullptr) {
     *cluster_count_out = clusters.size();
   }

@@ -1,10 +1,14 @@
 // End-to-end pipeline — Figure 2: sequential test generation & profiling → PMC
 // identification → PMC selection (clustering + prioritization) → concurrent test execution.
 //
-// Execution is fanned out over a TestQueue of shared-nothing workers, each owning its own
-// booted KernelVm — the in-process analog of the paper's Redis-queue-plus-GCP-VMs deployment
-// (§4.4.1). Budgets are expressed in test counts rather than wall-clock so results are
-// deterministic for a fixed seed and worker count of one.
+// Both the expensive preparation stages (profiling, PMC identification) and execution fan
+// out over pools of shared-nothing workers, each owning its own booted KernelVm where VM
+// work is involved — the in-process analog of the paper's Redis-queue-plus-GCP-VMs
+// deployment (§4.4.1). Budgets are expressed in test counts rather than wall-clock, shard
+// merges are canonically ordered, and per-test exploration seeds derive from the test index,
+// so the pipeline's deterministic outputs (stats, PMC tables, findings) are byte-identical
+// for a fixed seed at ANY worker count — the invariant the determinism test harness locks
+// in.
 #ifndef SRC_SNOWBOARD_PIPELINE_H_
 #define SRC_SNOWBOARD_PIPELINE_H_
 
@@ -25,7 +29,12 @@ struct PipelineOptions {
   Strategy strategy = Strategy::kSInsPair;
   size_t max_concurrent_tests = 300;  // The per-strategy test budget (Table 3's time box).
   ExplorerOptions explorer;
-  int num_workers = 1;  // Shared-nothing execution workers (machine-B fleet analog).
+  // Shared-nothing workers (machine fleet analog) used by profiling, identification,
+  // clustering, and execution alike. All deterministic outputs are invariant under it.
+  int num_workers = 1;
+  // Optional cross-run profile memo: multi-strategy campaigns (Table 3) share one cache so
+  // each distinct program is profiled on a VM only once.
+  ProfileCache* profile_cache = nullptr;
 };
 
 struct PipelineResult {

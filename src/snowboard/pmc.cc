@@ -1,6 +1,8 @@
 #include "src/snowboard/pmc.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 
 #include "src/util/assert.h"
@@ -122,40 +124,96 @@ std::vector<Pmc> IdentifyPmcs(const std::vector<SequentialProfile>& profiles,
 
   // Lines 6-15: scan read/write overlaps through the ordered index. Ranges are at most 8
   // bytes, so for a write starting at `a` only reads starting in (a-8, a+len) can overlap.
+  // The scan over one contiguous write-table partition [begin, end); output appended in
+  // index order, capped at max_pmcs per partition (the global truncation happens after the
+  // ordered merge and can never need more than max_pmcs from any prefix).
+  auto scan_partition = [&reads, &options](const std::vector<SideRecord>& writes,
+                                           size_t begin, size_t end, std::vector<Pmc>* out) {
+    for (size_t wi = begin; wi < end; wi++) {
+      const SideRecord& w = writes[wi];
+      GuestAddr window_start = w.side.addr >= 8 ? w.side.addr - 8 : 0;
+      auto it = std::lower_bound(reads.begin(), reads.end(), window_start,
+                                 [](const SideRecord& r, GuestAddr addr) {
+                                   return r.side.addr < addr;
+                                 });
+      for (; it != reads.end() && it->side.addr < w.side.end(); ++it) {
+        const SideRecord& r = *it;
+        GuestAddr ov_start = std::max(w.side.addr, r.side.addr);
+        GuestAddr ov_end = std::min(w.side.end(), r.side.end());
+        if (ov_start >= ov_end) {
+          continue;
+        }
+        uint32_t ov_len = ov_end - ov_start;
+        uint64_t read_value =
+            ProjectValue(r.side.addr, r.side.len, r.side.value, ov_start, ov_len);
+        uint64_t write_value =
+            ProjectValue(w.side.addr, w.side.len, w.side.value, ov_start, ov_len);
+        if (read_value == write_value) {
+          continue;  // The write would not change what the reader fetches: not a PMC.
+        }
+        Pmc pmc;
+        pmc.key = PmcKey{w.side, r.side, r.df_leader};
+        pmc.total_pairs = w.total_tests * r.total_tests;
+        // Sample test pairs: diagonal-ish walk over the two capped test lists.
+        size_t limit = std::max(w.tests.size(), r.tests.size());
+        for (size_t i = 0; i < limit && pmc.pairs.size() < kMaxPairsPerPmc; i++) {
+          pmc.pairs.push_back(PmcTestPair{w.tests[i % w.tests.size()],
+                                          r.tests[i % r.tests.size()]});
+        }
+        out->push_back(std::move(pmc));
+        if (out->size() >= options.max_pmcs) {
+          return;
+        }
+      }
+    }
+  };
+
+  int num_workers = options.num_workers > 0 ? options.num_workers : 1;
+  if (num_workers == 1) {
+    std::vector<Pmc> pmcs;
+    scan_partition(writes, 0, writes.size(), &pmcs);
+    return pmcs;
+  }
+
+  // Partition the sorted write table into disjoint contiguous ranges — several per worker so
+  // PMC-dense regions balance — claimed dynamically and emitted per-partition, then merged
+  // in partition order. Concatenation order == sequential scan order == canonical PMC order.
+  size_t num_partitions =
+      std::min(writes.size(), static_cast<size_t>(num_workers) * 4);
+  if (num_partitions <= 1) {
+    std::vector<Pmc> pmcs;
+    scan_partition(writes, 0, writes.size(), &pmcs);
+    return pmcs;
+  }
+  std::vector<std::vector<Pmc>> partition_pmcs(num_partitions);
+  std::atomic<size_t> next_partition{0};
+  auto worker_fn = [&]() {
+    for (;;) {
+      size_t p = next_partition.fetch_add(1);
+      if (p >= num_partitions) {
+        break;
+      }
+      size_t begin = writes.size() * p / num_partitions;
+      size_t end = writes.size() * (p + 1) / num_partitions;
+      scan_partition(writes, begin, end, &partition_pmcs[p]);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; w++) {
+    workers.emplace_back(worker_fn);
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
   std::vector<Pmc> pmcs;
-  for (const SideRecord& w : writes) {
-    GuestAddr window_start = w.side.addr >= 8 ? w.side.addr - 8 : 0;
-    auto it = std::lower_bound(reads.begin(), reads.end(), window_start,
-                               [](const SideRecord& r, GuestAddr addr) {
-                                 return r.side.addr < addr;
-                               });
-    for (; it != reads.end() && it->side.addr < w.side.end(); ++it) {
-      const SideRecord& r = *it;
-      GuestAddr ov_start = std::max(w.side.addr, r.side.addr);
-      GuestAddr ov_end = std::min(w.side.end(), r.side.end());
-      if (ov_start >= ov_end) {
-        continue;
-      }
-      uint32_t ov_len = ov_end - ov_start;
-      uint64_t read_value = ProjectValue(r.side.addr, r.side.len, r.side.value, ov_start, ov_len);
-      uint64_t write_value =
-          ProjectValue(w.side.addr, w.side.len, w.side.value, ov_start, ov_len);
-      if (read_value == write_value) {
-        continue;  // The write would not change what the reader fetches: not a PMC.
-      }
-      Pmc pmc;
-      pmc.key = PmcKey{w.side, r.side, r.df_leader};
-      pmc.total_pairs = w.total_tests * r.total_tests;
-      // Sample test pairs: diagonal-ish walk over the two capped test lists.
-      size_t limit = std::max(w.tests.size(), r.tests.size());
-      for (size_t i = 0; i < limit && pmc.pairs.size() < kMaxPairsPerPmc; i++) {
-        pmc.pairs.push_back(PmcTestPair{w.tests[i % w.tests.size()],
-                                        r.tests[i % r.tests.size()]});
-      }
-      pmcs.push_back(std::move(pmc));
+  for (std::vector<Pmc>& partition : partition_pmcs) {
+    for (Pmc& pmc : partition) {
       if (pmcs.size() >= options.max_pmcs) {
         return pmcs;
       }
+      pmcs.push_back(std::move(pmc));
     }
   }
   return pmcs;

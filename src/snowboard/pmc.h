@@ -9,6 +9,15 @@
 // The access index is the paper's "ordered nested index" (§4.2.1): outer order by range
 // start address, nested by range length, then by instruction site — scanned with a bounded
 // window to enumerate all read/write overlaps without the naive quadratic pass.
+//
+// The scan shards: the index's address space is partitioned into disjoint ranges (contiguous
+// runs of the sorted write table), each shard runs Algorithm 1's overlap scan against the
+// shared read-only read table, and shard outputs are concatenated in partition order. The
+// index order is the canonical PMC order — (write side, read side) lexicographic — and every
+// shard emits its slice already in that order, so the merged table (multiplicities, sampled
+// exemplar pairs, and the max_pmcs truncation point included) is byte-identical for any
+// worker count. §4.4.1's fleet-scale identification ("169 billion PMCs") motivates the
+// fan-out.
 #ifndef SRC_SNOWBOARD_PMC_H_
 #define SRC_SNOWBOARD_PMC_H_
 
@@ -60,6 +69,10 @@ struct PmcIdentifyOptions {
   // Hard cap on materialized PMCs (the paper stores S-FULL's 169B PMC *keys* on disk; we
   // cap in memory). Identification stops adding past this.
   size_t max_pmcs = 50'000'000;
+  // Worker threads for the overlap scan. 0 = unset: direct IdentifyPmcs callers get a
+  // sequential scan, PrepareCampaign substitutes its pipeline num_workers. The identified
+  // table is invariant under this value.
+  int num_workers = 0;
 };
 
 // Algorithm 1: index all profiled shared accesses, scan read/write overlaps, keep pairs

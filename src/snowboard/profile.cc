@@ -1,11 +1,72 @@
 #include "src/snowboard/profile.h"
 
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 
 #include "src/sim/stackfilter.h"
+#include "src/snowboard/stats.h"
 #include "src/util/hash.h"
 
 namespace snowboard {
+
+bool ProfileCache::Lookup(const Program& program, int test_id, SequentialProfile* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_hash_.find(program.Hash());
+  if (it == by_hash_.end()) {
+    return false;
+  }
+  for (const SequentialProfile& cached : it->second) {
+    if (cached.program == program) {
+      *out = cached;
+      out->test_id = test_id;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ProfileCache::Insert(const SequentialProfile& profile) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SequentialProfile>& bucket = by_hash_[profile.program.Hash()];
+  for (const SequentialProfile& cached : bucket) {
+    if (cached.program == profile.program) {
+      return;  // First insertion wins (all insertions carry identical content anyway).
+    }
+  }
+  bucket.push_back(profile);
+}
+
+size_t ProfileCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [hash, bucket] : by_hash_) {
+    total += bucket.size();
+  }
+  return total;
+}
+
+namespace {
+
+// Cache-aware single-test profiling step shared by the serial and parallel corpus walks.
+SequentialProfile ProfileTestCached(KernelVm& vm, const Program& program, int test_id,
+                                    const ProfileOptions& options) {
+  SequentialProfile profile;
+  if (options.cache != nullptr && options.cache->Lookup(program, test_id, &profile)) {
+    GlobalPipelineCounters().profile_cache_hits++;
+    return profile;
+  }
+  if (options.cache != nullptr) {
+    GlobalPipelineCounters().profile_cache_misses++;
+  }
+  profile = ProfileTest(vm, program, test_id, options);
+  if (options.cache != nullptr) {
+    options.cache->Insert(profile);
+  }
+  return profile;
+}
+
+}  // namespace
 
 std::vector<SharedAccess> ExtractSharedAccesses(const Trace& trace, VcpuId vcpu) {
   std::vector<SharedAccess> accesses;
@@ -76,6 +137,7 @@ SequentialProfile ProfileTest(KernelVm& vm, const Program& program, int test_id,
   profile.test_id = test_id;
   profile.program = program;
 
+  GlobalPipelineCounters().vm_profile_runs++;
   vm.RestoreSnapshot();
   Engine::RunOptions opts;
   opts.max_instructions = options.max_instructions;
@@ -95,7 +157,41 @@ std::vector<SequentialProfile> ProfileCorpus(KernelVm& vm, const std::vector<Pro
   std::vector<SequentialProfile> profiles;
   profiles.reserve(corpus.size());
   for (size_t i = 0; i < corpus.size(); i++) {
-    profiles.push_back(ProfileTest(vm, corpus[i], static_cast<int>(i), options));
+    profiles.push_back(ProfileTestCached(vm, corpus[i], static_cast<int>(i), options));
+  }
+  return profiles;
+}
+
+std::vector<SequentialProfile> ProfileCorpusParallel(const std::vector<Program>& corpus,
+                                                     const ProfileOptions& options) {
+  int num_workers = options.num_workers > 0 ? options.num_workers : 1;
+  if (num_workers == 1) {
+    KernelVm vm;
+    return ProfileCorpus(vm, corpus, options);
+  }
+
+  // Dynamic index claiming balances load (test lengths vary); slot `i` of the result is
+  // written only by the worker that claimed index i, so no profile-level synchronization is
+  // needed and the output order is the corpus order regardless of scheduling.
+  std::vector<SequentialProfile> profiles(corpus.size());
+  std::atomic<size_t> next{0};
+  auto worker_fn = [&]() {
+    KernelVm vm;
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= corpus.size()) {
+        break;
+      }
+      profiles[i] = ProfileTestCached(vm, corpus[i], static_cast<int>(i), options);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; w++) {
+    workers.emplace_back(worker_fn);
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
   }
   return profiles;
 }

@@ -12,6 +12,8 @@
 #ifndef SRC_SNOWBOARD_PROFILE_H_
 #define SRC_SNOWBOARD_PROFILE_H_
 
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/fuzz/program.h"
@@ -30,6 +32,8 @@ struct SharedAccess {
   uint64_t value = 0;
   SiteId site = kInvalidSite;
   uint32_t index = 0;  // Position within the profile (program order).
+
+  bool operator==(const SharedAccess&) const = default;
 };
 
 struct SequentialProfile {
@@ -39,17 +43,49 @@ struct SequentialProfile {
   std::vector<SharedAccess> accesses;
 };
 
+// Thread-safe memo of sequential profiles keyed by program content (Program::Hash, with a
+// full-program equality check against collisions). Profiling is deterministic — the same
+// program from the same boot snapshot always yields the same access list — so a multi-
+// strategy campaign (Table 3 runs every strategy against one corpus) can profile each
+// distinct program once instead of once per strategy. Hits/misses are counted in
+// GlobalPipelineCounters().
+class ProfileCache {
+ public:
+  // On hit, copies the cached profile into `out` with test_id rewritten to `test_id` (the
+  // profile content is position-independent; only the corpus index differs between runs).
+  bool Lookup(const Program& program, int test_id, SequentialProfile* out) const;
+  void Insert(const SequentialProfile& profile);
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // Hash buckets hold full entries so colliding programs coexist.
+  std::unordered_map<uint64_t, std::vector<SequentialProfile>> by_hash_;
+};
+
 struct ProfileOptions {
   uint64_t max_instructions = 1'000'000;
+  // Shared-nothing profiling VMs for ProfileCorpusParallel (the paper profiles its corpus
+  // across a fleet, §4.4.1). Results are invariant under this value.
+  int num_workers = 1;
+  ProfileCache* cache = nullptr;  // Optional cross-run memo; nullptr = always execute.
 };
 
 // Profiles one test from the fixed initial state.
 SequentialProfile ProfileTest(KernelVm& vm, const Program& program, int test_id,
                               const ProfileOptions& options = ProfileOptions{});
 
-// Profiles a whole corpus (restoring the snapshot before each test).
+// Profiles a whole corpus (restoring the snapshot before each test) on one caller-owned VM,
+// consulting `options.cache` if set.
 std::vector<SequentialProfile> ProfileCorpus(KernelVm& vm, const std::vector<Program>& corpus,
                                              const ProfileOptions& options = ProfileOptions{});
+
+// Shards the corpus over `options.num_workers` worker threads, each owning a freshly booted
+// KernelVm, and returns profiles in corpus order. Work is pulled dynamically (index-claimed),
+// but each profile is a pure function of its program, so the result — including every access
+// list and df_leader flag — is byte-identical for any worker count.
+std::vector<SequentialProfile> ProfileCorpusParallel(
+    const std::vector<Program>& corpus, const ProfileOptions& options = ProfileOptions{});
 
 // Shared-access extraction from a raw trace (exposed for tests and incidental-PMC search):
 // keeps kAccess events of `vcpu` that are outside the stack range implied by their ESP.

@@ -3,9 +3,60 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/snowboard/report.h"
+#include "src/util/hash.h"
 #include "src/util/strings.h"
 
 namespace snowboard {
+
+PipelineCounters& GlobalPipelineCounters() {
+  static PipelineCounters* counters = new PipelineCounters();
+  return *counters;
+}
+
+void ResetPipelineCounters() {
+  PipelineCounters& counters = GlobalPipelineCounters();
+  counters.vm_profile_runs = 0;
+  counters.profile_cache_hits = 0;
+  counters.profile_cache_misses = 0;
+}
+
+uint64_t PmcTableDigest(const std::vector<Pmc>& pmcs) {
+  uint64_t h = HashAll(uint64_t{0x50c4}, pmcs.size());
+  for (const Pmc& pmc : pmcs) {
+    h = HashCombine(h, pmc.key.Hash());
+    h = HashCombine(h, pmc.total_pairs);
+    h = HashCombine(h, pmc.pairs.size());
+    for (const PmcTestPair& pair : pmc.pairs) {
+      h = HashCombine(h, HashAll(pair.write_test, pair.read_test));
+    }
+  }
+  return h;
+}
+
+uint64_t ClusterTableDigest(const std::vector<PmcCluster>& clusters) {
+  uint64_t h = HashAll(uint64_t{0xc105}, clusters.size());
+  for (const PmcCluster& cluster : clusters) {
+    h = HashCombine(h, cluster.key);
+    h = HashCombine(h, cluster.members.size());
+    for (uint32_t member : cluster.members) {
+      h = HashCombine(h, member);
+    }
+  }
+  return h;
+}
+
+uint64_t FindingsDigest(const FindingsLog& findings) {
+  uint64_t h = HashAll(uint64_t{0xf1d5}, findings.total_findings());
+  for (const auto& [id, finding] : findings.first_findings()) {
+    h = HashCombine(h, static_cast<uint64_t>(id));
+    h = HashCombine(h, Fnv1a(finding.evidence));
+    h = HashCombine(h, finding.test_index);
+    h = HashCombine(h, static_cast<uint64_t>(finding.trial));
+    h = HashCombine(h, static_cast<uint64_t>(finding.duplicate_input));
+  }
+  return h;
+}
 
 DistributionSummary SummarizeClusterSizes(const std::vector<PmcCluster>& clusters) {
   DistributionSummary summary;

@@ -1,11 +1,15 @@
-// Campaign statistics: distribution summaries over PMC populations and cluster structures.
+// Campaign statistics: distribution summaries over PMC populations and cluster structures,
+// process-wide preparation counters, and artifact digests.
 //
 // The paper's prioritization rests on cluster-cardinality *shape* (uncommon-first visits pay
 // off exactly when cluster sizes are skewed); these helpers quantify that shape for the
-// Table 1 characterization and for pipeline diagnostics.
+// Table 1 characterization and for pipeline diagnostics. The digests give tests a compact
+// byte-identity check over stage artifacts — the determinism harness asserts they are
+// invariant under the preparation worker count.
 #ifndef SRC_SNOWBOARD_STATS_H_
 #define SRC_SNOWBOARD_STATS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -13,6 +17,26 @@
 #include "src/snowboard/cluster.h"
 
 namespace snowboard {
+
+class FindingsLog;
+
+// Process-wide counters over the expensive preparation work. VM profiling runs are the §5.4
+// cost center (40 machine-hours in the paper), so cache efficacy is asserted in these terms:
+// a multi-strategy campaign over one corpus must pay `vm_profile_runs == corpus_size` once.
+struct PipelineCounters {
+  std::atomic<uint64_t> vm_profile_runs{0};     // Sequential tests actually executed on a VM.
+  std::atomic<uint64_t> profile_cache_hits{0};  // Profiles served from a ProfileCache.
+  std::atomic<uint64_t> profile_cache_misses{0};
+};
+
+PipelineCounters& GlobalPipelineCounters();
+void ResetPipelineCounters();  // Zeroes all counters (test/bench isolation).
+
+// Order-sensitive digests of stage artifacts. Two artifact vectors digest equal iff they are
+// element-wise identical (up to 64-bit collision), including multiplicities and exemplars.
+uint64_t PmcTableDigest(const std::vector<Pmc>& pmcs);
+uint64_t ClusterTableDigest(const std::vector<PmcCluster>& clusters);
+uint64_t FindingsDigest(const FindingsLog& findings);
 
 struct DistributionSummary {
   size_t count = 0;

@@ -1,0 +1,119 @@
+// Determinism harness for the parallel campaign-preparation pipeline: every deterministic
+// artifact of RunSnowboardPipeline — corpus, profiles, PMC table (keys, multiplicities,
+// sampled exemplar pairs), cluster tables, execution stats, and the findings log — must be
+// byte-identical whether the stages run on 1, 2, or 4 workers. This is the
+// parallel-speed/bit-identical-results bar of deterministic-parallelism systems (Aviram et
+// al.; O'Callahan et al.), applied to our §4.4.1 fleet analog.
+#include <gtest/gtest.h>
+
+#include "src/snowboard/pipeline.h"
+#include "src/snowboard/stats.h"
+
+namespace snowboard {
+namespace {
+
+PipelineOptions BaseOptions(int num_workers) {
+  PipelineOptions options;
+  options.seed = 7;
+  options.corpus.seed = 42;
+  options.corpus.max_iterations = 40;
+  options.corpus.target_size = 32;
+  options.strategy = Strategy::kSInsPair;
+  options.max_concurrent_tests = 24;
+  options.explorer.num_trials = 8;
+  options.num_workers = num_workers;
+  return options;
+}
+
+void ExpectSameProfiles(const std::vector<SequentialProfile>& a,
+                        const std::vector<SequentialProfile>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(a[i].test_id, b[i].test_id) << "profile " << i;
+    EXPECT_EQ(a[i].ok, b[i].ok) << "profile " << i;
+    EXPECT_EQ(a[i].program, b[i].program) << "profile " << i;
+    EXPECT_EQ(a[i].accesses, b[i].accesses) << "profile " << i;
+  }
+}
+
+void ExpectSamePmcs(const std::vector<Pmc>& a, const std::vector<Pmc>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(a[i].key, b[i].key) << "pmc " << i;
+    EXPECT_EQ(a[i].total_pairs, b[i].total_pairs) << "pmc " << i;  // Pair multiplicity.
+    ASSERT_EQ(a[i].pairs.size(), b[i].pairs.size()) << "pmc " << i;
+    for (size_t p = 0; p < a[i].pairs.size(); p++) {
+      EXPECT_EQ(a[i].pairs[p].write_test, b[i].pairs[p].write_test) << "pmc " << i;
+      EXPECT_EQ(a[i].pairs[p].read_test, b[i].pairs[p].read_test) << "pmc " << i;
+    }
+  }
+  EXPECT_EQ(PmcTableDigest(a), PmcTableDigest(b));
+}
+
+TEST(PipelineDeterminismTest, PreparedCampaignInvariantAcrossWorkerCounts) {
+  PreparedCampaign base = PrepareCampaign(BaseOptions(1));
+  ASSERT_GT(base.corpus.size(), 10u);
+  ASSERT_GT(base.pmcs.size(), 50u);
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << "num_workers=" << workers);
+    PreparedCampaign campaign = PrepareCampaign(BaseOptions(workers));
+    ASSERT_EQ(campaign.corpus.size(), base.corpus.size());
+    for (size_t i = 0; i < base.corpus.size(); i++) {
+      EXPECT_EQ(campaign.corpus[i], base.corpus[i]) << "corpus " << i;
+    }
+    ExpectSameProfiles(campaign.profiles, base.profiles);
+    ExpectSamePmcs(campaign.pmcs, base.pmcs);
+  }
+}
+
+TEST(PipelineDeterminismTest, ClusterTablesInvariantAcrossWorkerCounts) {
+  PreparedCampaign campaign = PrepareCampaign(BaseOptions(2));
+  ASSERT_GT(campaign.pmcs.size(), 0u);
+  for (Strategy strategy : kAllClusteringStrategies) {
+    SCOPED_TRACE(StrategyName(strategy));
+    std::vector<PmcCluster> sequential = ClusterPmcs(campaign.pmcs, strategy, 1);
+    for (int workers : {2, 3, 4}) {
+      std::vector<PmcCluster> sharded = ClusterPmcs(campaign.pmcs, strategy, workers);
+      ASSERT_EQ(sharded.size(), sequential.size()) << "num_workers=" << workers;
+      EXPECT_EQ(ClusterTableDigest(sharded), ClusterTableDigest(sequential))
+          << "num_workers=" << workers;
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, FullPipelineStatsAndFindingsInvariant) {
+  PipelineResult base = RunSnowboardPipeline(BaseOptions(1));
+  ASSERT_GT(base.tests_executed, 0u);
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << "num_workers=" << workers);
+    PipelineResult result = RunSnowboardPipeline(BaseOptions(workers));
+    EXPECT_EQ(result.corpus_size, base.corpus_size);
+    EXPECT_EQ(result.profiled_ok, base.profiled_ok);
+    EXPECT_EQ(result.shared_accesses, base.shared_accesses);
+    EXPECT_EQ(result.pmc_count, base.pmc_count);
+    EXPECT_EQ(result.total_pmc_pairs, base.total_pmc_pairs);
+    EXPECT_EQ(result.cluster_count, base.cluster_count);
+    EXPECT_EQ(result.tests_generated, base.tests_generated);
+    EXPECT_EQ(result.tests_executed, base.tests_executed);
+    EXPECT_EQ(result.tests_with_bug, base.tests_with_bug);
+    EXPECT_EQ(result.channel_exercised, base.channel_exercised);
+    EXPECT_EQ(result.total_trials, base.total_trials);
+
+    EXPECT_EQ(result.findings.total_findings(), base.findings.total_findings());
+    ASSERT_EQ(result.findings.first_findings().size(), base.findings.first_findings().size());
+    auto base_it = base.findings.first_findings().begin();
+    for (const auto& [id, finding] : result.findings.first_findings()) {
+      EXPECT_EQ(id, base_it->first);
+      EXPECT_EQ(finding.issue_id, base_it->second.issue_id);
+      EXPECT_EQ(finding.evidence, base_it->second.evidence);
+      EXPECT_EQ(finding.test_index, base_it->second.test_index);
+      EXPECT_EQ(finding.trial, base_it->second.trial);
+      EXPECT_EQ(finding.duplicate_input, base_it->second.duplicate_input);
+      ++base_it;
+    }
+    EXPECT_EQ(FindingsDigest(result.findings), FindingsDigest(base.findings));
+  }
+}
+
+}  // namespace
+}  // namespace snowboard
