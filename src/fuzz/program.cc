@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/kernel/task.h"
+#include "src/util/assert.h"
 #include "src/util/hash.h"
 #include "src/util/strings.h"
 
@@ -46,7 +47,7 @@ std::string Program::Format() const {
 
 ProgramResult RunProgram(Ctx& ctx, const KernelGlobals& g, const Program& program) {
   ProgramResult result;
-  result.call_results.reserve(program.calls.size());
+  SB_CHECK(program.calls.size() <= kMaxCallsPerProgram);
   for (const Call& call : program.calls) {
     int64_t args[kMaxSyscallArgs] = {0, 0, 0, 0};
     for (int a = 0; a < kMaxSyscallArgs; a++) {

@@ -49,9 +49,21 @@ struct Program {
   std::string Format() const;
 };
 
-// Result of executing a program on one guest task.
+// Result of executing a program on one guest task. Inline storage (capacity
+// kMaxCallsPerProgram) — RunProgram executes inside the trial hot loop for every task on
+// every trial, and must not heap-allocate.
 struct ProgramResult {
-  std::vector<int64_t> call_results;
+  class Results {
+   public:
+    int64_t operator[](size_t i) const { return values_[i]; }
+    size_t size() const { return count_; }
+    void push_back(int64_t v) { values_[count_++] = v; }
+
+   private:
+    int64_t values_[kMaxCallsPerProgram] = {};
+    size_t count_ = 0;
+  };
+  Results call_results;
 };
 
 // Executes `program` on the current task of `ctx` (TaskEnter must have been called),

@@ -2,6 +2,9 @@
 // KernelVm wrapper takes the post-boot snapshot — the paper's fixed initial kernel state.
 #include "src/kernel/kernel.h"
 
+#include <atomic>
+#include <chrono>
+
 #include "src/kernel/block/blockdev.h"
 #include "src/kernel/fs/configfs.h"
 #include "src/kernel/fs/sbfs.h"
@@ -17,6 +20,7 @@
 #include "src/kernel/tty/serial.h"
 #include "src/sim/sync.h"
 #include "src/util/assert.h"
+#include "src/util/counters.h"
 
 namespace snowboard {
 
@@ -59,6 +63,46 @@ KernelGlobals BootKernel(Engine& engine) {
 KernelVm::KernelVm() : engine_(1u << 20) {
   globals_ = BootKernel(engine_);
   snapshot_ = engine_.mem().TakeSnapshot();
+}
+
+namespace {
+// Delta restore defaults ON; the determinism harness and A/B benches flip it off to get
+// the reference full-memcpy path.
+std::atomic<bool> g_delta_restore_enabled{true};
+}  // namespace
+
+void KernelVm::SetDeltaRestoreEnabled(bool enabled) {
+  g_delta_restore_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool KernelVm::DeltaRestoreEnabled() {
+  return g_delta_restore_enabled.load(std::memory_order_relaxed);
+}
+
+void KernelVm::RestoreSnapshot() {
+  auto start = std::chrono::steady_clock::now();
+  Memory::RestoreStats stats;
+  if (DeltaRestoreEnabled()) {
+    stats = engine_.mem().RestoreDirty(snapshot_);
+  } else {
+    engine_.mem().Restore(snapshot_);
+    stats.bytes_copied = engine_.mem().size();
+    stats.full = true;
+  }
+  uint64_t nanos = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                             std::chrono::steady_clock::now() - start)
+                                             .count());
+  restore_seconds_ += static_cast<double>(nanos) * 1e-9;
+
+  PipelineCounters& counters = GlobalPipelineCounters();
+  if (stats.full) {
+    counters.snapshot_full_restores.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters.snapshot_delta_restores.fetch_add(1, std::memory_order_relaxed);
+    counters.snapshot_restored_pages.fetch_add(stats.dirty_pages, std::memory_order_relaxed);
+  }
+  counters.snapshot_restored_bytes.fetch_add(stats.bytes_copied, std::memory_order_relaxed);
+  counters.snapshot_restore_nanos.fetch_add(nanos, std::memory_order_relaxed);
 }
 
 }  // namespace snowboard

@@ -94,9 +94,9 @@ void Ctx::ExplicitYield() { engine_->Yield(vcpu_, /*record_event=*/true); }
 
 void Ctx::Pause() {
   Engine& e = *engine_;
-  e.liveness_->OnPause(vcpu_);
+  e.liveness_.OnPause(vcpu_);
   // A spinner with no live partner can never be satisfied: classic hang.
-  if (!e.liveness_->IsLive(vcpu_) && e.NextLiveVcpu(vcpu_) == kInvalidVcpu) {
+  if (!e.liveness_.IsLive(vcpu_) && e.NextLiveVcpu(vcpu_) == kInvalidVcpu) {
     e.AbortTrial(vcpu_, /*panic=*/false, "hang: spinning with no runnable partner");
   }
   e.Yield(vcpu_, /*record_event=*/false);
@@ -110,7 +110,7 @@ void Ctx::LockEvent(EventKind kind, GuestAddr lock_addr) {
   engine_->RecordEvent(event);
 }
 
-void Ctx::OnSyscallEntry() { engine_->liveness_->OnProgress(vcpu_); }
+void Ctx::OnSyscallEntry() { engine_->liveness_.OnProgress(vcpu_); }
 
 void Ctx::Printk(const std::string& line) { engine_->console_.Printk(line); }
 
@@ -125,13 +125,48 @@ void Ctx::Panic(const std::string& message) {
 
 Engine::Engine(uint32_t mem_size) : memory_(mem_size) {}
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(token_mutex_);
+    shutdown_ = true;
+    token_cv_.notify_all();
+  }
+  for (std::thread& t : pool_) {
+    t.join();
+  }
+}
+
+void Engine::PoolWorkerMain(VcpuId vcpu) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(token_mutex_);
+  for (;;) {
+    token_cv_.wait(lock, [&] {
+      return shutdown_ || (run_generation_ != seen_generation && vcpu < run_vcpus_);
+    });
+    if (shutdown_) {
+      return;
+    }
+    seen_generation = run_generation_;
+    const GuestFn& fn = (*run_fns_)[static_cast<size_t>(vcpu)];
+    lock.unlock();
+    GuestThreadMain(vcpu, fn);
+    lock.lock();
+  }
+}
 
 Engine::RunResult Engine::Run(const std::vector<GuestFn>& vcpu_fns, const RunOptions& opts) {
+  RunResult result;
+  RunInto(vcpu_fns, opts, &result);
+  return result;
+}
+
+void Engine::RunInto(const std::vector<GuestFn>& vcpu_fns, const RunOptions& opts,
+                     RunResult* result) {
   SB_CHECK(!vcpu_fns.empty());
   const int n = static_cast<int>(vcpu_fns.size());
 
-  // Reset per-run state.
+  // Reset per-run state, recycling buffer capacity from the previous run (and the caller's
+  // trace buffer via `result`): at steady state nothing here touches the heap.
   opts_ = opts;
   scheduler_ = opts.scheduler != nullptr ? opts.scheduler : &sequential_;
   vcpus_.assign(static_cast<size_t>(n), VcpuState());
@@ -140,48 +175,50 @@ Engine::RunResult Engine::Run(const std::vector<GuestFn>& vcpu_fns, const RunOpt
   for (int v = 0; v < n; v++) {
     ctxs_.emplace_back(this, v);
   }
-  liveness_ = std::make_unique<LivenessMonitor>(n, opts.liveness);
+  liveness_.Reset(n, opts.liveness);
+  trace_ = std::move(result->trace);
   trace_.clear();
   seq_ = 0;
   instructions_ = 0;
-  abort_ = false;
   panicked_ = false;
   hang_ = false;
   panic_message_.clear();
   console_.Clear();
-  unfinished_ = n;
-  active_vcpu_ = kInvalidVcpu;
 
-  scheduler_->OnTrialStart(n);
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(n));
-  for (int v = 0; v < n; v++) {
-    threads.emplace_back([this, v, &vcpu_fns] { GuestThreadMain(v, vcpu_fns[static_cast<size_t>(v)]); });
+  // Grow the persistent pool to cover this run's vCPU count (first-run warm-up only).
+  while (pool_.size() < static_cast<size_t>(n)) {
+    VcpuId vcpu = static_cast<VcpuId>(pool_.size());
+    pool_.emplace_back([this, vcpu] { PoolWorkerMain(vcpu); });
   }
 
   {
     std::unique_lock<std::mutex> lock(token_mutex_);
+    // Workers from the previous run have all left the finish protocol (the previous wait
+    // saw unfinished_ == 0 under this mutex), so per-run state is safe to republish.
+    abort_ = false;
+    unfinished_ = n;
+    run_fns_ = &vcpu_fns;
+    run_vcpus_ = n;
+    run_generation_++;
+    scheduler_->OnTrialStart(n);
     active_vcpu_ = 0;
     token_cv_.notify_all();
     token_cv_.wait(lock, [this] { return unfinished_ == 0; });
-  }
-  for (std::thread& t : threads) {
-    t.join();
+    active_vcpu_ = kInvalidVcpu;
+    run_fns_ = nullptr;
+    run_vcpus_ = 0;
   }
 
   scheduler_->OnTrialEnd();
 
-  RunResult result;
-  result.completed = !abort_;
-  result.hang = hang_;
-  result.panicked = panicked_;
-  result.panic_message = panic_message_;
-  result.instructions = instructions_;
-  result.trace = std::move(trace_);
+  result->completed = !abort_;
+  result->hang = hang_;
+  result->panicked = panicked_;
+  result->panic_message = panic_message_;
+  result->instructions = instructions_;
+  result->trace = std::move(trace_);
   trace_ = Trace();
-  result.console = console_.lines();
-  return result;
+  result->console = console_.lines();
 }
 
 Engine::RunResult Engine::RunSequential(const GuestFn& fn, uint64_t max_instructions) {
@@ -304,13 +341,13 @@ void Engine::CheckBudgetAndLiveness(Ctx& ctx) {
   if (instructions_ > opts_.max_instructions) {
     AbortTrial(v, /*panic=*/false, "hang: instruction budget exhausted");
   }
-  if (!liveness_->IsLive(v)) {
+  if (!liveness_.IsLive(v)) {
     scheduler_->OnNotLive(v);
     VcpuId next = NextLiveVcpu(v);
     if (next == kInvalidVcpu) {
       AbortTrial(v, /*panic=*/false, "hang: not live with no runnable partner");
     }
-    if (!liveness_->IsLive(next)) {
+    if (!liveness_.IsLive(next)) {
       // Both threads stuck in low-liveness loops: deadlock/livelock. End the trial.
       AbortTrial(v, /*panic=*/false, "hang: all vCPUs not live (deadlock suspected)");
     }
@@ -346,7 +383,7 @@ void Engine::OnAccess(Ctx& ctx, Access& access) {
   // RecordEvent stamped event.access.seq; mirror it into the caller-visible access.
   access.seq = event.access.seq;
 
-  liveness_->OnAccess(v, access);
+  liveness_.OnAccess(v, access);
   state.pending_switch = scheduler_->AfterAccess(v, access);
 }
 
@@ -378,7 +415,7 @@ void Engine::OnRmw(Ctx& ctx, Access& read, const std::function<bool(uint64_t)>& 
   read_event.access = read;
   RecordEvent(read_event);
   read.seq = read_event.access.seq;
-  liveness_->OnAccess(v, read);
+  liveness_.OnAccess(v, read);
 
   bool pending = scheduler_->AfterAccess(v, read);
   if (do_write_if(read.value)) {
@@ -389,7 +426,7 @@ void Engine::OnRmw(Ctx& ctx, Access& read, const std::function<bool(uint64_t)>& 
     write_event.access = write;
     RecordEvent(write_event);
     write.seq = write_event.access.seq;
-    liveness_->OnAccess(v, write);
+    liveness_.OnAccess(v, write);
     pending = scheduler_->AfterAccess(v, write) || pending;
   }
   state.pending_switch = pending;

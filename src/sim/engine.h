@@ -130,7 +130,18 @@ class Engine {
   // Runs one guest function per vCPU, serialized under `opts.scheduler`, until all complete
   // or the trial aborts. vCPU 0 receives the token first. Reentrant across Engine instances
   // (each worker in the distributed queue owns its own Engine); not reentrant per instance.
+  //
+  // vCPU host threads are pooled: the first run with N vCPUs spawns N persistent workers,
+  // and every later run re-dispatches onto them — no thread create/join in the trial loop.
   RunResult Run(const std::vector<GuestFn>& vcpu_fns, const RunOptions& opts);
+
+  // Allocation-free variant for the trial hot loop: recycles `result`'s buffers (trace
+  // storage in particular) instead of building a fresh RunResult. After warm-up, a caller
+  // that reuses one RunResult across trials performs zero heap allocations per run here
+  // (panic/console strings allocate only on abnormal trials). `vcpu_fns` must outlive the
+  // call; callers should hoist its construction out of their loop too.
+  void RunInto(const std::vector<GuestFn>& vcpu_fns, const RunOptions& opts,
+               RunResult* result);
 
   // Convenience: single-vCPU sequential run (boot, sequential profiling).
   RunResult RunSequential(const GuestFn& fn, uint64_t max_instructions = 20'000'000);
@@ -160,6 +171,10 @@ class Engine {
   void WaitForToken(VcpuId vcpu);                 // Throws TrialAbort if the trial died.
   VcpuId NextLiveVcpu(VcpuId from) const;         // kInvalidVcpu if none.
 
+  // Persistent pool worker: parks between runs, executes vCPU `vcpu`'s guest function for
+  // every run whose vCPU count covers it.
+  void PoolWorkerMain(VcpuId vcpu);
+
   Memory memory_;
   Console console_;
 
@@ -169,7 +184,7 @@ class Engine {
   RunOptions opts_;
   std::vector<VcpuState> vcpus_;
   std::vector<Ctx> ctxs_;
-  std::unique_ptr<LivenessMonitor> liveness_;
+  LivenessMonitor liveness_{1};
   Trace trace_;
   uint64_t seq_ = 0;
   uint64_t instructions_ = 0;
@@ -182,6 +197,13 @@ class Engine {
   std::condition_variable token_cv_;
   VcpuId active_vcpu_ = kInvalidVcpu;
   int unfinished_ = 0;
+
+  // --- vCPU thread pool (guarded by token_mutex_ unless noted). ---
+  std::vector<std::thread> pool_;        // Grown to the high-water vCPU count, never shrunk.
+  const std::vector<GuestFn>* run_fns_ = nullptr;  // Valid while a run is in flight.
+  uint64_t run_generation_ = 0;          // Bumped per run; wakes parked workers.
+  int run_vcpus_ = 0;                    // vCPU count of the current run.
+  bool shutdown_ = false;
 };
 
 }  // namespace snowboard

@@ -52,4 +52,11 @@ void LivenessMonitor::Reset() {
   }
 }
 
+void LivenessMonitor::Reset(int num_vcpus, Options options) {
+  SB_CHECK(num_vcpus > 0);
+  options_ = options;
+  states_.resize(static_cast<size_t>(num_vcpus));
+  Reset();
+}
+
 }  // namespace snowboard

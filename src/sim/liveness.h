@@ -34,6 +34,10 @@ class LivenessMonitor {
   explicit LivenessMonitor(int num_vcpus) : LivenessMonitor(num_vcpus, Options()) {}
   LivenessMonitor(int num_vcpus, Options options);
 
+  // Reconfigure in place for a new run (the engine reuses one monitor across trials so the
+  // hot loop performs no per-trial allocation once states_ reached its high-water size).
+  void Reset(int num_vcpus, Options options);
+
   // Feed an executed access. Writes and value-changing reads count as progress.
   void OnAccess(VcpuId vcpu, const Access& access);
   // Feed an explicit spin-loop pause hint.

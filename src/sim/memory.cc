@@ -1,12 +1,28 @@
 #include "src/sim/memory.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "src/util/assert.h"
 
 namespace snowboard {
 
-Memory::Memory(uint32_t size) : bytes_(size, 0), static_brk_(kGuestNullPageSize) {
+namespace {
+
+// Snapshot identities are process-unique so delta tracking can tell "the snapshot the
+// bitmap is relative to" from any other, including snapshots of other Memory instances
+// (each worker VM owns one). Starts at 1; epoch 0 means "untracked".
+uint64_t NextSnapshotEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Memory::Memory(uint32_t size)
+    : bytes_(size, 0),
+      dirty_((((size + kDirtyPageSize - 1) / kDirtyPageSize) + 63) / 64, 0),
+      static_brk_(kGuestNullPageSize) {
   SB_CHECK(size > 2 * kGuestNullPageSize);
 }
 
@@ -22,11 +38,13 @@ void Memory::WriteRaw(GuestAddr addr, uint32_t len, uint64_t value) {
   SB_DCHECK(Valid(addr, len));
   SB_DCHECK(len <= 8);
   std::memcpy(bytes_.data() + addr, &value, len);
+  MarkDirty(addr, len);
 }
 
 void Memory::FillRaw(GuestAddr addr, uint32_t len, uint8_t byte) {
   SB_CHECK(Valid(addr, len));
   std::memset(bytes_.data() + addr, byte, len);
+  MarkDirty(addr, len);
 }
 
 GuestAddr Memory::StaticAlloc(uint32_t len, uint32_t align) {
@@ -37,14 +55,59 @@ GuestAddr Memory::StaticAlloc(uint32_t len, uint32_t align) {
   return base;
 }
 
-Memory::Snapshot Memory::TakeSnapshot() const {
-  return Snapshot{bytes_, static_brk_};
+void Memory::ClearDirty() { std::memset(dirty_.data(), 0, dirty_.size() * sizeof(uint64_t)); }
+
+uint32_t Memory::DirtyPageCount() const {
+  uint32_t count = 0;
+  for (uint64_t word : dirty_) {
+    count += static_cast<uint32_t>(__builtin_popcountll(word));
+  }
+  return count;
+}
+
+Memory::Snapshot Memory::TakeSnapshot() {
+  tracking_epoch_ = NextSnapshotEpoch();
+  ClearDirty();
+  return Snapshot{bytes_, static_brk_, tracking_epoch_};
 }
 
 void Memory::Restore(const Snapshot& snapshot) {
   SB_CHECK(snapshot.bytes.size() == bytes_.size());
   std::memcpy(bytes_.data(), snapshot.bytes.data(), bytes_.size());
   static_brk_ = snapshot.static_brk;
+  // Memory now equals `snapshot` everywhere, so delta tracking re-anchors to it.
+  tracking_epoch_ = snapshot.epoch;
+  ClearDirty();
+}
+
+Memory::RestoreStats Memory::RestoreDirty(const Snapshot& snapshot) {
+  RestoreStats stats;
+  if (snapshot.epoch == 0 || snapshot.epoch != tracking_epoch_) {
+    // The bitmap tracks writes relative to some OTHER state: a clean page may still differ
+    // from this snapshot. One full restore re-anchors; subsequent restores are deltas.
+    Restore(snapshot);
+    stats.bytes_copied = bytes_.size();
+    stats.full = true;
+    return stats;
+  }
+  SB_CHECK(snapshot.bytes.size() == bytes_.size());
+  const uint32_t num_pages = (size() + kDirtyPageSize - 1) / kDirtyPageSize;
+  for (uint32_t word_index = 0; word_index < dirty_.size(); word_index++) {
+    uint64_t word = dirty_[word_index];
+    while (word != 0) {
+      uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      uint32_t page = (word_index << 6) + bit;
+      uint32_t begin = page * kDirtyPageSize;
+      uint32_t len = page + 1 == num_pages ? size() - begin : kDirtyPageSize;
+      std::memcpy(bytes_.data() + begin, snapshot.bytes.data() + begin, len);
+      stats.bytes_copied += len;
+      stats.dirty_pages++;
+    }
+  }
+  static_brk_ = snapshot.static_brk;
+  ClearDirty();
+  return stats;
 }
 
 }  // namespace snowboard

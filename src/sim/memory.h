@@ -3,7 +3,15 @@
 // A flat byte-addressable arena that holds *all* kernel state (the mini-kernel never keeps
 // mutable state in host objects). Because of that, the paper's "VM snapshot" — taken once
 // after boot and restored before every sequential profile and every concurrent-test trial
-// (§4.1) — is a literal byte copy of the arena.
+// (§4.1) — is a byte copy of the arena.
+//
+// Restore is the hot path of the testing loop (Algorithm 2 line 8, `resume_snapshot()`), so
+// the arena maintains a page-granular dirty bitmap: every raw store marks the pages it
+// touches, and RestoreDirty() copies back only the pages written since memory last matched
+// the snapshot — the touch-tracking trick low-overhead record/replay systems use to make
+// iteration cost proportional to state actually dirtied. Full Restore() remains as the
+// reference path and as the self-healing fallback when tracking does not cover the given
+// snapshot (see Snapshot::epoch below).
 //
 // Memory itself performs raw, untraced byte moves; all *guest* accesses go through
 // Ctx::Load/Store/Copy (engine.h), which add tracing and scheduling hooks. Raw accessors are
@@ -20,14 +28,23 @@ namespace snowboard {
 
 class Memory {
  public:
+  // Dirty-tracking granularity: 1 KiB pages. Finer than the 4 KiB guest page so a trial
+  // that scribbles over a couple of task stacks and a few heap objects restores tens of
+  // KiB, not hundreds; coarse enough that the whole 1 MiB default arena needs only a
+  // 1024-bit bitmap (16 words), so the clear/scan cost is noise (see DESIGN.md §4.2).
+  static constexpr uint32_t kDirtyPageShift = 10;
+  static constexpr uint32_t kDirtyPageSize = 1u << kDirtyPageShift;
+
   // Default 1 MiB guest; plenty for the mini-kernel while keeping snapshots cheap.
   explicit Memory(uint32_t size = 1u << 20);
 
   uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
 
-  // True if [addr, addr+len) is a mapped, non-null-page range.
+  // True if [addr, addr+len) is a mapped, non-null-page range. Computed without relying on
+  // `addr + len` wrap-around ordering: `addr < size()` first, then the remaining room
+  // `size() - addr` (no overflow) must hold `len`.
   bool Valid(GuestAddr addr, uint32_t len) const {
-    return addr >= kGuestNullPageSize && len > 0 && addr + len <= size() && addr + len > addr;
+    return addr >= kGuestNullPageSize && len > 0 && addr < size() && size() - addr >= len;
   }
 
   // Raw little-endian load/store of 1..8 bytes, no tracing. Caller must pass a Valid range.
@@ -48,16 +65,53 @@ class Memory {
   struct Snapshot {
     std::vector<uint8_t> bytes;
     uint32_t static_brk = 0;
+    // Identity of the tracking generation this snapshot anchors (process-unique, 0 for a
+    // default-constructed snapshot, which never matches live tracking).
+    uint64_t epoch = 0;
   };
 
-  // Captures the full guest state; Restore() rewinds to it. Restore is the hot path of the
-  // testing loop (Algorithm 2 line 8, `resume_snapshot()`), a single memcpy.
-  Snapshot TakeSnapshot() const;
+  // Per-restore accounting, surfaced up to PipelineCounters by KernelVm.
+  struct RestoreStats {
+    uint64_t bytes_copied = 0;
+    uint32_t dirty_pages = 0;  // Pages copied by a delta restore (0 for a full restore).
+    bool full = false;         // True if the whole arena was copied.
+  };
+
+  // Captures the full guest state and re-anchors dirty tracking to it: after TakeSnapshot,
+  // memory equals the snapshot and no page is dirty, so subsequent stores are tracked
+  // relative to it.
+  Snapshot TakeSnapshot();
+
+  // Reference path: whole-arena memcpy back to `snapshot`, and re-anchor tracking to it.
   void Restore(const Snapshot& snapshot);
 
+  // Copies back only the pages dirtied since memory last matched `snapshot`, then clears
+  // the bitmap. If tracking is not anchored to this snapshot (different epoch — e.g. the
+  // first restore after boot wrote pages under another snapshot, or snapshots are being
+  // mixed), falls back to one full Restore, after which delta tracking covers `snapshot`.
+  // Byte-equivalence with Restore() is locked in by tests/snapshot_delta_property_test.cc.
+  RestoreStats RestoreDirty(const Snapshot& snapshot);
+
+  // Dirty pages accumulated since the last TakeSnapshot/Restore/RestoreDirty (diagnostic).
+  uint32_t DirtyPageCount() const;
+
+  // Whole-arena view for tests and digests (no copy, no tracking side effects).
+  const std::vector<uint8_t>& raw_bytes() const { return bytes_; }
+
  private:
+  void MarkDirty(GuestAddr addr, uint32_t len) {
+    uint32_t first = addr >> kDirtyPageShift;
+    uint32_t last = (addr + len - 1) >> kDirtyPageShift;
+    for (uint32_t page = first; page <= last; page++) {  // One iteration for len <= 8.
+      dirty_[page >> 6] |= 1ull << (page & 63);
+    }
+  }
+  void ClearDirty();
+
   std::vector<uint8_t> bytes_;
+  std::vector<uint64_t> dirty_;  // One bit per kDirtyPageSize page.
   uint32_t static_brk_;  // Next free byte for StaticAlloc; starts after the null page.
+  uint64_t tracking_epoch_ = 0;  // Snapshot the dirty bitmap is relative to; 0 = none.
 };
 
 }  // namespace snowboard

@@ -1,10 +1,7 @@
 #include "src/snowboard/detectors.h"
 
 #include <algorithm>
-#include <array>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstring>
 
 #include "src/util/hash.h"
 
@@ -12,40 +9,45 @@ namespace snowboard {
 
 namespace {
 
-// The detector supports up to three vCPUs: the paper's two-thread configuration plus the
-// §6 three-thread extension.
-constexpr int kMaxVcpus = 3;
+constexpr size_t kMaxRememberedPerGranuleVcpu = 16;
 
-using VectorClock = std::array<uint64_t, kMaxVcpus>;
-
-void JoinClock(VectorClock& into, const VectorClock& from) {
-  for (int i = 0; i < kMaxVcpus; i++) {
+void JoinClock(std::array<uint64_t, RaceDetector::kMaxVcpus>& into,
+               const std::array<uint64_t, RaceDetector::kMaxVcpus>& from) {
+  for (int i = 0; i < RaceDetector::kMaxVcpus; i++) {
     into[i] = std::max(into[i], from[i]);
   }
 }
 
-// A remembered access for cross-thread comparison, deduped per (granule, vcpu) by
-// (site, type); the most recent instance is kept (it has the least happens-before
-// coverage, so it is the most likely to still race).
-struct Remembered {
-  SiteId site;
-  AccessType type;
-  bool marked;
-  GuestAddr addr;
-  uint8_t len;
-  std::set<GuestAddr> lockset;
-  uint64_t own_ts;  // The owner's own clock component when the access executed.
-};
-
-constexpr size_t kMaxRememberedPerGranuleVcpu = 16;
-
-bool LocksetsDisjoint(const std::set<GuestAddr>& a, const std::set<GuestAddr>& b) {
+// Locksets hold unique lock addrs; order is irrelevant to disjointness. They are tiny
+// (nesting depth of held locks), so the quadratic scan beats any hashed structure.
+bool LocksetsDisjoint(const std::vector<GuestAddr>& a, const std::vector<GuestAddr>& b) {
   for (GuestAddr lock : a) {
-    if (b.count(lock) != 0) {
-      return false;
+    for (GuestAddr other : b) {
+      if (lock == other) {
+        return false;
+      }
     }
   }
   return true;
+}
+
+void LocksetInsert(std::vector<GuestAddr>& lockset, GuestAddr lock) {
+  for (GuestAddr held : lockset) {
+    if (held == lock) {
+      return;  // Set semantics: recursive acquire keeps a single entry.
+    }
+  }
+  lockset.push_back(lock);
+}
+
+void LocksetErase(std::vector<GuestAddr>& lockset, GuestAddr lock) {
+  for (size_t i = 0; i < lockset.size(); i++) {
+    if (lockset[i] == lock) {
+      lockset[i] = lockset.back();
+      lockset.pop_back();
+      return;
+    }
+  }
 }
 
 }  // namespace
@@ -72,7 +74,25 @@ bool IsSuspiciousConsoleLine(const std::string& line) {
   return false;
 }
 
-std::vector<RaceReport> DetectRaces(const Trace& trace) {
+RaceDetector::GranuleSlot& RaceDetector::GetGranule(GuestAddr granule) {
+  uint32_t* index = granule_index_.Find(granule);
+  if (index != nullptr) {
+    return granule_pool_[*index];
+  }
+  uint32_t slot = static_cast<uint32_t>(granule_pool_used_++);
+  granule_index_[granule] = slot;
+  if (slot < granule_pool_.size()) {
+    // Recycle a slot from a previous trial: entries keep their lockset capacity.
+    for (RememberedList& list : granule_pool_[slot].per_vcpu) {
+      list.used = 0;
+    }
+  } else {
+    granule_pool_.emplace_back();
+  }
+  return granule_pool_[slot];
+}
+
+void RaceDetector::Detect(const Trace& trace, std::vector<RaceReport>* races) {
   // FastTrack-style happens-before tracking:
   //   * per-vCPU vector clocks, incremented per event;
   //   * lock release -> subsequent acquire of the same lock object: HB edge;
@@ -84,41 +104,38 @@ std::vector<RaceReport> DetectRaces(const Trace& trace) {
   //     our serialized replay).
   // A race: overlapping ranges, different vCPUs, at least one write, not both marked, no
   // common lock, and the earlier access NOT happened-before the later one.
-  VectorClock clocks[kMaxVcpus] = {};
-  std::unordered_map<int, std::set<GuestAddr>> locksets;
-  std::unordered_map<GuestAddr, VectorClock> lock_release_clocks;
-  std::unordered_map<GuestAddr, VectorClock> atomic_release_clocks;  // Keyed by cell addr.
-
-  struct GranuleState {
-    std::vector<Remembered> per_vcpu[kMaxVcpus];
-  };
-  std::unordered_map<GuestAddr, GranuleState> granules;
-
-  std::vector<RaceReport> races;
-  std::unordered_set<uint64_t> seen_signatures;
+  std::memset(clocks_, 0, sizeof(clocks_));
+  for (std::vector<GuestAddr>& lockset : locksets_) {
+    lockset.clear();
+  }
+  lock_release_clocks_.Clear();
+  atomic_release_clocks_.Clear();
+  granule_index_.Clear();
+  granule_pool_used_ = 0;
+  seen_signatures_.Clear();
+  races->clear();
 
   for (const Event& event : trace) {
     if (event.vcpu < 0 || event.vcpu >= kMaxVcpus) {
       continue;
     }
     int v = event.vcpu;
-    clocks[v][v]++;
+    clocks_[v][v]++;
 
     switch (event.kind) {
       case EventKind::kLockAcquire:
       case EventKind::kSharedAcquire: {
-        locksets[v].insert(event.lock_addr);
-        auto it = lock_release_clocks.find(event.lock_addr);
-        if (it != lock_release_clocks.end()) {
-          JoinClock(clocks[v], it->second);
+        LocksetInsert(locksets_[v], event.lock_addr);
+        const VectorClock* release = lock_release_clocks_.Find(event.lock_addr);
+        if (release != nullptr) {
+          JoinClock(clocks_[v], *release);
         }
         continue;
       }
       case EventKind::kLockRelease:
       case EventKind::kSharedRelease: {
-        locksets[v].erase(event.lock_addr);
-        VectorClock& release = lock_release_clocks[event.lock_addr];
-        JoinClock(release, clocks[v]);
+        LocksetErase(locksets_[v], event.lock_addr);
+        JoinClock(lock_release_clocks_[event.lock_addr], clocks_[v]);
         continue;
       }
       case EventKind::kRcuReadLock:
@@ -133,10 +150,10 @@ std::vector<RaceReport> DetectRaces(const Trace& trace) {
     if (a.type == AccessType::kWrite) {
       if (a.marked_atomic) {
         // Release semantics for marked stores (rcu_assign_pointer, WRITE_ONCE, unlocks).
-        atomic_release_clocks[a.addr] = clocks[v];
+        atomic_release_clocks_[a.addr] = clocks_[v];
       } else {
         // A plain overwrite breaks the publish chain through this cell.
-        atomic_release_clocks.erase(a.addr);
+        atomic_release_clocks_.Erase(a.addr);
       }
     } else {
       // ANY read observing a release-store's cell acquires it — this models the
@@ -145,23 +162,25 @@ std::vector<RaceReport> DetectRaces(const Trace& trace) {
       // accesses), so init-then-publish patterns are not reported even when the reader's
       // load is unmarked. The paper's #1 double fetch is still caught: its crash oracle
       // fires, and the re-fetch pattern itself is classified from the panic site.
-      auto it = atomic_release_clocks.find(a.addr);
-      if (it != atomic_release_clocks.end()) {
-        JoinClock(clocks[v], it->second);
+      const VectorClock* release = atomic_release_clocks_.Find(a.addr);
+      if (release != nullptr) {
+        JoinClock(clocks_[v], *release);
       }
     }
 
-    const std::set<GuestAddr>& lockset = locksets[v];
+    const std::vector<GuestAddr>& lockset = locksets_[v];
     GuestAddr first_granule = a.addr & ~3u;
     GuestAddr last_granule = (a.addr + a.len - 1) & ~3u;
     for (GuestAddr granule = first_granule; granule <= last_granule; granule += 4) {
-      GranuleState& state = granules[granule];
+      GranuleSlot& state = GetGranule(granule);
       // Compare against every other vCPU's remembered accesses.
       for (int other_vcpu = 0; other_vcpu < kMaxVcpus; other_vcpu++) {
         if (other_vcpu == v) {
           continue;
         }
-        for (const Remembered& other : state.per_vcpu[other_vcpu]) {
+        const RememberedList& theirs = state.per_vcpu[other_vcpu];
+        for (size_t i = 0; i < theirs.used; i++) {
+          const Remembered& other = theirs.entries[i];
           bool overlap = a.addr < other.addr + other.len && other.addr < a.addr + a.len;
           if (!overlap) {
             continue;
@@ -177,7 +196,7 @@ std::vector<RaceReport> DetectRaces(const Trace& trace) {
           }
           // Happens-before: `other` (earlier) is ordered before `a` iff its owner
           // timestamp is covered by this vCPU's clock.
-          if (other.own_ts <= clocks[v][other_vcpu]) {
+          if (other.own_ts <= clocks_[v][other_vcpu]) {
             continue;
           }
           RaceReport report;
@@ -191,44 +210,64 @@ std::vector<RaceReport> DetectRaces(const Trace& trace) {
           report.addr = a.addr;
           report.write_write =
               a.type == AccessType::kWrite && other.type == AccessType::kWrite;
-          if (seen_signatures.insert(report.Signature()).second) {
-            races.push_back(report);
+          if (seen_signatures_.Insert(report.Signature())) {
+            races->push_back(report);
           }
         }
       }
       // Remember this access: replace an existing same-key entry (keep the freshest).
-      std::vector<Remembered>& mine = state.per_vcpu[v];
-      bool replaced = false;
-      for (Remembered& r : mine) {
+      RememberedList& mine = state.per_vcpu[v];
+      Remembered* target = nullptr;
+      for (size_t i = 0; i < mine.used; i++) {
+        Remembered& r = mine.entries[i];
         if (r.site == a.site && r.type == a.type) {
-          r.marked = a.marked_atomic;
-          r.addr = a.addr;
-          r.len = a.len;
-          r.lockset = lockset;
-          r.own_ts = clocks[v][v];
-          replaced = true;
+          target = &r;
           break;
         }
       }
-      if (!replaced && mine.size() < kMaxRememberedPerGranuleVcpu) {
-        mine.push_back(Remembered{a.site, a.type, a.marked_atomic, a.addr, a.len, lockset,
-                                  clocks[v][v]});
+      if (target == nullptr && mine.used < kMaxRememberedPerGranuleVcpu) {
+        if (mine.used == mine.entries.size()) {
+          mine.entries.emplace_back();
+        }
+        target = &mine.entries[mine.used++];
+        target->site = a.site;
+        target->type = a.type;
+      }
+      if (target != nullptr) {
+        target->marked = a.marked_atomic;
+        target->addr = a.addr;
+        target->len = a.len;
+        target->own_ts = clocks_[v][v];
+        target->lockset.assign(lockset.begin(), lockset.end());
       }
     }
   }
+}
+
+std::vector<RaceReport> DetectRaces(const Trace& trace) {
+  RaceDetector detector;
+  std::vector<RaceReport> races;
+  detector.Detect(trace, &races);
   return races;
+}
+
+void RunDetectors(const Engine::RunResult& result, RaceDetector* detector,
+                  DetectorResult* out) {
+  out->panicked = result.panicked;
+  out->panic_message = result.panic_message;
+  out->console_hits.clear();
+  for (const std::string& line : result.console) {
+    if (IsSuspiciousConsoleLine(line)) {
+      out->console_hits.push_back(line);
+    }
+  }
+  detector->Detect(result.trace, &out->races);
 }
 
 DetectorResult RunDetectors(const Engine::RunResult& result) {
   DetectorResult out;
-  out.panicked = result.panicked;
-  out.panic_message = result.panic_message;
-  for (const std::string& line : result.console) {
-    if (IsSuspiciousConsoleLine(line)) {
-      out.console_hits.push_back(line);
-    }
-  }
-  out.races = DetectRaces(result.trace);
+  RaceDetector detector;
+  RunDetectors(result, &detector, &out);
   return out;
 }
 

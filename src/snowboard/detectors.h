@@ -12,11 +12,14 @@
 #ifndef SRC_SNOWBOARD_DETECTORS_H_
 #define SRC_SNOWBOARD_DETECTORS_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/sim/engine.h"
 #include "src/snowboard/pmc.h"
+#include "src/util/flatmap.h"
 
 namespace snowboard {
 
@@ -37,8 +40,70 @@ struct DetectorResult {
   std::vector<RaceReport> races;          // Deduped by site-pair signature.
 };
 
+// The race detector with persistent scratch. One instance is meant to live across an entire
+// trial loop: all working state (vector clocks, locksets, release-clock maps, remembered
+// accesses, signature dedup) is reset-in-place per Detect call, so after the first few
+// trials grow the tables to their high-water capacity, a Detect call performs no heap
+// allocation beyond appending to the caller's `races` vector (itself reusable).
+//
+// Detection is a pure function of the trace: two detectors fed the same trace produce
+// byte-identical reports, and scratch reuse cannot leak state between trials.
+class RaceDetector {
+ public:
+  // The detector supports up to three vCPUs: the paper's two-thread configuration plus the
+  // §6 three-thread extension.
+  static constexpr int kMaxVcpus = 3;
+
+  // Analyzes `trace` and replaces the contents of `races` with the deduped reports, in
+  // trace order (the same order the legacy DetectRaces free function produced).
+  void Detect(const Trace& trace, std::vector<RaceReport>* races);
+
+ private:
+  using VectorClock = std::array<uint64_t, kMaxVcpus>;
+
+  // A remembered access for cross-thread comparison, deduped per (granule, vcpu) by
+  // (site, type); the most recent instance is kept (it has the least happens-before
+  // coverage, so it is the most likely to still race).
+  struct Remembered {
+    SiteId site;
+    AccessType type;
+    bool marked;
+    GuestAddr addr;
+    uint8_t len;
+    uint64_t own_ts;  // The owner's own clock component when the access executed.
+    std::vector<GuestAddr> lockset;
+  };
+
+  // Slot-reusing list: `used` counts live entries; dead slots keep their lockset capacity
+  // so refilling them allocates nothing.
+  struct RememberedList {
+    std::vector<Remembered> entries;
+    size_t used = 0;
+  };
+
+  struct GranuleSlot {
+    RememberedList per_vcpu[kMaxVcpus];
+  };
+
+  GranuleSlot& GetGranule(GuestAddr granule);
+
+  VectorClock clocks_[kMaxVcpus] = {};
+  std::vector<GuestAddr> locksets_[kMaxVcpus];  // Unique lock addrs held, unordered.
+  FlatMap<GuestAddr, VectorClock> lock_release_clocks_;
+  FlatMap<GuestAddr, VectorClock> atomic_release_clocks_;  // Keyed by cell addr.
+  FlatMap<GuestAddr, uint32_t> granule_index_;  // granule addr -> granule_pool_ slot.
+  std::vector<GranuleSlot> granule_pool_;
+  size_t granule_pool_used_ = 0;
+  FlatSet<uint64_t> seen_signatures_;
+};
+
 // Runs both oracles over a finished trial.
 DetectorResult RunDetectors(const Engine::RunResult& result);
+
+// Reusable-scratch variant for the trial hot loop: fills `out` in place (recycling its
+// vectors' capacity) using `detector`'s persistent working state.
+void RunDetectors(const Engine::RunResult& result, RaceDetector* detector,
+                  DetectorResult* out);
 
 // The race detector alone (exposed for tests and post-mortem analysis).
 std::vector<RaceReport> DetectRaces(const Trace& trace);

@@ -4,6 +4,7 @@
 
 #include "src/snowboard/profile.h"
 #include "src/snowboard/report.h"
+#include "src/util/flatmap.h"
 #include "src/util/hash.h"
 
 namespace snowboard {
@@ -104,43 +105,57 @@ bool PmcScheduler::AfterAccess(VcpuId vcpu, const Access& access) {
 
 namespace {
 
+// Reusable scratch for FindIncidentalPmcs: flat tables and vectors that keep their capacity
+// across trials, so the steady-state trial loop performs no heap allocation here.
+struct IncidentalScratch {
+  FlatSet<uint64_t> write_features;
+  std::vector<uint64_t> write_order;  // Write features in first-occurrence trace order.
+  FlatSet<uint64_t> read_features;
+  std::vector<uint32_t> matches;
+};
+
 // Incidental-PMC search (line 26): find PMCs different from the current ones whose write
-// and read features BOTH occurred in the trial's accesses.
-std::vector<uint32_t> FindIncidentalPmcs(const Trace& trace, const PmcMatcher& matcher,
-                                         const std::unordered_set<uint64_t>& current_keys) {
-  std::unordered_set<uint64_t> write_features;
-  std::unordered_set<uint64_t> read_features;
+// and read features BOTH occurred in the trial's accesses. Candidates are collected by
+// scanning write features in first-occurrence trace order, so the result (and the adoption
+// draw made from it) is a deterministic function of the trace, independent of any hash
+// table's layout. Fills `scratch->matches`.
+void FindIncidentalPmcs(const Trace& trace, const PmcMatcher& matcher,
+                        const FlatSet<uint64_t>& current_keys, IncidentalScratch* scratch) {
+  scratch->write_features.Clear();
+  scratch->write_order.clear();
+  scratch->read_features.Clear();
+  scratch->matches.clear();
   for (const Event& event : trace) {
     if (event.kind != EventKind::kAccess) {
       continue;
     }
     uint64_t h = AccessHash(event.access);
     if (event.access.type == AccessType::kWrite) {
-      write_features.insert(h);
+      if (scratch->write_features.Insert(h)) {
+        scratch->write_order.push_back(h);
+      }
     } else {
-      read_features.insert(h);
+      scratch->read_features.Insert(h);
     }
   }
-  std::vector<uint32_t> incidental;
-  for (uint64_t write_feature : write_features) {
+  for (uint64_t write_feature : scratch->write_order) {
     const std::vector<uint32_t>* candidates = matcher.CandidatesForWrite(write_feature);
     if (candidates == nullptr) {
       continue;
     }
     for (uint32_t index : *candidates) {
       const PmcKey& key = matcher.pmcs()[index].key;
-      if (current_keys.count(key.Hash()) != 0) {
+      if (current_keys.Contains(key.Hash())) {
         continue;
       }
-      if (read_features.count(SideFeatureHash(key.read, AccessType::kRead)) != 0) {
-        incidental.push_back(index);
-        if (incidental.size() >= 64) {
-          return incidental;  // Plenty to draw one from.
+      if (scratch->read_features.Contains(SideFeatureHash(key.read, AccessType::kRead))) {
+        scratch->matches.push_back(index);
+        if (scratch->matches.size() >= 64) {
+          return;  // Plenty to draw one from.
         }
       }
     }
   }
-  return incidental;
 }
 
 }  // namespace
@@ -153,24 +168,34 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
                             const PmcMatcher* matcher, bool check_channel,
                             const ExplorerOptions& options) {
   ExploreOutcome outcome;
-  std::unordered_set<uint64_t> current_keys{test.hint.Hash()};
+  FlatSet<uint64_t> current_keys;
+  current_keys.Insert(test.hint.Hash());
   std::unordered_set<uint64_t> race_signatures;
   std::unordered_set<uint64_t> console_hashes;
   std::unordered_set<uint64_t> panic_hashes;
   Rng adoption_rng(options.seed ^ 0xadadadadull);
+
+  // Trial-scoped buffers, hoisted: the guest functions, run result (trace storage), race
+  // detector scratch, and incidental-search scratch are all built once and recycled, so a
+  // steady-state iteration of this loop performs no heap allocation (trial_alloc_test
+  // asserts this on the distilled loop).
+  const std::vector<Engine::GuestFn> vcpu_fns = {
+      MakeProgramRunner(vm.globals(), test.writer, /*task_index=*/0),
+      MakeProgramRunner(vm.globals(), test.reader, /*task_index=*/1)};
+  Engine::RunOptions run_opts;
+  run_opts.scheduler = &scheduler;
+  run_opts.max_instructions = options.max_instructions;
+  Engine::RunResult result;
+  RaceDetector race_detector;
+  DetectorResult detectors;
+  IncidentalScratch incidental;
 
   for (int trial = 0; trial < options.num_trials; trial++) {
     outcome.trials_run++;
     scheduler.SeedTrial(options.seed + static_cast<uint64_t>(trial));
 
     vm.RestoreSnapshot();
-    Engine::RunOptions run_opts;
-    run_opts.scheduler = &scheduler;
-    run_opts.max_instructions = options.max_instructions;
-    Engine::RunResult result = vm.engine().Run(
-        {MakeProgramRunner(vm.globals(), test.writer, /*task_index=*/0),
-         MakeProgramRunner(vm.globals(), test.reader, /*task_index=*/1)},
-        run_opts);
+    vm.engine().RunInto(vcpu_fns, run_opts, &result);
 
     if (result.hang) {
       outcome.any_hang = true;
@@ -180,7 +205,7 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
       outcome.channel_exercised = true;
     }
 
-    DetectorResult detectors = RunDetectors(result);
+    RunDetectors(result, &race_detector, &detectors);
     bool bug_this_trial = detectors.panicked || !detectors.console_hits.empty() ||
                           !detectors.races.empty();
     bool target_this_trial = false;
@@ -221,12 +246,11 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
 
     // Lines 26-27: adopt one incidental PMC observed in this trial.
     if (pmc_scheduler != nullptr && options.adopt_incidental && matcher != nullptr) {
-      std::vector<uint32_t> incidental =
-          FindIncidentalPmcs(result.trace, *matcher, current_keys);
-      if (!incidental.empty()) {
-        uint32_t pick = incidental[adoption_rng.Below(incidental.size())];
+      FindIncidentalPmcs(result.trace, *matcher, current_keys, &incidental);
+      if (!incidental.matches.empty()) {
+        uint32_t pick = incidental.matches[adoption_rng.Below(incidental.matches.size())];
         const PmcKey& key = matcher->pmcs()[pick].key;
-        if (current_keys.insert(key.Hash()).second) {
+        if (current_keys.Insert(key.Hash())) {
           pmc_scheduler->AddPmc(key);
         }
       }
@@ -263,19 +287,24 @@ ExploreOutcome ExploreThreeThreaded(KernelVm& vm, const ThreeThreadTest& test,
   std::unordered_set<uint64_t> console_hashes;
   std::unordered_set<uint64_t> panic_hashes;
 
+  // Trial-scoped buffers, hoisted (same reuse discipline as RunTrialLoop).
+  const std::vector<Engine::GuestFn> vcpu_fns = {
+      MakeProgramRunner(vm.globals(), test.programs[0], 0),
+      MakeProgramRunner(vm.globals(), test.programs[1], 1),
+      MakeProgramRunner(vm.globals(), test.programs[2], 2)};
+  Engine::RunOptions run_opts;
+  run_opts.scheduler = &scheduler;
+  run_opts.max_instructions = options.max_instructions;
+  Engine::RunResult result;
+  RaceDetector race_detector;
+  DetectorResult detectors;
+
   for (int trial = 0; trial < options.num_trials; trial++) {
     outcome.trials_run++;
     scheduler.SeedTrial(options.seed + static_cast<uint64_t>(trial));
 
     vm.RestoreSnapshot();
-    Engine::RunOptions run_opts;
-    run_opts.scheduler = &scheduler;
-    run_opts.max_instructions = options.max_instructions;
-    Engine::RunResult result = vm.engine().Run(
-        {MakeProgramRunner(vm.globals(), test.programs[0], 0),
-         MakeProgramRunner(vm.globals(), test.programs[1], 1),
-         MakeProgramRunner(vm.globals(), test.programs[2], 2)},
-        run_opts);
+    vm.engine().RunInto(vcpu_fns, run_opts, &result);
 
     if (result.hang) {
       outcome.any_hang = true;
@@ -287,7 +316,7 @@ ExploreOutcome ExploreThreeThreaded(KernelVm& vm, const ThreeThreadTest& test,
       outcome.channel_exercised = true;
     }
 
-    DetectorResult detectors = RunDetectors(result);
+    RunDetectors(result, &race_detector, &detectors);
     bool bug_this_trial = detectors.panicked || !detectors.console_hits.empty() ||
                           !detectors.races.empty();
     for (const RaceReport& race : detectors.races) {

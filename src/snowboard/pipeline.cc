@@ -7,6 +7,7 @@
 
 #include "src/sim/site.h"
 #include "src/util/assert.h"
+#include "src/util/counters.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
 
@@ -16,6 +17,13 @@ namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Seconds of snapshot-restore time accumulated process-wide since `nanos_before` (read the
+// counter before the stage, call this after).
+double RestoreSecondsSince(uint64_t nanos_before) {
+  uint64_t now = GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
+  return static_cast<double>(now - nanos_before) * 1e-9;
 }
 
 // Classifies one test's raw outcome into findings.
@@ -65,11 +73,14 @@ PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
   // Stage 1: profiling shards over a shared-nothing VM pool; profiles return in corpus
   // order regardless of worker count.
   auto t1 = std::chrono::steady_clock::now();
+  uint64_t restore_nanos_before =
+      GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
   ProfileOptions profile_options;
   profile_options.num_workers = num_workers;
   profile_options.cache = options.profile_cache;
   campaign.profiles = ProfileCorpusParallel(campaign.corpus, profile_options);
   campaign.profile_seconds = SecondsSince(t1);
+  campaign.profile_restore_seconds = RestoreSecondsSince(restore_nanos_before);
 
   // Stage 2: the overlap scan shards over disjoint ranges of the ordered nested index and
   // merges in canonical PMC order (num_workers == 0 in the options means "inherit").
@@ -114,6 +125,8 @@ void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hint
                      const PmcMatcher* matcher, const PipelineOptions& options,
                      PipelineResult* result) {
   auto t0 = std::chrono::steady_clock::now();
+  uint64_t restore_nanos_before =
+      GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
   int num_workers = options.num_workers > 0 ? options.num_workers : 1;
   std::atomic<size_t> next_test{0};
   std::mutex merge_mutex;
@@ -175,6 +188,7 @@ void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hint
     }
   }
   result->execute_seconds += SecondsSince(t0);
+  result->execute_restore_seconds += RestoreSecondsSince(restore_nanos_before);
 }
 
 PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
@@ -194,6 +208,7 @@ PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
   }
   result.corpus_seconds = campaign.corpus_seconds;
   result.profile_seconds = campaign.profile_seconds;
+  result.profile_restore_seconds = campaign.profile_restore_seconds;
   result.identify_seconds = campaign.identify_seconds;
 
   auto t0 = std::chrono::steady_clock::now();

@@ -57,6 +57,12 @@ struct PipelineResult {
   double identify_seconds = 0;
   double cluster_seconds = 0;
   double execute_seconds = 0;
+  // Time spent inside VM snapshot restores during the profiling and execution stages
+  // (seconds), derived from GlobalPipelineCounters().snapshot_restore_nanos deltas around
+  // each stage — the share of a stage the dirty-page delta restore attacks. Counter-based,
+  // so concurrent pipelines in one process would attribute each other's restores.
+  double profile_restore_seconds = 0;
+  double execute_restore_seconds = 0;
 };
 
 // Runs the full campaign for one strategy (including the Random/Duplicate pairing baselines,
@@ -71,6 +77,7 @@ struct PreparedCampaign {
   std::vector<Pmc> pmcs;
   double corpus_seconds = 0;
   double profile_seconds = 0;
+  double profile_restore_seconds = 0;  // Snapshot-restore share of profile_seconds.
   double identify_seconds = 0;
 };
 

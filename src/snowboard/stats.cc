@@ -9,18 +9,6 @@
 
 namespace snowboard {
 
-PipelineCounters& GlobalPipelineCounters() {
-  static PipelineCounters* counters = new PipelineCounters();
-  return *counters;
-}
-
-void ResetPipelineCounters() {
-  PipelineCounters& counters = GlobalPipelineCounters();
-  counters.vm_profile_runs = 0;
-  counters.profile_cache_hits = 0;
-  counters.profile_cache_misses = 0;
-}
-
 uint64_t PmcTableDigest(const std::vector<Pmc>& pmcs) {
   uint64_t h = HashAll(uint64_t{0x50c4}, pmcs.size());
   for (const Pmc& pmc : pmcs) {

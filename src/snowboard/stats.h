@@ -9,28 +9,18 @@
 #ifndef SRC_SNOWBOARD_STATS_H_
 #define SRC_SNOWBOARD_STATS_H_
 
-#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "src/snowboard/cluster.h"
+// PipelineCounters / GlobalPipelineCounters / ResetPipelineCounters moved to util so the
+// simulator's snapshot-restore path can report into them; re-exported here for consumers.
+#include "src/util/counters.h"
 
 namespace snowboard {
 
 class FindingsLog;
-
-// Process-wide counters over the expensive preparation work. VM profiling runs are the §5.4
-// cost center (40 machine-hours in the paper), so cache efficacy is asserted in these terms:
-// a multi-strategy campaign over one corpus must pay `vm_profile_runs == corpus_size` once.
-struct PipelineCounters {
-  std::atomic<uint64_t> vm_profile_runs{0};     // Sequential tests actually executed on a VM.
-  std::atomic<uint64_t> profile_cache_hits{0};  // Profiles served from a ProfileCache.
-  std::atomic<uint64_t> profile_cache_misses{0};
-};
-
-PipelineCounters& GlobalPipelineCounters();
-void ResetPipelineCounters();  // Zeroes all counters (test/bench isolation).
 
 // Order-sensitive digests of stage artifacts. Two artifact vectors digest equal iff they are
 // element-wise identical (up to 64-bit collision), including multiplicities and exemplars.

@@ -1,0 +1,22 @@
+#include "src/util/counters.h"
+
+namespace snowboard {
+
+PipelineCounters& GlobalPipelineCounters() {
+  static PipelineCounters* counters = new PipelineCounters();
+  return *counters;
+}
+
+void ResetPipelineCounters() {
+  PipelineCounters& counters = GlobalPipelineCounters();
+  counters.vm_profile_runs = 0;
+  counters.profile_cache_hits = 0;
+  counters.profile_cache_misses = 0;
+  counters.snapshot_full_restores = 0;
+  counters.snapshot_delta_restores = 0;
+  counters.snapshot_restored_bytes = 0;
+  counters.snapshot_restored_pages = 0;
+  counters.snapshot_restore_nanos = 0;
+}
+
+}  // namespace snowboard

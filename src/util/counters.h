@@ -1,0 +1,38 @@
+// Process-wide pipeline counters.
+//
+// Lives in util (not snowboard/stats.h, which re-exports it) so that low layers — the
+// simulator's snapshot-restore path and the kernel VM wrapper — can report into the same
+// counter block the pipeline and its tests observe. VM profiling runs are the §5.4 cost
+// center (40 machine-hours in the paper) and snapshot restore is the Algorithm 2 line-8
+// inner-loop cost, so both are accounted here.
+#ifndef SRC_UTIL_COUNTERS_H_
+#define SRC_UTIL_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace snowboard {
+
+// Process-wide counters over the expensive preparation and execution work. Cache efficacy
+// is asserted in these terms (a multi-strategy campaign over one corpus must pay
+// `vm_profile_runs == corpus_size` once); restore efficacy likewise (delta restores must
+// copy a small fraction of `full` bytes on the standard campaign workload).
+struct PipelineCounters {
+  std::atomic<uint64_t> vm_profile_runs{0};     // Sequential tests actually executed on a VM.
+  std::atomic<uint64_t> profile_cache_hits{0};  // Profiles served from a ProfileCache.
+  std::atomic<uint64_t> profile_cache_misses{0};
+
+  // --- Snapshot restore (KernelVm::RestoreSnapshot; Algorithm 2 line 8). ---
+  std::atomic<uint64_t> snapshot_full_restores{0};   // Whole-arena memcpy restores.
+  std::atomic<uint64_t> snapshot_delta_restores{0};  // Dirty-page-only restores.
+  std::atomic<uint64_t> snapshot_restored_bytes{0};  // Bytes actually copied, both kinds.
+  std::atomic<uint64_t> snapshot_restored_pages{0};  // Dirty pages copied by delta restores.
+  std::atomic<uint64_t> snapshot_restore_nanos{0};   // Wall time summed across workers.
+};
+
+PipelineCounters& GlobalPipelineCounters();
+void ResetPipelineCounters();  // Zeroes all counters (test/bench isolation).
+
+}  // namespace snowboard
+
+#endif  // SRC_UTIL_COUNTERS_H_

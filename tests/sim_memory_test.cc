@@ -42,6 +42,83 @@ TEST(MemoryTest, OutOfRangeIsInvalid) {
   EXPECT_FALSE(mem.Valid(kGuestNullPageSize, 0));  // Zero length.
 }
 
+TEST(MemoryTest, ValidNearUint32MaxDoesNotWrap) {
+  // Regression: `addr + len` overflows uint32_t for addresses near UINT32_MAX; a
+  // wrap-dependent bounds check would see a tiny sum and accept the range.
+  Memory mem(1 << 16);
+  EXPECT_FALSE(mem.Valid(0xffffffffu, 4));
+  EXPECT_FALSE(mem.Valid(0xfffffffcu, 8));
+  EXPECT_FALSE(mem.Valid(0xffffffffu, 0xffffffffu));
+  // A valid base with a wrapping-scale length must fail on the room check, not wrap.
+  EXPECT_FALSE(mem.Valid(kGuestNullPageSize, 0xffffffffu));
+  // Sanity: the last valid byte of the arena is still accessible.
+  EXPECT_TRUE(mem.Valid((1 << 16) - 1, 1));
+  EXPECT_TRUE(mem.Valid((1 << 16) - 8, 8));
+}
+
+TEST(MemoryTest, DirtyTrackingCountsTouchedPages) {
+  Memory mem(1 << 16);
+  GuestAddr a = mem.StaticAlloc(16);
+  mem.TakeSnapshot();
+  EXPECT_EQ(mem.DirtyPageCount(), 0u);
+  mem.WriteRaw(a, 4, 1);
+  EXPECT_EQ(mem.DirtyPageCount(), 1u);
+  mem.WriteRaw(a + 8, 4, 2);  // Same page: count unchanged.
+  EXPECT_EQ(mem.DirtyPageCount(), 1u);
+  // A fill spanning several pages marks every page it touches, including the middle ones.
+  mem.FillRaw(8 * Memory::kDirtyPageSize, 3 * Memory::kDirtyPageSize, 0xab);
+  EXPECT_EQ(mem.DirtyPageCount(), 4u);
+}
+
+TEST(MemoryTest, RestoreDirtyCopiesOnlyDirtyPagesAndResetsTracking) {
+  Memory mem(1 << 16);
+  GuestAddr a = mem.StaticAlloc(8);
+  mem.WriteRaw(a, 4, 111);
+  Memory::Snapshot snap = mem.TakeSnapshot();
+  mem.WriteRaw(a, 4, 222);
+  Memory::RestoreStats stats = mem.RestoreDirty(snap);
+  EXPECT_FALSE(stats.full);
+  EXPECT_EQ(stats.dirty_pages, 1u);
+  EXPECT_EQ(stats.bytes_copied, Memory::kDirtyPageSize);
+  EXPECT_EQ(mem.ReadRaw(a, 4), 111u);
+  EXPECT_EQ(mem.DirtyPageCount(), 0u);
+}
+
+TEST(MemoryTest, RestoreDirtyFallsBackToFullForForeignSnapshot) {
+  Memory mem(1 << 16);
+  GuestAddr a = mem.StaticAlloc(8);
+  mem.WriteRaw(a, 4, 1);
+  Memory::Snapshot first = mem.TakeSnapshot();
+  mem.WriteRaw(a, 4, 2);
+  mem.TakeSnapshot();  // Re-anchors tracking away from `first`.
+  mem.WriteRaw(a, 4, 3);
+
+  // Tracking no longer covers `first`: RestoreDirty must self-heal with one full copy...
+  Memory::RestoreStats stats = mem.RestoreDirty(first);
+  EXPECT_TRUE(stats.full);
+  EXPECT_EQ(stats.bytes_copied, mem.size());
+  EXPECT_EQ(mem.ReadRaw(a, 4), 1u);
+
+  // ...after which tracking is anchored to `first` and the delta path works.
+  mem.WriteRaw(a, 4, 4);
+  stats = mem.RestoreDirty(first);
+  EXPECT_FALSE(stats.full);
+  EXPECT_EQ(mem.ReadRaw(a, 4), 1u);
+}
+
+TEST(MemoryTest, FullRestoreAdoptsSnapshotTracking) {
+  Memory mem(1 << 16);
+  GuestAddr a = mem.StaticAlloc(8);
+  mem.WriteRaw(a, 4, 1);
+  Memory::Snapshot snap = mem.TakeSnapshot();
+  mem.WriteRaw(a, 4, 2);
+  mem.Restore(snap);  // Reference path also re-anchors: the next delta restore is exact.
+  mem.WriteRaw(a, 4, 3);
+  Memory::RestoreStats stats = mem.RestoreDirty(snap);
+  EXPECT_FALSE(stats.full);
+  EXPECT_EQ(mem.ReadRaw(a, 4), 1u);
+}
+
 TEST(MemoryTest, StaticAllocAligns) {
   Memory mem(1 << 16);
   mem.StaticAlloc(3, 1);
