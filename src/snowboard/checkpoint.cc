@@ -1,0 +1,213 @@
+#include "src/snowboard/checkpoint.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "src/util/counters.h"
+#include "src/util/fault.h"
+#include "src/util/fs.h"
+#include "src/util/hash.h"
+#include "src/util/log.h"
+#include "src/util/strings.h"
+
+namespace snowboard {
+
+namespace {
+
+constexpr const char* kManifestHeader = "snowboard-manifest-v1";
+constexpr const char* kManifestName = "MANIFEST";
+
+std::string HashHex(uint64_t hash) {
+  return StrPrintf("%016llx", static_cast<unsigned long long>(hash));
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(const std::string& dir, FaultInjector* fault)
+    : dir_(dir), fault_(fault) {
+  ok_ = !dir.empty() && EnsureDirectory(dir);
+  if (ok_) {
+    LoadManifest();
+  }
+}
+
+bool CheckpointStore::ValidName(const std::string& name) {
+  if (name.empty() || name == kManifestName) {
+    return false;
+  }
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CheckpointStore::PathFor(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::string CheckpointStore::JournalPathFor(const std::string& name) const {
+  return dir_ + "/" + name + ".journal";
+}
+
+std::string CheckpointStore::ManifestText() const {
+  std::ostringstream os;
+  os << kManifestHeader << "\n";
+  for (const auto& [name, entry] : entries_) {
+    os << "entry " << name << ' ' << entry.size << ' ' << HashHex(entry.hash) << "\n";
+  }
+  return os.str();
+}
+
+bool CheckpointStore::WriteManifestLocked() {
+  return AtomicWriteFile(PathFor(kManifestName), ManifestText(), fault_);
+}
+
+void CheckpointStore::LoadManifest() {
+  std::optional<std::string> text = ReadFileContents(PathFor(kManifestName));
+  if (!text.has_value()) {
+    return;  // Fresh directory.
+  }
+  std::istringstream is(*text);
+  std::string line;
+  if (!std::getline(is, line) || line != kManifestHeader) {
+    SB_LOG(kWarn) << "checkpoint: unrecognized manifest in " << dir_ << "; ignoring";
+    return;
+  }
+  std::map<std::string, Entry> entries;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    std::string name;
+    std::string hash_hex;
+    Entry entry;
+    fields >> tag >> name >> entry.size >> hash_hex;
+    if (fields.fail() || tag != "entry" || !ValidName(name) || hash_hex.size() != 16) {
+      SB_LOG(kWarn) << "checkpoint: malformed manifest line in " << dir_ << "; ignoring";
+      return;  // A torn manifest would be a torn AtomicWriteFile — treat all as suspect.
+    }
+    entry.hash = std::strtoull(hash_hex.c_str(), nullptr, 16);
+    entries[name] = entry;
+  }
+  entries_ = std::move(entries);
+}
+
+bool CheckpointStore::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+size_t CheckpointStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+bool CheckpointStore::Put(const std::string& name, const std::string& contents) {
+  if (!ok_ || !ValidName(name)) {
+    SB_LOG(kWarn) << "checkpoint: rejecting Put of '" << name << "'";
+    return false;
+  }
+  if (!AtomicWriteFile(PathFor(name), contents, fault_)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.size = contents.size();
+  entry.hash = Fnv1a(contents);
+  entries_[name] = entry;
+  if (!WriteManifestLocked()) {
+    // The data file is durable but unreferenced; resume recomputes the stage.
+    entries_.erase(name);
+    return false;
+  }
+  GlobalPipelineCounters().checkpoint_writes.fetch_add(1, std::memory_order_relaxed);
+  GlobalPipelineCounters().checkpoint_bytes.fetch_add(contents.size(),
+                                                      std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<std::string> CheckpointStore::Get(const std::string& name) const {
+  Entry expected;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return std::nullopt;
+    }
+    expected = it->second;
+  }
+  std::optional<std::string> contents = ReadFileContents(PathFor(name));
+  if (!contents.has_value()) {
+    SB_LOG(kWarn) << "checkpoint: manifest references missing entry " << name;
+    return std::nullopt;
+  }
+  if (contents->size() != expected.size || Fnv1a(*contents) != expected.hash) {
+    SB_LOG(kWarn) << "checkpoint: entry " << name << " failed verification (corrupt or "
+                  << "truncated); recomputing";
+    return std::nullopt;
+  }
+  GlobalPipelineCounters().checkpoint_loads.fetch_add(1, std::memory_order_relaxed);
+  return contents;
+}
+
+bool CheckpointStore::Reset() {
+  if (!ok_) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  bool ok = WriteManifestLocked();
+  std::error_code ec;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir_, ec)) {
+    if (dirent.path().extension() == ".journal") {
+      ok = RemoveFileIfExists(dirent.path().string()) && ok;
+    }
+  }
+  return ok;
+}
+
+bool CheckpointStore::AppendJournal(const std::string& name, const std::string& record) {
+  if (!ok_ || !ValidName(name) || record.find('\n') != std::string::npos) {
+    SB_LOG(kWarn) << "checkpoint: rejecting journal append to '" << name << "'";
+    return false;
+  }
+  std::string line = HashHex(Fnv1a(record)) + " " + record;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AppendLineDurable(JournalPathFor(name), line, fault_);
+}
+
+std::vector<std::string> CheckpointStore::ReadJournal(const std::string& name) const {
+  std::vector<std::string> records;
+  if (!ok_ || !ValidName(name)) {
+    return records;
+  }
+  std::optional<std::string> text = ReadFileContents(JournalPathFor(name));
+  if (!text.has_value()) {
+    return records;
+  }
+  std::istringstream is(*text);
+  std::string line;
+  while (std::getline(is, line)) {
+    size_t space = line.find(' ');
+    if (space != 16) {
+      break;  // Truncated tail or garbage: stop replay at the last verified record.
+    }
+    std::string payload = line.substr(space + 1);
+    if (HashHex(Fnv1a(payload)) != line.substr(0, 16)) {
+      SB_LOG(kWarn) << "checkpoint: journal " << name << " record failed checksum; "
+                    << "dropping it and the tail";
+      break;
+    }
+    records.push_back(std::move(payload));
+  }
+  return records;
+}
+
+}  // namespace snowboard

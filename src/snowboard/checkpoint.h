@@ -1,0 +1,89 @@
+// Crash-safe checkpoint store for campaign artifacts.
+//
+// The paper's deployment persists every intermediate artifact (profiles feed a separate
+// identification job; S-FULL PMC keys are "stored on disk"; tests travel through a Redis
+// queue), so a worker or coordinator loss never discards more than the stage in flight.
+// A CheckpointStore is the single-directory analog: named entries written atomically
+// (src/util/fs.h write-temp-then-rename) and registered in a manifest with content hashes,
+// so a reader either gets a stage's complete, verified artifact or nothing — corrupt,
+// truncated, or torn files are rejected, never half-loaded. Append-only journals carry
+// per-test execution outcomes with a checksum per line; a crash can only truncate the
+// final line, which the reader drops.
+//
+// Consistency argument (what makes resume byte-identical): an entry becomes visible only
+// via Put's sequence [write data atomically] → [rewrite manifest atomically]. A crash
+// between the two leaves an orphan data file that the manifest does not reference, so the
+// resumed run recomputes the stage — and every stage is deterministic, so recomputation
+// equals the lost artifact. Journals are sub-stage: replaying a journaled outcome is
+// byte-equivalent to re-running its (deterministic, snapshot-isolated) test.
+#ifndef SRC_SNOWBOARD_CHECKPOINT_H_
+#define SRC_SNOWBOARD_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snowboard {
+
+class FaultInjector;
+
+class CheckpointStore {
+ public:
+  // Opens (creating the directory if needed) and loads the manifest. `fault` is threaded
+  // into every write for the crash-sweep harness.
+  explicit CheckpointStore(const std::string& dir, FaultInjector* fault = nullptr);
+
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return dir_; }
+
+  // Entry names must be non-empty and use only [A-Za-z0-9._-] (they become file names).
+  static bool ValidName(const std::string& name);
+
+  bool Has(const std::string& name) const;
+  size_t entry_count() const;
+
+  // Atomically writes `name` and commits it to the manifest. False on IO failure, invalid
+  // name, or injected crash (in which case the entry stays invisible or keeps its old
+  // contents — never a torn state).
+  bool Put(const std::string& name, const std::string& contents);
+
+  // Verified read: nullopt when the entry is missing from the manifest, unreadable, or
+  // its content hash does not match (corruption/truncation).
+  std::optional<std::string> Get(const std::string& name) const;
+
+  // Forgets every entry (rewrites an empty manifest) and deletes all journals. Entry data
+  // files are left to be overwritten; with the manifest gone they are unreachable.
+  bool Reset();
+
+  // Durably appends one single-line record to journal `name` (checksummed per line).
+  bool AppendJournal(const std::string& name, const std::string& record);
+
+  // All records up to the first malformed/corrupt line (a crash-truncated tail or flipped
+  // bytes end the replay there; everything before it is verified). Missing journal = empty.
+  std::vector<std::string> ReadJournal(const std::string& name) const;
+
+ private:
+  struct Entry {
+    uint64_t size = 0;
+    uint64_t hash = 0;
+  };
+
+  std::string PathFor(const std::string& name) const;
+  std::string JournalPathFor(const std::string& name) const;
+  std::string ManifestText() const;  // Caller holds mutex_.
+  bool WriteManifestLocked();        // Caller holds mutex_.
+  void LoadManifest();
+
+  std::string dir_;
+  FaultInjector* fault_ = nullptr;
+  bool ok_ = false;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // Ordered: the manifest is deterministic.
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_CHECKPOINT_H_

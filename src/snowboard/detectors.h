@@ -29,6 +29,8 @@ struct RaceReport {
   GuestAddr addr = kGuestNull;       // Where the race was observed.
   bool write_write = false;
 
+  bool operator==(const RaceReport&) const = default;
+
   // Order-insensitive signature for dedup across trials.
   uint64_t Signature() const;
 };

@@ -4,6 +4,8 @@
 
 #include "src/snowboard/profile.h"
 #include "src/snowboard/report.h"
+#include "src/util/counters.h"
+#include "src/util/fault.h"
 #include "src/util/flatmap.h"
 #include "src/util/hash.h"
 
@@ -191,11 +193,27 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
   IncidentalScratch incidental;
 
   for (int trial = 0; trial < options.num_trials; trial++) {
+    if (options.fault != nullptr && options.fault->At("explorer.trial")) {
+      break;  // Simulated worker death mid-test; the partial outcome must be discarded.
+    }
     outcome.trials_run++;
-    scheduler.SeedTrial(options.seed + static_cast<uint64_t>(trial));
 
-    vm.RestoreSnapshot();
-    vm.engine().RunInto(vcpu_fns, run_opts, &result);
+    // A hung attempt (real, or injected by the crash-sweep harness) is discarded before
+    // the detectors see it and re-run from the same restored snapshot with the same seed,
+    // so a retry that succeeds is byte-identical to the attempt never having hung.
+    int attempt = 0;
+    for (;;) {
+      scheduler.SeedTrial(options.seed + static_cast<uint64_t>(trial));
+      vm.RestoreSnapshot();
+      vm.engine().RunInto(vcpu_fns, run_opts, &result);
+      bool injected_hang = options.fault != nullptr && options.fault->HangTrial();
+      if ((!result.hang && !injected_hang) || attempt >= options.max_trial_retries) {
+        break;
+      }
+      attempt++;
+      outcome.trials_retried++;
+      GlobalPipelineCounters().trials_retried.fetch_add(1, std::memory_order_relaxed);
+    }
 
     if (result.hang) {
       outcome.any_hang = true;

@@ -97,6 +97,8 @@ class PmcScheduler : public TrialScheduler {
   Rng rng_;
 };
 
+class FaultInjector;  // util/fault.h.
+
 struct ExplorerOptions {
   int num_trials = 64;  // "Every PMC was explored with at most 64 trials" (§5.1).
   uint64_t seed = 2021;
@@ -109,10 +111,20 @@ struct ExplorerOptions {
   // §5.4 trials-to-expose comparison against SKI.
   int target_issue = 0;
   bool adopt_incidental = true;  // Algorithm 2 lines 26-27.
+  // Hung-trial policy: a trial attempt that trips the liveness monitor (or an injected
+  // hang) is discarded — before detectors see it — and re-run up to this many times, with
+  // the same seed from the same restored snapshot. Retries are counted in
+  // ExploreOutcome::trials_retried; a deterministic real hang exhausts the retries and is
+  // then accepted as before, so results are unchanged — only accounted.
+  int max_trial_retries = 0;
+  // Crash/hang fault-injection hook (crash-sweep harness); nullptr = off. A crash makes
+  // the trial loop unwind immediately with a partial outcome the caller must discard.
+  FaultInjector* fault = nullptr;
 };
 
 struct ExploreOutcome {
   int trials_run = 0;
+  int trials_retried = 0;          // Hung attempts discarded and re-run.
   bool bug_found = false;
   int first_bug_trial = -1;        // 0-based trial index of the first detector hit.
   bool target_found = false;       // Only meaningful with options.target_issue != 0.
@@ -122,6 +134,8 @@ struct ExploreOutcome {
   std::vector<RaceReport> races;            // Deduped across trials.
   std::vector<std::string> console_hits;    // Deduped.
   std::vector<std::string> panic_messages;  // Deduped.
+
+  bool operator==(const ExploreOutcome&) const = default;
 };
 
 // Runs Algorithm 2 for one concurrent test. `matcher` may be null (disables adoption).

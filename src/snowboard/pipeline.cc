@@ -2,12 +2,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "src/sim/site.h"
+#include "src/snowboard/checkpoint.h"
+#include "src/snowboard/serialize.h"
+#include "src/snowboard/stats.h"
 #include "src/util/assert.h"
 #include "src/util/counters.h"
+#include "src/util/fault.h"
+#include "src/util/hash.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
 
@@ -26,9 +33,15 @@ double RestoreSecondsSince(uint64_t nanos_before) {
   return static_cast<double>(now - nanos_before) * 1e-9;
 }
 
-// Classifies one test's raw outcome into findings.
-void RecordOutcome(const ConcurrentTest& test, const ExploreOutcome& outcome,
-                   size_t test_index, FindingsLog* findings) {
+// Classifies one test's raw outcome into findings. This must run in the process that
+// executed the test: race classification and evidence rendering resolve site IDs through
+// the in-process site-name registry, which a cold resumed process has not populated for
+// tests it never re-executes. The extracted findings therefore travel WITH the outcome in
+// the execution journal, and journal replay records them verbatim instead of
+// re-classifying.
+std::vector<Finding> ExtractFindings(const ConcurrentTest& test,
+                                     const ExploreOutcome& outcome, size_t test_index) {
+  std::vector<Finding> findings;
   bool duplicate_input = test.write_test == test.read_test;
   auto record = [&](int issue_id, const std::string& evidence) {
     Finding finding;
@@ -37,7 +50,7 @@ void RecordOutcome(const ConcurrentTest& test, const ExploreOutcome& outcome,
     finding.test_index = test_index;
     finding.trial = outcome.first_bug_trial;
     finding.duplicate_input = duplicate_input;
-    findings->Record(finding);
+    findings.push_back(std::move(finding));
   };
   for (const RaceReport& race : outcome.races) {
     std::string evidence =
@@ -51,6 +64,43 @@ void RecordOutcome(const ConcurrentTest& test, const ExploreOutcome& outcome,
   for (const std::string& line : outcome.panic_messages) {
     record(ClassifyConsoleLine(line), line);
   }
+  return findings;
+}
+
+// True once an injected crash has fired anywhere: the "process" is dead, so stages stop
+// starting new work and unwind with whatever partial state they hold.
+bool Dead(const PipelineOptions& options) {
+  return options.fault != nullptr && options.fault->crashed();
+}
+
+// Opens the campaign's checkpoint store, or null when checkpointing is off/unavailable.
+// Each stage opens its own handle; the manifest on disk is the source of truth between
+// stages, so sequential opens always observe every prior commit.
+std::unique_ptr<CheckpointStore> OpenStore(const PipelineOptions& options) {
+  if (options.checkpoint_dir.empty()) {
+    return nullptr;
+  }
+  auto store = std::make_unique<CheckpointStore>(options.checkpoint_dir, options.fault);
+  if (!store->ok()) {
+    SB_LOG(kWarn) << "checkpoint: store unavailable at " << options.checkpoint_dir
+                  << "; running without checkpoints";
+    return nullptr;
+  }
+  return store;
+}
+
+// Hash of every option that shapes the pipeline's deterministic outputs. num_workers,
+// checkpointing, and fault injection are deliberately excluded: a campaign may be resumed
+// with a different worker count (the determinism invariant guarantees identical results),
+// but any fingerprint mismatch means the directory's artifacts answer a different question
+// and must be discarded.
+uint64_t OptionsFingerprint(const PipelineOptions& o) {
+  return HashAll(o.seed, o.corpus.seed, o.corpus.max_iterations, o.corpus.target_size,
+                 o.corpus.use_seeds, o.pmc.max_keys_per_address, o.pmc.max_pmcs,
+                 static_cast<uint64_t>(o.strategy), o.max_concurrent_tests,
+                 o.explorer.num_trials, o.explorer.seed, o.explorer.max_instructions,
+                 o.explorer.stop_on_bug, o.explorer.target_issue,
+                 o.explorer.adopt_incidental, o.explorer.max_trial_retries);
 }
 
 }  // namespace
@@ -58,38 +108,91 @@ void RecordOutcome(const ConcurrentTest& test, const ExploreOutcome& outcome,
 PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
   PreparedCampaign campaign;
   int num_workers = options.num_workers > 0 ? options.num_workers : 1;
+  std::unique_ptr<CheckpointStore> store = OpenStore(options);
 
   // Stage 0: corpus construction stays sequential — admission is a serial fold over the
   // shared coverage map (each admit changes what counts as fresh for every later candidate).
   auto t0 = std::chrono::steady_clock::now();
-  {
-    KernelVm vm;
-    CorpusOptions corpus_options = options.corpus;
-    corpus_options.seed = corpus_options.seed ^ options.seed;
-    campaign.corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
+  bool loaded = false;
+  if (store != nullptr && options.resume) {
+    if (std::optional<std::string> text = store->Get("corpus")) {
+      if (std::optional<std::vector<Program>> corpus = DeserializeCorpus(*text)) {
+        campaign.corpus = std::move(*corpus);
+        loaded = true;
+      }
+    }
+  }
+  if (!loaded) {
+    {
+      KernelVm vm;
+      CorpusOptions corpus_options = options.corpus;
+      corpus_options.seed = corpus_options.seed ^ options.seed;
+      campaign.corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
+    }
+    if (store != nullptr) {
+      store->Put("corpus", SerializeCorpus(campaign.corpus));
+    }
   }
   campaign.corpus_seconds = SecondsSince(t0);
+  if (Dead(options)) {
+    return campaign;
+  }
 
   // Stage 1: profiling shards over a shared-nothing VM pool; profiles return in corpus
   // order regardless of worker count.
   auto t1 = std::chrono::steady_clock::now();
   uint64_t restore_nanos_before =
       GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
-  ProfileOptions profile_options;
-  profile_options.num_workers = num_workers;
-  profile_options.cache = options.profile_cache;
-  campaign.profiles = ProfileCorpusParallel(campaign.corpus, profile_options);
+  loaded = false;
+  if (store != nullptr && options.resume) {
+    if (std::optional<std::string> text = store->Get("profiles")) {
+      if (std::optional<std::vector<SequentialProfile>> profiles =
+              DeserializeProfiles(*text)) {
+        // A profile set for a different corpus (size mismatch) is stale, not corrupt.
+        if (profiles->size() == campaign.corpus.size()) {
+          campaign.profiles = std::move(*profiles);
+          loaded = true;
+        }
+      }
+    }
+  }
+  if (!loaded) {
+    ProfileOptions profile_options;
+    profile_options.num_workers = num_workers;
+    profile_options.cache = options.profile_cache;
+    campaign.profiles = ProfileCorpusParallel(campaign.corpus, profile_options);
+    if (store != nullptr && !Dead(options)) {
+      store->Put("profiles", SerializeProfiles(campaign.profiles));
+    }
+  }
   campaign.profile_seconds = SecondsSince(t1);
   campaign.profile_restore_seconds = RestoreSecondsSince(restore_nanos_before);
+  if (Dead(options)) {
+    return campaign;
+  }
 
   // Stage 2: the overlap scan shards over disjoint ranges of the ordered nested index and
   // merges in canonical PMC order (num_workers == 0 in the options means "inherit").
   auto t2 = std::chrono::steady_clock::now();
-  PmcIdentifyOptions pmc_options = options.pmc;
-  if (pmc_options.num_workers <= 0) {
-    pmc_options.num_workers = num_workers;
+  loaded = false;
+  if (store != nullptr && options.resume) {
+    if (std::optional<std::string> text = store->Get("pmcs")) {
+      if (std::optional<std::vector<Pmc>> pmcs = DeserializePmcs(*text)) {
+        campaign.pmcs = std::move(*pmcs);
+        loaded = true;
+      }
+    }
   }
-  campaign.pmcs = IdentifyPmcs(campaign.profiles, pmc_options);
+  if (!loaded) {
+    PmcIdentifyOptions pmc_options = options.pmc;
+    if (pmc_options.num_workers <= 0) {
+      pmc_options.num_workers = num_workers;
+    }
+    campaign.pmcs = IdentifyPmcs(campaign.profiles, pmc_options);
+    if (store != nullptr && !Dead(options)) {
+      store->Put("pmcs", SerializePmcs(campaign.pmcs));
+    }
+  }
   campaign.identify_seconds = SecondsSince(t2);
   return campaign;
 }
@@ -97,28 +200,47 @@ PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
 std::vector<ConcurrentTest> GenerateTestsForStrategy(const PreparedCampaign& campaign,
                                                      const PipelineOptions& options,
                                                      size_t* cluster_count_out) {
+  std::unique_ptr<CheckpointStore> store = OpenStore(options);
+  const std::string entry_name = std::string("tests.") + StrategyName(options.strategy);
+  if (store != nullptr && options.resume) {
+    if (std::optional<std::string> text = store->Get(entry_name)) {
+      if (std::optional<SerializedTests> saved = DeserializeConcurrentTests(*text)) {
+        if (cluster_count_out != nullptr) {
+          *cluster_count_out = saved->cluster_count;
+        }
+        return std::move(saved->tests);
+      }
+    }
+  }
+
+  size_t cluster_count = 0;
+  std::vector<ConcurrentTest> tests;
   if (!StrategyUsesPmcs(options.strategy)) {
-    if (cluster_count_out != nullptr) {
-      *cluster_count_out = 0;
-    }
     if (options.strategy == Strategy::kRandomPairing) {
-      return GenerateRandomPairs(campaign.corpus, options.max_concurrent_tests,
-                                 options.seed);
-    }
-    return GenerateDuplicatePairs(campaign.corpus, options.max_concurrent_tests,
+      tests = GenerateRandomPairs(campaign.corpus, options.max_concurrent_tests,
                                   options.seed);
+    } else {
+      tests = GenerateDuplicatePairs(campaign.corpus, options.max_concurrent_tests,
+                                     options.seed);
+    }
+  } else {
+    std::vector<PmcCluster> clusters =
+        ClusterPmcs(campaign.pmcs, options.strategy,
+                    options.num_workers > 0 ? options.num_workers : 1);
+    cluster_count = clusters.size();
+    SelectOptions select;
+    select.seed = options.seed * 0x9e3779b9ull + 17;
+    select.max_tests = options.max_concurrent_tests;
+    select.randomize_cluster_order = options.strategy == Strategy::kRandomSInsPair;
+    tests = SelectConcurrentTests(campaign.pmcs, clusters, campaign.corpus, select);
   }
-  std::vector<PmcCluster> clusters =
-      ClusterPmcs(campaign.pmcs, options.strategy,
-                  options.num_workers > 0 ? options.num_workers : 1);
   if (cluster_count_out != nullptr) {
-    *cluster_count_out = clusters.size();
+    *cluster_count_out = cluster_count;
   }
-  SelectOptions select;
-  select.seed = options.seed * 0x9e3779b9ull + 17;
-  select.max_tests = options.max_concurrent_tests;
-  select.randomize_cluster_order = options.strategy == Strategy::kRandomSInsPair;
-  return SelectConcurrentTests(campaign.pmcs, clusters, campaign.corpus, select);
+  if (store != nullptr && !Dead(options)) {
+    store->Put(entry_name, SerializeConcurrentTests(tests, cluster_count));
+  }
+  return tests;
 }
 
 void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hints,
@@ -128,43 +250,97 @@ void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hint
   uint64_t restore_nanos_before =
       GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
   int num_workers = options.num_workers > 0 ? options.num_workers : 1;
+  std::unique_ptr<CheckpointStore> store = OpenStore(options);
+  const std::string journal_name = std::string("execute.") + StrategyName(options.strategy);
+  FaultInjector* fault = options.fault;
+
+  // On resume, pre-parse the execution journal into a by-index table: a journaled test is
+  // replayed from its recorded outcome and execution-time findings (no VM involved),
+  // everything else runs live. The table is read-only once built, so workers index it
+  // without locking.
+  std::vector<std::optional<OutcomeRecord>> journaled(tests.size());
+  if (store != nullptr && options.resume) {
+    for (const std::string& record : store->ReadJournal(journal_name)) {
+      std::optional<OutcomeRecord> decoded = DecodeOutcomeRecord(record);
+      if (decoded.has_value() && decoded->test_index < tests.size()) {
+        size_t index = decoded->test_index;
+        journaled[index] = std::move(*decoded);
+      }
+    }
+  }
+
   std::atomic<size_t> next_test{0};
   std::mutex merge_mutex;
 
-  // Each worker owns a booted VM (shared-nothing, as in the paper's distributed queue).
+  // Each worker owns a booted VM (shared-nothing, as in the paper's distributed queue) —
+  // booted lazily, so a fully journaled resume replays without paying for a single boot.
   auto worker_fn = [&]() {
-    KernelVm vm;
+    std::optional<KernelVm> vm;
     FindingsLog local_findings;
     size_t local_executed = 0;
     size_t local_with_bug = 0;
     size_t local_exercised = 0;
+    size_t local_resumed = 0;
     uint64_t local_trials = 0;
+    uint64_t local_retried = 0;
 
     for (;;) {
+      // The worker-kill point: a crash injected here (or anywhere else) makes every
+      // worker abandon its claim loop, exactly as a SIGKILL would.
+      if (fault != nullptr && fault->At("execute.claim")) {
+        break;
+      }
       size_t index = next_test.fetch_add(1);
       if (index >= tests.size()) {
         break;
       }
       const ConcurrentTest& test = tests[index];
-      ExplorerOptions explorer = options.explorer;
-      explorer.seed = options.explorer.seed + index * 1000003ull;
-      ExploreOutcome outcome;
-      if (use_pmc_hints) {
-        outcome = ExploreConcurrentTest(vm, test, matcher, explorer);
+      OutcomeRecord record;
+      record.test_index = index;
+      if (journaled[index].has_value()) {
+        record = *journaled[index];
+        local_resumed++;
+        GlobalPipelineCounters().tests_resumed.fetch_add(1, std::memory_order_relaxed);
       } else {
-        RandomPreemptScheduler scheduler;
-        outcome = ExploreWithScheduler(vm, test, scheduler, /*check_channel=*/false,
-                                       explorer);
+        ExplorerOptions explorer = options.explorer;
+        explorer.seed = options.explorer.seed + index * 1000003ull;
+        explorer.fault = fault;
+        if (!vm.has_value()) {
+          vm.emplace();
+        }
+        if (use_pmc_hints) {
+          record.outcome = ExploreConcurrentTest(*vm, test, matcher, explorer);
+        } else {
+          RandomPreemptScheduler scheduler;
+          record.outcome = ExploreWithScheduler(*vm, test, scheduler,
+                                                /*check_channel=*/false, explorer);
+        }
+        if (fault != nullptr && fault->crashed()) {
+          break;  // The trial loop died mid-test; its partial outcome never existed.
+        }
+        record.findings = ExtractFindings(test, record.outcome, index);
+        if (store != nullptr) {
+          store->AppendJournal(journal_name, EncodeOutcomeRecord(record));
+          if (fault != nullptr && fault->crashed()) {
+            break;  // Died at the append; only the on-disk journal decides what survived.
+          }
+        }
+        GlobalPipelineCounters().concurrent_tests_run.fetch_add(1,
+                                                                std::memory_order_relaxed);
       }
+      const ExploreOutcome& outcome = record.outcome;
       local_executed++;
       local_trials += static_cast<uint64_t>(outcome.trials_run);
+      local_retried += static_cast<uint64_t>(outcome.trials_retried);
       if (outcome.bug_found) {
         local_with_bug++;
       }
       if (outcome.channel_exercised) {
         local_exercised++;
       }
-      RecordOutcome(test, outcome, index, &local_findings);
+      for (const Finding& finding : record.findings) {
+        local_findings.Record(finding);
+      }
     }
 
     std::lock_guard<std::mutex> lock(merge_mutex);
@@ -172,6 +348,8 @@ void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hint
     result->tests_with_bug += local_with_bug;
     result->channel_exercised += local_exercised;
     result->total_trials += local_trials;
+    result->tests_resumed += local_resumed;
+    result->trials_retried += local_retried;
     result->findings.Merge(local_findings);
   };
 
@@ -193,7 +371,47 @@ void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hint
 
 PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
   PipelineResult result;
+  const std::string result_name = std::string("result.") + StrategyName(options.strategy);
+
+  // Checkpoint-directory admission: the guard entry pins the options fingerprint. A fresh
+  // run, or a directory written under different options, is reset before any stage can
+  // load a stale artifact. A resumed run whose final result already committed skips every
+  // stage outright.
+  if (!options.checkpoint_dir.empty()) {
+    std::unique_ptr<CheckpointStore> store = OpenStore(options);
+    if (store != nullptr) {
+      const std::string guard =
+          StrPrintf("snowboard-campaign-v1\nfingerprint %016llx\n",
+                    static_cast<unsigned long long>(OptionsFingerprint(options)));
+      std::optional<std::string> existing = store->Get("campaign");
+      if (!options.resume || !existing.has_value() || *existing != guard) {
+        if (options.resume && existing.has_value()) {
+          SB_LOG(kWarn) << "checkpoint: directory " << options.checkpoint_dir
+                        << " belongs to a different campaign configuration; resetting";
+        }
+        store->Reset();
+        store->Put("campaign", guard);
+      } else if (std::optional<std::string> text = store->Get(result_name)) {
+        if (std::optional<PipelineResult> done = DeserializePipelineResult(*text)) {
+          done->tests_resumed = done->tests_executed;
+          GlobalPipelineCounters().tests_resumed.fetch_add(done->tests_executed,
+                                                           std::memory_order_relaxed);
+          SB_LOG(kInfo) << StrategyName(options.strategy)
+                        << ": resumed from completed checkpoint (" << done->tests_executed
+                        << " tests)";
+          return *done;
+        }
+      }
+    }
+    if (Dead(options)) {
+      return result;
+    }
+  }
+
   PreparedCampaign campaign = PrepareCampaign(options);
+  if (Dead(options)) {
+    return result;
+  }
 
   result.corpus_size = campaign.corpus.size();
   for (const SequentialProfile& profile : campaign.profiles) {
@@ -206,6 +424,7 @@ PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
   for (const Pmc& pmc : campaign.pmcs) {
     result.total_pmc_pairs += pmc.total_pairs;
   }
+  result.pmc_table_digest = PmcTableDigest(campaign.pmcs);
   result.corpus_seconds = campaign.corpus_seconds;
   result.profile_seconds = campaign.profile_seconds;
   result.profile_restore_seconds = campaign.profile_restore_seconds;
@@ -216,10 +435,26 @@ PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
       GenerateTestsForStrategy(campaign, options, &result.cluster_count);
   result.cluster_seconds = SecondsSince(t0);
   result.tests_generated = tests.size();
+  if (Dead(options)) {
+    return result;
+  }
 
   bool use_pmc = StrategyUsesPmcs(options.strategy);
   PmcMatcher matcher(&campaign.pmcs);
   ExecuteCampaign(tests, use_pmc, use_pmc ? &matcher : nullptr, options, &result);
+  if (Dead(options)) {
+    return result;
+  }
+
+  if (!options.checkpoint_dir.empty()) {
+    std::unique_ptr<CheckpointStore> store = OpenStore(options);
+    if (store != nullptr) {
+      store->Put(result_name, SerializePipelineResult(result));
+    }
+    if (Dead(options)) {
+      return result;
+    }
+  }
 
   SB_LOG(kInfo) << StrategyName(options.strategy) << ": " << result.tests_executed
                 << " tests executed, " << result.findings.first_findings().size()

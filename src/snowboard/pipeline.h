@@ -12,6 +12,7 @@
 #ifndef SRC_SNOWBOARD_PIPELINE_H_
 #define SRC_SNOWBOARD_PIPELINE_H_
 
+#include <string>
 #include <vector>
 
 #include "src/fuzz/corpus.h"
@@ -21,6 +22,8 @@
 #include "src/snowboard/select.h"
 
 namespace snowboard {
+
+class FaultInjector;  // util/fault.h.
 
 struct PipelineOptions {
   uint64_t seed = 1;
@@ -35,6 +38,19 @@ struct PipelineOptions {
   // Optional cross-run profile memo: multi-strategy campaigns (Table 3) share one cache so
   // each distinct program is profiled on a VM only once.
   ProfileCache* profile_cache = nullptr;
+  // Crash-safe persistence. When non-empty, every stage commits its artifact to a
+  // CheckpointStore here on completion, and execution journals per-test outcomes
+  // incrementally. The directory is keyed by an options fingerprint (every field that
+  // shapes deterministic outputs — NOT num_workers); a mismatched directory is reset.
+  std::string checkpoint_dir;
+  // With `resume`, completed stages load from the checkpoint instead of recomputing and
+  // journaled test outcomes replay without touching a VM. Without it, the directory is
+  // cleared first. Meaningless when checkpoint_dir is empty.
+  bool resume = false;
+  // Crash/hang fault-injection hook (crash-sweep harness); nullptr = off. When an injected
+  // crash fires, the pipeline unwinds at the next fault point of every worker and returns
+  // a partial result — only the on-disk checkpoint state is meaningful afterwards.
+  FaultInjector* fault = nullptr;
 };
 
 struct PipelineResult {
@@ -50,7 +66,11 @@ struct PipelineResult {
   size_t tests_with_bug = 0;
   size_t channel_exercised = 0;  // §5.3.2 numerator.
   uint64_t total_trials = 0;
+  uint64_t pmc_table_digest = 0;  // PmcTableDigest of the identified table.
   FindingsLog findings;
+  // Resume bookkeeping (run-shape dependent; excluded from SerializePipelineResult).
+  size_t tests_resumed = 0;      // Outcomes replayed from the execution journal.
+  uint64_t trials_retried = 0;   // Hung-trial retries across all tests.
   // Wall-clock per stage (seconds).
   double corpus_seconds = 0;
   double profile_seconds = 0;

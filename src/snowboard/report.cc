@@ -215,6 +215,11 @@ void FindingsLog::Record(const Finding& finding) {
   }
 }
 
+void FindingsLog::Restore(const std::map<int, Finding>& first_findings, size_t total) {
+  first_findings_ = first_findings;
+  total_ = total;
+}
+
 void FindingsLog::Merge(const FindingsLog& other) {
   total_ += other.total_;
   for (const auto& [id, finding] : other.first_findings_) {

@@ -53,6 +53,10 @@ class FindingsLog {
   void Record(const Finding& finding);
   void Merge(const FindingsLog& other);
 
+  // Replaces the log's contents with deserialized parts (checkpoint restore). The
+  // first-per-issue invariant is the caller's responsibility — serialization preserves it.
+  void Restore(const std::map<int, Finding>& first_findings, size_t total);
+
   // issue id -> first finding (unclassified findings keyed as 0, first only).
   const std::map<int, Finding>& first_findings() const { return first_findings_; }
   size_t total_findings() const { return total_; }

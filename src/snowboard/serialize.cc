@@ -1,7 +1,12 @@
 #include "src/snowboard/serialize.h"
 
-#include <fstream>
+#include <cstdint>
+#include <cstdlib>
 #include <sstream>
+
+#include "src/snowboard/pipeline.h"
+#include "src/util/fs.h"
+#include "src/util/strings.h"
 
 namespace snowboard {
 
@@ -9,8 +14,164 @@ namespace {
 
 constexpr const char* kCorpusHeader = "snowboard-corpus-v1";
 constexpr const char* kPmcHeader = "snowboard-pmcs-v1";
+constexpr const char* kProfilesHeader = "snowboard-profiles-v1";
+constexpr const char* kTestsHeader = "snowboard-tests-v1";
+constexpr const char* kOutcomeHeader = "snowboard-outcome-v1";
+constexpr const char* kFindingsHeader = "snowboard-findings-v1";
+constexpr const char* kResultHeader = "snowboard-result-v1";
+
+// Empty byte strings serialize as "-" so every field stays a non-empty token.
+constexpr const char* kEmptyToken = "-";
+
+std::string HexToken(const std::string& bytes) {
+  return bytes.empty() ? kEmptyToken : HexEncode(bytes);
+}
+
+std::optional<std::string> DecodeHexToken(const std::string& token) {
+  if (token == kEmptyToken) {
+    return std::string();
+  }
+  return HexDecode(token);
+}
+
+// Parses one "call <nr> <kind>:<value>..." body line into `call`.
+bool ParseCallLine(std::istringstream& fields, Call* call) {
+  fields >> call->nr;
+  if (fields.fail() || call->nr >= kNumSyscalls) {
+    return false;
+  }
+  std::string arg_text;
+  int index = 0;
+  while (index < kMaxSyscallArgs && fields >> arg_text) {
+    size_t colon = arg_text.find(':');
+    if (colon != 1 || (arg_text[0] != 'c' && arg_text[0] != 'r')) {
+      return false;
+    }
+    Arg arg;
+    arg.kind = arg_text[0] == 'r' ? Arg::kResult : Arg::kConst;
+    try {
+      arg.value = std::stoll(arg_text.substr(colon + 1));
+    } catch (...) {
+      return false;
+    }
+    call->args[index++] = arg;
+  }
+  return true;
+}
+
+// Reads "call" lines up to the terminating "end"; false on malformed input or EOF.
+bool ParseProgramBlock(std::istream& is, Program* program) {
+  *program = Program();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "end") {
+      return true;
+    }
+    if (tag != "call" || program->calls.size() >= kMaxCallsPerProgram) {
+      return false;
+    }
+    Call call;
+    if (!ParseCallLine(fields, &call)) {
+      return false;
+    }
+    program->calls.push_back(call);
+  }
+  return false;  // Truncated: a program without its "end".
+}
+
+// Reads one "<label> <v0> [<v1>...]" line into signed values; strict label match.
+bool ParseLabeledInts(std::istream& is, const char* label, std::vector<int64_t>* values,
+                      size_t count) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return false;
+  }
+  std::istringstream fields(line);
+  std::string tag;
+  fields >> tag;
+  if (tag != label) {
+    return false;
+  }
+  values->clear();
+  for (size_t i = 0; i < count; i++) {
+    int64_t value = 0;
+    fields >> value;
+    if (fields.fail()) {
+      return false;
+    }
+    values->push_back(value);
+  }
+  std::string extra;
+  return !(fields >> extra);  // Trailing junk on the line is rejected.
+}
+
+bool ParseLabeledUint(std::istream& is, const char* label, uint64_t* value) {
+  std::vector<int64_t> values;
+  if (!ParseLabeledInts(is, label, &values, 1) || values[0] < 0) {
+    return false;
+  }
+  *value = static_cast<uint64_t>(values[0]);
+  return true;
+}
+
+void SerializePmcSide(std::ostream& os, const PmcSide& side) {
+  os << side.addr << ' ' << static_cast<uint32_t>(side.len) << ' ' << side.site << ' '
+     << side.value;
+}
+
+// Parses one PMC side; `min_len` is 0 for hint keys (baselines carry an empty hint).
+bool ParsePmcSide(std::istringstream& fields, uint32_t min_len, PmcSide* side) {
+  uint64_t addr = 0;
+  uint32_t len = 0;
+  fields >> addr >> len >> side->site >> side->value;
+  if (fields.fail() || addr > UINT32_MAX || len < min_len || len > 8) {
+    return false;
+  }
+  side->addr = static_cast<GuestAddr>(addr);
+  side->len = static_cast<uint8_t>(len);
+  return true;
+}
 
 }  // namespace
+
+std::string HexEncode(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    hex.push_back(kDigits[c >> 4]);
+    hex.push_back(kDigits[c & 0xf]);
+  }
+  return hex;
+}
+
+std::optional<std::string> HexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return std::nullopt;
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string bytes;
+  bytes.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return std::nullopt;
+    }
+    bytes.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return bytes;
+}
 
 std::string SerializeProgram(const Program& program) {
   std::ostringstream os;
@@ -69,25 +230,8 @@ std::optional<std::vector<Program>> DeserializeCorpus(const std::string& text) {
       return std::nullopt;
     }
     Call call;
-    fields >> call.nr;
-    if (fields.fail() || call.nr >= kNumSyscalls) {
+    if (!ParseCallLine(fields, &call)) {
       return std::nullopt;
-    }
-    std::string arg_text;
-    int index = 0;
-    while (index < kMaxSyscallArgs && fields >> arg_text) {
-      size_t colon = arg_text.find(':');
-      if (colon != 1 || (arg_text[0] != 'c' && arg_text[0] != 'r')) {
-        return std::nullopt;
-      }
-      Arg arg;
-      arg.kind = arg_text[0] == 'r' ? Arg::kResult : Arg::kConst;
-      try {
-        arg.value = std::stoll(arg_text.substr(colon + 1));
-      } catch (...) {
-        return std::nullopt;
-      }
-      call.args[index++] = arg;
     }
     if (current.calls.size() >= kMaxCallsPerProgram) {
       return std::nullopt;
@@ -106,10 +250,11 @@ std::string SerializePmcs(const std::vector<Pmc>& pmcs) {
   os << kPmcHeader << "\n";
   for (const Pmc& pmc : pmcs) {
     const PmcKey& k = pmc.key;
-    os << "pmc " << k.write.addr << ' ' << static_cast<uint32_t>(k.write.len) << ' '
-       << k.write.site << ' ' << k.write.value << ' ' << k.read.addr << ' '
-       << static_cast<uint32_t>(k.read.len) << ' ' << k.read.site << ' ' << k.read.value
-       << ' ' << (k.df_leader ? 1 : 0) << ' ' << pmc.total_pairs << ' ' << pmc.pairs.size();
+    os << "pmc ";
+    SerializePmcSide(os, k.write);
+    os << ' ';
+    SerializePmcSide(os, k.read);
+    os << ' ' << (k.df_leader ? 1 : 0) << ' ' << pmc.total_pairs << ' ' << pmc.pairs.size();
     for (const PmcTestPair& pair : pmc.pairs) {
       os << ' ' << pair.write_test << ' ' << pair.read_test;
     }
@@ -136,19 +281,16 @@ std::optional<std::vector<Pmc>> DeserializePmcs(const std::string& text) {
       return std::nullopt;
     }
     Pmc pmc;
-    uint32_t wlen = 0;
-    uint32_t rlen = 0;
     uint32_t df = 0;
     size_t pair_count = 0;
-    fields >> pmc.key.write.addr >> wlen >> pmc.key.write.site >> pmc.key.write.value >>
-        pmc.key.read.addr >> rlen >> pmc.key.read.site >> pmc.key.read.value >> df >>
-        pmc.total_pairs >> pair_count;
-    if (fields.fail() || wlen == 0 || wlen > 8 || rlen == 0 || rlen > 8 ||
-        pair_count > kMaxPairsPerPmc) {
+    if (!ParsePmcSide(fields, /*min_len=*/1, &pmc.key.write) ||
+        !ParsePmcSide(fields, /*min_len=*/1, &pmc.key.read)) {
       return std::nullopt;
     }
-    pmc.key.write.len = static_cast<uint8_t>(wlen);
-    pmc.key.read.len = static_cast<uint8_t>(rlen);
+    fields >> df >> pmc.total_pairs >> pair_count;
+    if (fields.fail() || pair_count > kMaxPairsPerPmc) {
+      return std::nullopt;
+    }
     pmc.key.df_leader = df != 0;
     for (size_t i = 0; i < pair_count; i++) {
       PmcTestPair pair;
@@ -163,23 +305,511 @@ std::optional<std::vector<Pmc>> DeserializePmcs(const std::string& text) {
   return pmcs;
 }
 
-bool WriteStringToFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return false;
+std::string SerializeProfiles(const std::vector<SequentialProfile>& profiles) {
+  std::ostringstream os;
+  os << kProfilesHeader << "\n";
+  os << "profiles " << profiles.size() << "\n";
+  for (const SequentialProfile& profile : profiles) {
+    os << "profile " << profile.test_id << ' ' << (profile.ok ? 1 : 0) << "\n";
+    os << SerializeProgram(profile.program);
+    os << "acc " << profile.accesses.size() << "\n";
+    for (const SharedAccess& a : profile.accesses) {
+      os << "a " << static_cast<int>(a.type) << ' ' << (a.marked_atomic ? 1 : 0) << ' '
+         << (a.df_leader ? 1 : 0) << ' ' << static_cast<uint32_t>(a.len) << ' ' << a.addr
+         << ' ' << a.value << ' ' << a.site << ' ' << a.index << "\n";
+    }
+    os << "endprofile\n";
   }
-  out << contents;
-  return static_cast<bool>(out);
+  return os.str();
+}
+
+std::optional<std::vector<SequentialProfile>> DeserializeProfiles(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kProfilesHeader) {
+    return std::nullopt;
+  }
+  uint64_t count = 0;
+  if (!ParseLabeledUint(is, "profiles", &count)) {
+    return std::nullopt;
+  }
+  std::vector<SequentialProfile> profiles;
+  for (uint64_t i = 0; i < count; i++) {
+    SequentialProfile profile;
+    std::vector<int64_t> head;
+    if (!ParseLabeledInts(is, "profile", &head, 2) || (head[1] != 0 && head[1] != 1)) {
+      return std::nullopt;
+    }
+    profile.test_id = static_cast<int>(head[0]);
+    profile.ok = head[1] == 1;
+    if (!ParseProgramBlock(is, &profile.program)) {
+      return std::nullopt;
+    }
+    uint64_t access_count = 0;
+    if (!ParseLabeledUint(is, "acc", &access_count)) {
+      return std::nullopt;
+    }
+    for (uint64_t j = 0; j < access_count; j++) {
+      if (!std::getline(is, line)) {
+        return std::nullopt;
+      }
+      std::istringstream fields(line);
+      std::string tag;
+      uint32_t type = 0;
+      uint32_t marked = 0;
+      uint32_t df = 0;
+      uint32_t len = 0;
+      uint64_t addr = 0;
+      SharedAccess access;
+      fields >> tag >> type >> marked >> df >> len >> addr >> access.value >> access.site >>
+          access.index;
+      if (fields.fail() || tag != "a" || type > 1 || marked > 1 || df > 1 || len == 0 ||
+          len > 8 || addr > UINT32_MAX) {
+        return std::nullopt;
+      }
+      access.type = type == 1 ? AccessType::kWrite : AccessType::kRead;
+      access.marked_atomic = marked == 1;
+      access.df_leader = df == 1;
+      access.len = static_cast<uint8_t>(len);
+      access.addr = static_cast<GuestAddr>(addr);
+      profile.accesses.push_back(access);
+    }
+    if (!std::getline(is, line) || line != "endprofile") {
+      return std::nullopt;
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+std::string SerializeConcurrentTests(const std::vector<ConcurrentTest>& tests,
+                                     size_t cluster_count) {
+  std::ostringstream os;
+  os << kTestsHeader << "\n";
+  os << "clusters " << cluster_count << "\n";
+  os << "tests " << tests.size() << "\n";
+  for (const ConcurrentTest& test : tests) {
+    os << "test " << test.write_test << ' ' << test.read_test << ' ' << test.cluster_key
+       << ' ' << test.cluster_size << "\n";
+    os << "hint ";
+    SerializePmcSide(os, test.hint.write);
+    os << ' ';
+    SerializePmcSide(os, test.hint.read);
+    os << ' ' << (test.hint.df_leader ? 1 : 0) << "\n";
+    os << SerializeProgram(test.writer);
+    os << SerializeProgram(test.reader);
+    os << "endtest\n";
+  }
+  return os.str();
+}
+
+std::optional<SerializedTests> DeserializeConcurrentTests(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kTestsHeader) {
+    return std::nullopt;
+  }
+  SerializedTests out;
+  uint64_t cluster_count = 0;
+  uint64_t count = 0;
+  if (!ParseLabeledUint(is, "clusters", &cluster_count) ||
+      !ParseLabeledUint(is, "tests", &count)) {
+    return std::nullopt;
+  }
+  out.cluster_count = cluster_count;
+  for (uint64_t i = 0; i < count; i++) {
+    ConcurrentTest test;
+    if (!std::getline(is, line)) {
+      return std::nullopt;
+    }
+    {
+      std::istringstream fields(line);
+      std::string tag;
+      uint64_t cluster_size = 0;
+      fields >> tag >> test.write_test >> test.read_test >> test.cluster_key >>
+          cluster_size;
+      if (fields.fail() || tag != "test") {
+        return std::nullopt;
+      }
+      test.cluster_size = static_cast<size_t>(cluster_size);
+    }
+    if (!std::getline(is, line)) {
+      return std::nullopt;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    uint32_t df = 0;
+    fields >> tag;
+    if (tag != "hint" || !ParsePmcSide(fields, /*min_len=*/0, &test.hint.write) ||
+        !ParsePmcSide(fields, /*min_len=*/0, &test.hint.read)) {
+      return std::nullopt;
+    }
+    fields >> df;
+    if (fields.fail() || df > 1) {
+      return std::nullopt;
+    }
+    test.hint.df_leader = df == 1;
+    if (!ParseProgramBlock(is, &test.writer) || !ParseProgramBlock(is, &test.reader)) {
+      return std::nullopt;
+    }
+    if (!std::getline(is, line) || line != "endtest") {
+      return std::nullopt;
+    }
+    out.tests.push_back(std::move(test));
+  }
+  return out;
+}
+
+std::string SerializeExploreOutcome(const ExploreOutcome& outcome) {
+  std::ostringstream os;
+  os << kOutcomeHeader << "\n";
+  os << "trials " << outcome.trials_run << ' ' << outcome.trials_retried << "\n";
+  os << "bug " << (outcome.bug_found ? 1 : 0) << ' ' << outcome.first_bug_trial << "\n";
+  os << "target " << (outcome.target_found ? 1 : 0) << ' ' << outcome.first_target_trial
+     << "\n";
+  os << "flags " << (outcome.channel_exercised ? 1 : 0) << ' ' << (outcome.any_hang ? 1 : 0)
+     << "\n";
+  os << "races " << outcome.races.size() << "\n";
+  for (const RaceReport& race : outcome.races) {
+    os << "r " << race.write_site << ' ' << race.other_site << ' ' << race.addr << ' '
+       << (race.write_write ? 1 : 0) << "\n";
+  }
+  os << "console " << outcome.console_hits.size() << "\n";
+  for (const std::string& hit : outcome.console_hits) {
+    os << "c " << HexToken(hit) << "\n";
+  }
+  os << "panics " << outcome.panic_messages.size() << "\n";
+  for (const std::string& message : outcome.panic_messages) {
+    os << "p " << HexToken(message) << "\n";
+  }
+  os << "endoutcome\n";
+  return os.str();
+}
+
+std::optional<ExploreOutcome> DeserializeExploreOutcome(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kOutcomeHeader) {
+    return std::nullopt;
+  }
+  ExploreOutcome outcome;
+  std::vector<int64_t> values;
+  if (!ParseLabeledInts(is, "trials", &values, 2) || values[0] < 0 || values[1] < 0) {
+    return std::nullopt;
+  }
+  outcome.trials_run = static_cast<int>(values[0]);
+  outcome.trials_retried = static_cast<int>(values[1]);
+  if (!ParseLabeledInts(is, "bug", &values, 2) || values[0] > 1 || values[0] < 0) {
+    return std::nullopt;
+  }
+  outcome.bug_found = values[0] == 1;
+  outcome.first_bug_trial = static_cast<int>(values[1]);
+  if (!ParseLabeledInts(is, "target", &values, 2) || values[0] > 1 || values[0] < 0) {
+    return std::nullopt;
+  }
+  outcome.target_found = values[0] == 1;
+  outcome.first_target_trial = static_cast<int>(values[1]);
+  if (!ParseLabeledInts(is, "flags", &values, 2) || values[0] > 1 || values[0] < 0 ||
+      values[1] > 1 || values[1] < 0) {
+    return std::nullopt;
+  }
+  outcome.channel_exercised = values[0] == 1;
+  outcome.any_hang = values[1] == 1;
+
+  uint64_t race_count = 0;
+  if (!ParseLabeledUint(is, "races", &race_count)) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < race_count; i++) {
+    if (!std::getline(is, line)) {
+      return std::nullopt;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    uint64_t addr = 0;
+    uint32_t ww = 0;
+    RaceReport race;
+    fields >> tag >> race.write_site >> race.other_site >> addr >> ww;
+    if (fields.fail() || tag != "r" || addr > UINT32_MAX || ww > 1) {
+      return std::nullopt;
+    }
+    race.addr = static_cast<GuestAddr>(addr);
+    race.write_write = ww == 1;
+    outcome.races.push_back(race);
+  }
+
+  // Count line, then `count` "<tag> <hex>" lines.
+  auto parse_strings = [&is](const char* label, const char* tag,
+                             std::vector<std::string>* out) {
+    std::string body_line;
+    uint64_t count = 0;
+    {
+      if (!std::getline(is, body_line)) {
+        return false;
+      }
+      std::istringstream fields(body_line);
+      std::string got;
+      fields >> got >> count;
+      if (fields.fail() || got != label) {
+        return false;
+      }
+    }
+    for (uint64_t i = 0; i < count; i++) {
+      if (!std::getline(is, body_line)) {
+        return false;
+      }
+      std::istringstream fields(body_line);
+      std::string got;
+      std::string token;
+      fields >> got >> token;
+      if (fields.fail() || got != tag) {
+        return false;
+      }
+      std::optional<std::string> decoded = DecodeHexToken(token);
+      if (!decoded.has_value()) {
+        return false;
+      }
+      out->push_back(std::move(*decoded));
+    }
+    return true;
+  };
+  if (!parse_strings("console", "c", &outcome.console_hits) ||
+      !parse_strings("panics", "p", &outcome.panic_messages)) {
+    return std::nullopt;
+  }
+  if (!std::getline(is, line) || line != "endoutcome") {
+    return std::nullopt;
+  }
+  return outcome;
+}
+
+std::string EncodeOutcomeRecord(const OutcomeRecord& record) {
+  std::ostringstream os;
+  os << record.test_index << ' ' << HexEncode(SerializeExploreOutcome(record.outcome))
+     << ' ' << record.findings.size();
+  for (const Finding& finding : record.findings) {
+    std::string text = StrPrintf("%d %d %d ", finding.issue_id, finding.trial,
+                                 finding.duplicate_input ? 1 : 0) +
+                       HexToken(finding.evidence);
+    os << ' ' << HexEncode(text);
+  }
+  return os.str();
+}
+
+std::optional<OutcomeRecord> DecodeOutcomeRecord(const std::string& record) {
+  std::istringstream fields(record);
+  uint64_t index = 0;
+  std::string hex;
+  uint64_t finding_count = 0;
+  fields >> index >> hex >> finding_count;
+  if (fields.fail()) {
+    return std::nullopt;
+  }
+  std::optional<std::string> text = HexDecode(hex);
+  if (!text.has_value()) {
+    return std::nullopt;
+  }
+  std::optional<ExploreOutcome> outcome = DeserializeExploreOutcome(*text);
+  if (!outcome.has_value()) {
+    return std::nullopt;
+  }
+  OutcomeRecord out;
+  out.test_index = static_cast<size_t>(index);
+  out.outcome = std::move(*outcome);
+  for (uint64_t i = 0; i < finding_count; i++) {
+    std::string finding_hex;
+    fields >> finding_hex;
+    if (fields.fail()) {
+      return std::nullopt;
+    }
+    std::optional<std::string> finding_text = HexDecode(finding_hex);
+    if (!finding_text.has_value()) {
+      return std::nullopt;
+    }
+    std::istringstream finding_fields(*finding_text);
+    int64_t issue_id = 0;
+    int64_t trial = 0;
+    int64_t duplicate = 0;
+    std::string evidence_token;
+    finding_fields >> issue_id >> trial >> duplicate >> evidence_token;
+    std::string finding_extra;
+    if (finding_fields.fail() || duplicate < 0 || duplicate > 1 ||
+        (finding_fields >> finding_extra)) {
+      return std::nullopt;
+    }
+    std::optional<std::string> evidence = DecodeHexToken(evidence_token);
+    if (!evidence.has_value()) {
+      return std::nullopt;
+    }
+    Finding finding;
+    finding.issue_id = static_cast<int>(issue_id);
+    finding.test_index = out.test_index;
+    finding.trial = static_cast<int>(trial);
+    finding.duplicate_input = duplicate == 1;
+    finding.evidence = std::move(*evidence);
+    out.findings.push_back(std::move(finding));
+  }
+  std::string extra;
+  if (fields >> extra) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::string SerializeFindings(const FindingsLog& findings) {
+  std::ostringstream os;
+  os << kFindingsHeader << "\n";
+  os << "total " << findings.total_findings() << "\n";
+  os << "entries " << findings.first_findings().size() << "\n";
+  for (const auto& [issue_id, finding] : findings.first_findings()) {
+    os << "f " << issue_id << ' ' << finding.test_index << ' ' << finding.trial << ' '
+       << (finding.duplicate_input ? 1 : 0) << ' ' << HexToken(finding.evidence) << "\n";
+  }
+  os << "endfindings\n";
+  return os.str();
+}
+
+std::optional<FindingsLog> DeserializeFindings(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kFindingsHeader) {
+    return std::nullopt;
+  }
+  uint64_t total = 0;
+  uint64_t entries = 0;
+  if (!ParseLabeledUint(is, "total", &total) || !ParseLabeledUint(is, "entries", &entries) ||
+      entries > total) {
+    return std::nullopt;
+  }
+  std::map<int, Finding> first_findings;
+  for (uint64_t i = 0; i < entries; i++) {
+    if (!std::getline(is, line)) {
+      return std::nullopt;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    int64_t issue_id = 0;
+    int64_t test_index = 0;
+    int64_t trial = 0;
+    int64_t duplicate = 0;
+    std::string token;
+    fields >> tag >> issue_id >> test_index >> trial >> duplicate >> token;
+    if (fields.fail() || tag != "f" || test_index < 0 || duplicate < 0 || duplicate > 1) {
+      return std::nullopt;
+    }
+    std::optional<std::string> evidence = DecodeHexToken(token);
+    if (!evidence.has_value()) {
+      return std::nullopt;
+    }
+    Finding finding;
+    finding.issue_id = static_cast<int>(issue_id);
+    finding.test_index = static_cast<size_t>(test_index);
+    finding.trial = static_cast<int>(trial);
+    finding.duplicate_input = duplicate == 1;
+    finding.evidence = std::move(*evidence);
+    if (!first_findings.emplace(finding.issue_id, std::move(finding)).second) {
+      return std::nullopt;  // Duplicate issue id: not a valid first-findings map.
+    }
+  }
+  if (!std::getline(is, line) || line != "endfindings") {
+    return std::nullopt;
+  }
+  FindingsLog log;
+  log.Restore(first_findings, total);
+  return log;
+}
+
+std::string SerializePipelineResult(const PipelineResult& result) {
+  std::ostringstream os;
+  os << kResultHeader << "\n";
+  os << "corpus_size " << result.corpus_size << "\n";
+  os << "profiled_ok " << result.profiled_ok << "\n";
+  os << "shared_accesses " << result.shared_accesses << "\n";
+  os << "pmc_count " << result.pmc_count << "\n";
+  os << "total_pmc_pairs " << result.total_pmc_pairs << "\n";
+  os << "cluster_count " << result.cluster_count << "\n";
+  os << "tests_generated " << result.tests_generated << "\n";
+  os << "tests_executed " << result.tests_executed << "\n";
+  os << "tests_with_bug " << result.tests_with_bug << "\n";
+  os << "channel_exercised " << result.channel_exercised << "\n";
+  os << "total_trials " << result.total_trials << "\n";
+  os << "pmc_digest " << StrPrintf("%016llx",
+                                   static_cast<unsigned long long>(result.pmc_table_digest))
+     << "\n";
+  os << SerializeFindings(result.findings);
+  os << "endresult\n";
+  return os.str();
+}
+
+std::optional<PipelineResult> DeserializePipelineResult(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kResultHeader) {
+    return std::nullopt;
+  }
+  PipelineResult result;
+  uint64_t value = 0;
+  if (!ParseLabeledUint(is, "corpus_size", &value)) return std::nullopt;
+  result.corpus_size = value;
+  if (!ParseLabeledUint(is, "profiled_ok", &value)) return std::nullopt;
+  result.profiled_ok = value;
+  if (!ParseLabeledUint(is, "shared_accesses", &value)) return std::nullopt;
+  result.shared_accesses = value;
+  if (!ParseLabeledUint(is, "pmc_count", &value)) return std::nullopt;
+  result.pmc_count = value;
+  if (!ParseLabeledUint(is, "total_pmc_pairs", &value)) return std::nullopt;
+  result.total_pmc_pairs = value;
+  if (!ParseLabeledUint(is, "cluster_count", &value)) return std::nullopt;
+  result.cluster_count = value;
+  if (!ParseLabeledUint(is, "tests_generated", &value)) return std::nullopt;
+  result.tests_generated = value;
+  if (!ParseLabeledUint(is, "tests_executed", &value)) return std::nullopt;
+  result.tests_executed = value;
+  if (!ParseLabeledUint(is, "tests_with_bug", &value)) return std::nullopt;
+  result.tests_with_bug = value;
+  if (!ParseLabeledUint(is, "channel_exercised", &value)) return std::nullopt;
+  result.channel_exercised = value;
+  if (!ParseLabeledUint(is, "total_trials", &value)) return std::nullopt;
+  result.total_trials = value;
+  {
+    if (!std::getline(is, line)) {
+      return std::nullopt;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    std::string hex;
+    fields >> tag >> hex;
+    if (fields.fail() || tag != "pmc_digest" || hex.size() != 16) {
+      return std::nullopt;
+    }
+    result.pmc_table_digest = std::strtoull(hex.c_str(), nullptr, 16);
+  }
+  std::ostringstream findings_text;
+  bool terminated = false;
+  while (std::getline(is, line)) {
+    if (line == "endresult") {
+      terminated = true;
+      break;
+    }
+    findings_text << line << "\n";
+  }
+  if (!terminated) {
+    return std::nullopt;
+  }
+  std::optional<FindingsLog> findings = DeserializeFindings(findings_text.str());
+  if (!findings.has_value()) {
+    return std::nullopt;
+  }
+  result.findings = std::move(*findings);
+  return result;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& contents) {
+  return AtomicWriteFile(path, contents);
 }
 
 std::optional<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return std::nullopt;
-  }
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
+  return ReadFileContents(path);
 }
 
 }  // namespace snowboard

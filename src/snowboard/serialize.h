@@ -3,19 +3,33 @@
 // The paper's deployment stores intermediate artifacts between stages (profiles feed a
 // separate identification job; S-FULL's PMC keys are "stored on disk and sorted by
 // frequency"; concurrent tests travel through a Redis queue to workers). These helpers give
-// the same workflow: corpora and PMC sets round-trip through a line-oriented text format
-// that is stable, diffable, and versioned.
+// the same workflow: every stage artifact — corpora, sequential profiles, PMC sets,
+// generated concurrent tests, per-test execution outcomes, findings logs, and whole
+// pipeline results — round-trips through a line-oriented text format that is stable,
+// diffable, and versioned.
+//
+// Robustness contract shared by every Deserialize*: a wrong or flipped version header,
+// truncation at ANY line boundary, or junk bytes yield nullopt — never a crash, and never
+// a silently half-loaded artifact (container formats carry element counts so a clean cut
+// after a complete element is still detected). This is what lets the checkpoint layer
+// treat "parses" as "complete".
 #ifndef SRC_SNOWBOARD_SERIALIZE_H_
 #define SRC_SNOWBOARD_SERIALIZE_H_
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/fuzz/program.h"
+#include "src/snowboard/explorer.h"
 #include "src/snowboard/pmc.h"
+#include "src/snowboard/report.h"
+#include "src/snowboard/select.h"
 
 namespace snowboard {
+
+struct PipelineResult;  // pipeline.h; not included to avoid a cycle.
 
 // --- Programs / corpora. ---
 // One call per line: "call <nr> <kind>:<value> ..." (kind: c = const, r = result-ref);
@@ -34,7 +48,65 @@ std::optional<std::vector<Program>> DeserializeCorpus(const std::string& text);
 std::string SerializePmcs(const std::vector<Pmc>& pmcs);
 std::optional<std::vector<Pmc>> DeserializePmcs(const std::string& text);
 
+// --- Sequential profiles (stage-1 artifact; embeds each profile's program). ---
+
+std::string SerializeProfiles(const std::vector<SequentialProfile>& profiles);
+std::optional<std::vector<SequentialProfile>> DeserializeProfiles(const std::string& text);
+
+// --- Concurrent tests (stage-3 artifact: programs, corpus ids, hint, cluster info). ---
+
+struct SerializedTests {
+  std::vector<ConcurrentTest> tests;
+  size_t cluster_count = 0;
+};
+
+std::string SerializeConcurrentTests(const std::vector<ConcurrentTest>& tests,
+                                     size_t cluster_count);
+std::optional<SerializedTests> DeserializeConcurrentTests(const std::string& text);
+
+// --- Explore outcomes (per-test execution result; the journal payload). ---
+
+std::string SerializeExploreOutcome(const ExploreOutcome& outcome);
+std::optional<ExploreOutcome> DeserializeExploreOutcome(const std::string& text);
+
+// Single-line journal record: the raw outcome PLUS the findings classified from it at
+// execution time. Classification and evidence rendering need the in-process site-name
+// registry, which a cold resumed process lacks for tests it never re-executes — so the
+// journal stores the classified findings and replay never re-classifies.
+// Format: "<test_index> <hex(outcome text)> <n> <hex(finding)>...", where each finding
+// encodes "<issue_id> <trial> <duplicate> <evidence-hex|->" (test_index is the record's).
+struct OutcomeRecord {
+  size_t test_index = 0;
+  ExploreOutcome outcome;
+  std::vector<Finding> findings;
+};
+
+std::string EncodeOutcomeRecord(const OutcomeRecord& record);
+std::optional<OutcomeRecord> DecodeOutcomeRecord(const std::string& record);
+
+// --- Findings logs. ---
+
+std::string SerializeFindings(const FindingsLog& findings);
+std::optional<FindingsLog> DeserializeFindings(const std::string& text);
+
+// --- Pipeline results. ---
+// Deterministic campaign outputs only — stage statistics, the PMC-table digest, and the
+// full findings log. Wall-clock timings and resume bookkeeping (tests_resumed,
+// trials_retried) are excluded on purpose: an uninterrupted campaign and one resumed from
+// any crash point must serialize to byte-identical text, and the crash-sweep harness
+// asserts equality on exactly this string.
+
+std::string SerializePipelineResult(const PipelineResult& result);
+std::optional<PipelineResult> DeserializePipelineResult(const std::string& text);
+
+// --- Byte-string hex coding (console lines and evidence embed arbitrary bytes). ---
+
+std::string HexEncode(const std::string& bytes);
+std::optional<std::string> HexDecode(const std::string& hex);
+
 // --- File helpers (thin wrappers; return false / nullopt on IO failure). ---
+// WriteStringToFile is atomic: it commits via util/fs.h write-temp-then-rename, so a crash
+// or failure never leaves a partially written file at `path`.
 bool WriteStringToFile(const std::string& path, const std::string& contents);
 std::optional<std::string> ReadFileToString(const std::string& path);
 

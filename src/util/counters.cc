@@ -17,6 +17,12 @@ void ResetPipelineCounters() {
   counters.snapshot_restored_bytes = 0;
   counters.snapshot_restored_pages = 0;
   counters.snapshot_restore_nanos = 0;
+  counters.concurrent_tests_run = 0;
+  counters.tests_resumed = 0;
+  counters.trials_retried = 0;
+  counters.checkpoint_writes = 0;
+  counters.checkpoint_bytes = 0;
+  counters.checkpoint_loads = 0;
 }
 
 }  // namespace snowboard

@@ -28,6 +28,17 @@ struct PipelineCounters {
   std::atomic<uint64_t> snapshot_restored_bytes{0};  // Bytes actually copied, both kinds.
   std::atomic<uint64_t> snapshot_restored_pages{0};  // Dirty pages copied by delta restores.
   std::atomic<uint64_t> snapshot_restore_nanos{0};   // Wall time summed across workers.
+
+  // --- Checkpoint/resume (CheckpointStore; crash-safe campaign state). ---
+  // The resume-equivalence proof is stated in these terms: after a resume,
+  // `concurrent_tests_run` must equal total tests minus `tests_resumed` — a resumed run
+  // re-executes zero already-journaled tests.
+  std::atomic<uint64_t> concurrent_tests_run{0};  // Concurrent tests explored live.
+  std::atomic<uint64_t> tests_resumed{0};         // Outcomes replayed from a journal.
+  std::atomic<uint64_t> trials_retried{0};        // Hung-trial retries in the explorer.
+  std::atomic<uint64_t> checkpoint_writes{0};     // CheckpointStore::Put commits.
+  std::atomic<uint64_t> checkpoint_bytes{0};      // Payload bytes across those commits.
+  std::atomic<uint64_t> checkpoint_loads{0};      // Verified Get hits (stage skips).
 };
 
 PipelineCounters& GlobalPipelineCounters();

@@ -1,0 +1,46 @@
+#include "src/util/fault.h"
+
+#include "src/util/hash.h"
+
+namespace snowboard {
+
+namespace {
+
+// Deterministic per-ordinal coin: 1-in-`chance` derived from (seed, ordinal, salt).
+bool SeededChance(uint64_t seed, uint64_t ordinal, uint64_t salt, uint32_t chance) {
+  if (chance == 0) {
+    return false;
+  }
+  return HashAll(seed, ordinal, salt) % chance == 0;
+}
+
+}  // namespace
+
+bool FaultInjector::At(const char* site) {
+  uint64_t ordinal = next_point_.fetch_add(1, std::memory_order_acq_rel);
+  bool hit = static_cast<int64_t>(ordinal) == plan_.crash_at ||
+             SeededChance(plan_.seed, ordinal, /*salt=*/0x1dead, plan_.crash_chance);
+  if (hit && !crashed_.exchange(true, std::memory_order_acq_rel)) {
+    crash_point_.store(static_cast<int64_t>(ordinal), std::memory_order_release);
+    std::lock_guard<std::mutex> lock(site_mutex_);
+    crash_site_ = site;
+  }
+  return crashed();
+}
+
+bool FaultInjector::HangTrial() {
+  uint64_t ordinal = next_hang_point_.fetch_add(1, std::memory_order_acq_rel);
+  bool hit = static_cast<int64_t>(ordinal) == plan_.hang_at ||
+             SeededChance(plan_.seed, ordinal, /*salt=*/0x2417, plan_.hang_chance);
+  if (hit) {
+    hangs_injected_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return hit;
+}
+
+std::string FaultInjector::crash_site() const {
+  std::lock_guard<std::mutex> lock(site_mutex_);
+  return crash_site_;
+}
+
+}  // namespace snowboard

@@ -1,0 +1,74 @@
+// Deterministic fault injection for crash-safety testing.
+//
+// The paper's campaigns run for weeks on a fleet where worker loss is routine (§4.4.1);
+// the checkpoint/resume layer only counts if a run killed at ANY point resumes to the
+// byte-identical result. A FaultInjector is threaded through the crash-relevant code —
+// checkpoint commits (src/util/fs.h), the per-trial explorer loop, the execution claim
+// loop, and journal appends — and each of those spots marks a *fault point*. Points are
+// numbered in global arrival order across threads; the plan picks which ordinal "kills the
+// process". A killed run does not literally abort(): the flag makes every worker unwind at
+// its next fault point and the pipeline return early, leaving only the on-disk checkpoints
+// behind — exactly what a real SIGKILL leaves — so a test can then resume in-process and
+// compare results.
+//
+// The crash-sweep harness first runs a campaign with a no-crash plan to count the fault
+// points, then replays the campaign once per ordinal. Total point count is deterministic
+// for a fixed campaign (same stages, tests, and trials), though with multiple workers the
+// ordinal→site mapping varies with thread interleaving — the resume invariant must (and
+// does) hold regardless of which site an ordinal lands on.
+#ifndef SRC_UTIL_FAULT_H_
+#define SRC_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace snowboard {
+
+class FaultInjector {
+ public:
+  struct Plan {
+    uint64_t seed = 0;
+    // Crash at this 0-based fault-point ordinal (-1 = never).
+    int64_t crash_at = -1;
+    // Random mode: 1-in-`crash_chance` crash per fault point (0 = off), derived from
+    // (seed, ordinal) so a given seed always dies at the same ordinal.
+    uint32_t crash_chance = 0;
+    // Hung-trial injection: report the `hang_at`-th trial attempt (separate ordinal
+    // space) as hung (-1 = never), or 1-in-`hang_chance` per attempt.
+    int64_t hang_at = -1;
+    uint32_t hang_chance = 0;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(const Plan& plan) : plan_(plan) {}
+
+  // Marks one fault point named `site`. Returns true when the caller must abandon its
+  // work and unwind — either this point was chosen as the crash, or the crash already
+  // happened on another thread (a dead process runs nothing anywhere).
+  bool At(const char* site);
+
+  // Marks one trial attempt; true = treat the attempt as hung (discard and retry).
+  bool HangTrial();
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  std::string crash_site() const;
+  int64_t crash_point() const { return crash_point_.load(std::memory_order_acquire); }
+  uint64_t points_seen() const { return next_point_.load(std::memory_order_acquire); }
+  uint64_t hangs_injected() const { return hangs_injected_.load(std::memory_order_acquire); }
+
+ private:
+  Plan plan_;
+  std::atomic<uint64_t> next_point_{0};
+  std::atomic<uint64_t> next_hang_point_{0};
+  std::atomic<uint64_t> hangs_injected_{0};
+  std::atomic<bool> crashed_{false};
+  std::atomic<int64_t> crash_point_{-1};
+  mutable std::mutex site_mutex_;
+  std::string crash_site_;
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_UTIL_FAULT_H_

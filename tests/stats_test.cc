@@ -1,7 +1,15 @@
-// Tests for campaign statistics (cluster-size distributions).
+// Tests for campaign statistics (cluster-size distributions) and the process-wide
+// pipeline counter block they are reported alongside.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "src/snowboard/checkpoint.h"
+#include "src/snowboard/pipeline.h"
 #include "src/snowboard/stats.h"
+#include "src/util/counters.h"
 
 namespace snowboard {
 namespace {
@@ -79,6 +87,61 @@ TEST(StatsTest, FormatMentionsAllFields) {
   EXPECT_NE(text.find("n=3"), std::string::npos);
   EXPECT_NE(text.find("gini="), std::string::npos);
   EXPECT_NE(text.find("max=3"), std::string::npos);
+}
+
+TEST(StatsTest, ResetZeroesResumeAndCheckpointCounters) {
+  PipelineCounters& counters = GlobalPipelineCounters();
+  counters.concurrent_tests_run.fetch_add(3);
+  counters.tests_resumed.fetch_add(2);
+  counters.trials_retried.fetch_add(5);
+  counters.checkpoint_writes.fetch_add(1);
+  counters.checkpoint_bytes.fetch_add(128);
+  counters.checkpoint_loads.fetch_add(4);
+  ResetPipelineCounters();
+  EXPECT_EQ(counters.concurrent_tests_run.load(), 0u);
+  EXPECT_EQ(counters.tests_resumed.load(), 0u);
+  EXPECT_EQ(counters.trials_retried.load(), 0u);
+  EXPECT_EQ(counters.checkpoint_writes.load(), 0u);
+  EXPECT_EQ(counters.checkpoint_bytes.load(), 0u);
+  EXPECT_EQ(counters.checkpoint_loads.load(), 0u);
+}
+
+TEST(StatsTest, CheckpointedPipelineReportsCountersAndResultFields) {
+  PipelineOptions options;
+  options.seed = 11;
+  options.corpus.seed = 5;
+  options.corpus.max_iterations = 6;
+  options.corpus.target_size = 4;
+  options.strategy = Strategy::kSInsPair;
+  options.max_concurrent_tests = 3;
+  options.explorer.num_trials = 2;
+  options.checkpoint_dir =
+      std::string(::testing::TempDir()) + "sb_stats_counters_" + std::to_string(::getpid());
+  std::filesystem::remove_all(options.checkpoint_dir);
+
+  ResetPipelineCounters();
+  PipelineResult result = RunSnowboardPipeline(options);
+  PipelineCounters& counters = GlobalPipelineCounters();
+
+  // A fresh checkpointed run explores everything live and journals as it goes.
+  EXPECT_EQ(counters.concurrent_tests_run.load(), result.tests_executed);
+  EXPECT_EQ(counters.tests_resumed.load(), 0u);
+  EXPECT_EQ(result.tests_resumed, 0u);
+  EXPECT_EQ(result.trials_retried, counters.trials_retried.load());
+  EXPECT_GT(counters.checkpoint_writes.load(), 0u);
+  EXPECT_GT(counters.checkpoint_bytes.load(), 0u);
+
+  // A resume of the completed campaign replays the stored result: loads, no writes of new
+  // campaign state beyond none, and the resumed/executed counters mirror each other.
+  ResetPipelineCounters();
+  PipelineOptions resume_options = options;
+  resume_options.resume = true;
+  PipelineResult resumed = RunSnowboardPipeline(resume_options);
+  EXPECT_EQ(resumed.tests_resumed, resumed.tests_executed);
+  EXPECT_EQ(counters.tests_resumed.load(), resumed.tests_executed);
+  EXPECT_EQ(counters.concurrent_tests_run.load(), 0u);
+  EXPECT_GT(counters.checkpoint_loads.load(), 0u);
+  std::filesystem::remove_all(options.checkpoint_dir);
 }
 
 }  // namespace

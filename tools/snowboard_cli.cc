@@ -10,7 +10,15 @@
 //   snowboard_cli run      --corpus corpus.txt --pmcs pmcs.txt
 //                          [--strategy S-INS-PAIR] [--budget N] [--trials N] [--workers N]
 //   snowboard_cli campaign [--strategy S-INS-PAIR] [--budget N] [--workers N] [--seed S]
+//                          [--checkpoint-dir DIR] [--resume]
+//                          [--inject-faults N] [--fault-seed S]
 //   snowboard_cli strategies
+//
+// Crash safety: with --checkpoint-dir, every stage commits its artifact on completion and
+// execution journals per-test outcomes; after a crash (real or injected), rerunning with
+// --resume replays the journal and recomputes only what was lost, yielding the identical
+// result. --inject-faults N kills the campaign with probability 1/N at each fault point
+// (N=1: die at the very first one); an injected death exits with status 42.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +27,7 @@
 
 #include "src/snowboard/pipeline.h"
 #include "src/snowboard/serialize.h"
+#include "src/util/fault.h"
 #include "src/util/log.h"
 
 namespace snowboard {
@@ -35,16 +44,23 @@ struct Args {
     auto it = values.find(key);
     return it == values.end() ? fallback : std::atol(it->second.c_str());
   }
+  bool Has(const std::string& key) const { return values.count(key) != 0; }
 };
 
 bool ParseArgs(int argc, char** argv, int first, Args* args) {
   for (int i = first; i < argc; i++) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--", 2) != 0 || i + 1 >= argc) {
+    if (std::strncmp(arg, "--", 2) != 0) {
       std::fprintf(stderr, "bad argument: %s\n", arg);
       return false;
     }
-    args->values[arg + 2] = argv[++i];
+    // A flag followed by another flag (or nothing) is valueless: stored as "1"
+    // (--resume; bare --inject-faults means "crash at the first fault point").
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      args->values[arg + 2] = "1";
+    } else {
+      args->values[arg + 2] = argv[++i];
+    }
   }
   return true;
 }
@@ -197,10 +213,45 @@ int CmdCampaign(const Args& args) {
   options.max_concurrent_tests = static_cast<size_t>(args.GetInt("budget", 300));
   options.explorer.num_trials = static_cast<int>(args.GetInt("trials", 24));
   options.num_workers = static_cast<int>(args.GetInt("workers", 4));
+  options.checkpoint_dir = args.Get("checkpoint-dir", "");
+  options.resume = args.Has("resume");
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "campaign: --resume requires --checkpoint-dir\n");
+    return 2;
+  }
+
+  FaultInjector::Plan plan;
+  if (args.Has("inject-faults")) {
+    plan.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 1));
+    long chance = args.GetInt("inject-faults", 1);
+    if (chance <= 1) {
+      plan.crash_at = 0;  // Bare flag: die at the very first fault point.
+    } else {
+      plan.crash_chance = static_cast<uint32_t>(chance);
+    }
+  }
+  FaultInjector fault(plan);
+  if (args.Has("inject-faults")) {
+    options.fault = &fault;
+  }
 
   PipelineResult result = RunSnowboardPipeline(options);
+  if (options.fault != nullptr && options.fault->crashed()) {
+    std::fprintf(stderr,
+                 "campaign: injected crash at fault point %lld (%s); state is in %s -- "
+                 "rerun with --resume to continue\n",
+                 static_cast<long long>(options.fault->crash_point()),
+                 options.fault->crash_site().c_str(),
+                 options.checkpoint_dir.empty() ? "(no checkpoint dir!)"
+                                                : options.checkpoint_dir.c_str());
+    return 42;
+  }
   std::printf("%s: corpus=%zu pmcs=%zu clusters=%zu\n", StrategyName(options.strategy),
               result.corpus_size, result.pmc_count, result.cluster_count);
+  if (result.tests_resumed > 0) {
+    std::printf("resumed %zu of %zu test outcomes from the checkpoint journal\n",
+                result.tests_resumed, result.tests_executed);
+  }
   PrintResult(result);
   return 0;
 }
