@@ -23,6 +23,7 @@
 #include "bench/bench_common.h"
 #include "src/fuzz/generator.h"
 #include "src/ski/baselines.h"
+#include "src/util/trace.h"
 
 namespace snowboard {
 namespace {
@@ -190,6 +191,45 @@ void BM_TrialLoopSteadyState(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(trial), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TrialLoopSteadyState)->Unit(benchmark::kMicrosecond);
+
+// The same loop with the tracer runtime-ENABLED: every trial emits the vm.restore span,
+// restore-bytes counter, and engine.run span into the per-thread buffer. The EXPERIMENTS.md
+// tracing-overhead table is (runtime-off = BM_TrialLoopSteadyState with default build,
+// runtime-on = this, compiled-out = BM_TrialLoopSteadyState with -DSB_TRACE_COMPILED=0).
+void BM_TrialLoopSteadyStateTraced(benchmark::State& state) {
+  KernelVm vm;
+  const Program program = SeedPrograms()[0];
+  SequentialProfile profile = ProfileTest(vm, program, 0);
+  std::vector<Pmc> pmcs = IdentifyPmcs({profile});
+  PmcScheduler scheduler;
+  if (!pmcs.empty()) {
+    scheduler.ResetForTest(pmcs[0].key);
+  }
+  const std::vector<Engine::GuestFn> fns = {MakeProgramRunner(vm.globals(), program, 0),
+                                            MakeProgramRunner(vm.globals(), program, 1)};
+  Engine::RunOptions opts;
+  opts.scheduler = &scheduler;
+  opts.max_instructions = 400'000;
+  Engine::RunResult result;
+  RaceDetector detector;
+  DetectorResult detectors;
+
+  Tracer::Global().Start(/*per_thread_capacity=*/1 << 20);
+  uint64_t trial = 0;
+  for (auto _ : state) {
+    scheduler.SeedTrial(2021 + trial % 8);
+    vm.RestoreSnapshot();
+    vm.engine().RunInto(fns, opts, &result);
+    RunDetectors(result, &detector, &detectors);
+    trial++;
+  }
+  Tracer::Global().Stop();
+  state.counters["trials/s"] =
+      benchmark::Counter(static_cast<double>(trial), benchmark::Counter::kIsRate);
+  state.counters["dropped"] =
+      benchmark::Counter(static_cast<double>(Tracer::Global().TotalDropped()));
+}
+BENCHMARK(BM_TrialLoopSteadyStateTraced)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace snowboard

@@ -21,6 +21,7 @@
 #include "src/sim/sync.h"
 #include "src/util/assert.h"
 #include "src/util/counters.h"
+#include "src/util/trace.h"
 
 namespace snowboard {
 
@@ -80,6 +81,7 @@ bool KernelVm::DeltaRestoreEnabled() {
 }
 
 void KernelVm::RestoreSnapshot() {
+  TRACE_SPAN("vm.restore");
   auto start = std::chrono::steady_clock::now();
   Memory::RestoreStats stats;
   if (DeltaRestoreEnabled()) {
@@ -103,6 +105,7 @@ void KernelVm::RestoreSnapshot() {
   }
   counters.snapshot_restored_bytes.fetch_add(stats.bytes_copied, std::memory_order_relaxed);
   counters.snapshot_restore_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  TRACE_COUNTER("vm.restore_bytes", stats.bytes_copied);
 }
 
 }  // namespace snowboard

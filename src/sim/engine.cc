@@ -5,6 +5,7 @@
 #include "src/sim/site.h"
 #include "src/util/assert.h"
 #include "src/util/strings.h"
+#include "src/util/trace.h"
 
 namespace snowboard {
 
@@ -162,6 +163,7 @@ Engine::RunResult Engine::Run(const std::vector<GuestFn>& vcpu_fns, const RunOpt
 
 void Engine::RunInto(const std::vector<GuestFn>& vcpu_fns, const RunOptions& opts,
                      RunResult* result) {
+  TRACE_SPAN("engine.run", vcpu_fns.size());
   SB_CHECK(!vcpu_fns.empty());
   const int n = static_cast<int>(vcpu_fns.size());
 

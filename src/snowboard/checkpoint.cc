@@ -10,6 +10,7 @@
 #include "src/util/hash.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
+#include "src/util/trace.h"
 
 namespace snowboard {
 
@@ -110,6 +111,7 @@ size_t CheckpointStore::entry_count() const {
 }
 
 bool CheckpointStore::Put(const std::string& name, const std::string& contents) {
+  TRACE_SPAN("checkpoint.put", contents.size());
   if (!ok_ || !ValidName(name)) {
     SB_LOG(kWarn) << "checkpoint: rejecting Put of '" << name << "'";
     return false;
@@ -134,6 +136,7 @@ bool CheckpointStore::Put(const std::string& name, const std::string& contents) 
 }
 
 std::optional<std::string> CheckpointStore::Get(const std::string& name) const {
+  TRACE_SPAN("checkpoint.get");
   Entry expected;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -174,6 +177,7 @@ bool CheckpointStore::Reset() {
 }
 
 bool CheckpointStore::AppendJournal(const std::string& name, const std::string& record) {
+  TRACE_SPAN("checkpoint.journal_append", record.size());
   if (!ok_ || !ValidName(name) || record.find('\n') != std::string::npos) {
     SB_LOG(kWarn) << "checkpoint: rejecting journal append to '" << name << "'";
     return false;
@@ -184,6 +188,7 @@ bool CheckpointStore::AppendJournal(const std::string& name, const std::string& 
 }
 
 std::vector<std::string> CheckpointStore::ReadJournal(const std::string& name) const {
+  TRACE_SPAN("checkpoint.journal_read");
   std::vector<std::string> records;
   if (!ok_ || !ValidName(name)) {
     return records;

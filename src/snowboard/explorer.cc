@@ -8,6 +8,7 @@
 #include "src/util/fault.h"
 #include "src/util/flatmap.h"
 #include "src/util/hash.h"
+#include "src/util/trace.h"
 
 namespace snowboard {
 
@@ -98,6 +99,7 @@ bool PmcScheduler::AfterAccess(VcpuId vcpu, const Access& access) {
   }
   // Line 22: last_access[current_thread] = access.
   last_access_[vcpu] = access;
+  switch_decisions_ += do_switch ? 1 : 0;
   return do_switch;
 }
 
@@ -196,6 +198,7 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
     if (options.fault != nullptr && options.fault->At("explorer.trial")) {
       break;  // Simulated worker death mid-test; the partial outcome must be discarded.
     }
+    TRACE_SPAN("explore.trial", static_cast<uint64_t>(trial));
     outcome.trials_run++;
 
     // A hung attempt (real, or injected by the crash-sweep harness) is discarded before
@@ -213,7 +216,9 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
       attempt++;
       outcome.trials_retried++;
       GlobalPipelineCounters().trials_retried.fetch_add(1, std::memory_order_relaxed);
+      TRACE_INSTANT("explore.trial_retry", static_cast<uint64_t>(trial));
     }
+    TRACE_COUNTER("explore.scheduler_switches", scheduler.switch_decisions());
 
     if (result.hang) {
       outcome.any_hang = true;

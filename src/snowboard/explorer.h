@@ -51,6 +51,14 @@ class PmcMatcher {
 class TrialScheduler : public Scheduler {
  public:
   virtual void SeedTrial(uint64_t seed) {}
+
+  // Switch decisions taken since construction (cumulative; pure telemetry — the explorer
+  // emits it as a per-trial trace counter, so traces show how actively the scheduler
+  // steered each trial). Derived AfterAccess implementations account into it.
+  uint64_t switch_decisions() const { return switch_decisions_; }
+
+ protected:
+  uint64_t switch_decisions_ = 0;
 };
 
 // Baseline scheduler used for Random/Duplicate pairing (Table 3): preempts at memory
@@ -60,7 +68,9 @@ class RandomPreemptScheduler : public TrialScheduler {
   explicit RandomPreemptScheduler(uint32_t period = 16) : period_(period) {}
   void SeedTrial(uint64_t seed) override { rng_.Seed(seed); }
   bool AfterAccess(VcpuId vcpu, const Access& access) override {
-    return rng_.Chance(1, period_);
+    bool do_switch = rng_.Chance(1, period_);
+    switch_decisions_ += do_switch ? 1 : 0;
+    return do_switch;
   }
 
  private:

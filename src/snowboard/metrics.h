@@ -1,0 +1,54 @@
+// Flat per-campaign metrics snapshot — the machine-readable companion to the trace.
+//
+// Where util/trace.h answers "where did the time go, event by event", this module answers
+// "what did the funnel look like, number by number": a flat, canonically ordered key →
+// value list combining the PipelineResult's stage statistics with the process-wide
+// PipelineCounters. KGym-style campaign comparability (PAPERS.md) needs exactly this — a
+// stable scalar schema that CI can diff run-over-run; the report generator
+// (snowboard/report_html.h) embeds the same snapshot in report.json.
+//
+// Key discipline: metric keys are dotted lowercase paths grouped by stage
+// ("funnel.pmcs_identified", "execute.trials_total", "restore.bytes"). Keys whose values
+// depend on run shape (wall clock, worker count, cache/restore counters) are segregated
+// under the "run." prefix so worker-count-invariance tests and CI diffs can mask exactly
+// that prefix and byte-compare the rest.
+#ifndef SRC_SNOWBOARD_METRICS_H_
+#define SRC_SNOWBOARD_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowboard {
+
+struct PipelineOptions;
+struct PipelineResult;
+
+struct Metric {
+  std::string key;
+  double value = 0;
+
+  bool operator==(const Metric&) const = default;
+};
+
+struct MetricsSnapshot {
+  std::vector<Metric> metrics;  // Sorted by key (canonical order).
+
+  // The value for `key`, or `fallback` when absent.
+  double Value(const std::string& key, double fallback = 0) const;
+};
+
+// Builds the snapshot for one completed campaign: deterministic funnel/stage metrics from
+// `result`, run-shape metrics (wall clock, counters) under "run.". The counters read is a
+// process-wide aggregate — callers that run several pipelines in one process should
+// ResetPipelineCounters() between campaigns to keep attribution clean.
+MetricsSnapshot CollectCampaignMetrics(const PipelineOptions& options,
+                                       const PipelineResult& result);
+
+// One metric per line, `{"key": value, ...}`, keys in canonical order. Values are emitted
+// as integers when integral (counts), else with %.6f — byte-stable across platforms.
+std::string SerializeMetricsJson(const MetricsSnapshot& snapshot);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_METRICS_H_

@@ -17,6 +17,7 @@
 #include "src/util/hash.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
+#include "src/util/trace.h"
 
 namespace snowboard {
 
@@ -113,27 +114,31 @@ PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
   // Stage 0: corpus construction stays sequential — admission is a serial fold over the
   // shared coverage map (each admit changes what counts as fresh for every later candidate).
   auto t0 = std::chrono::steady_clock::now();
-  bool loaded = false;
-  if (store != nullptr && options.resume) {
-    if (std::optional<std::string> text = store->Get("corpus")) {
-      if (std::optional<std::vector<Program>> corpus = DeserializeCorpus(*text)) {
-        campaign.corpus = std::move(*corpus);
-        loaded = true;
+  {
+    TRACE_SPAN("stage.corpus");
+    bool loaded = false;
+    if (store != nullptr && options.resume) {
+      if (std::optional<std::string> text = store->Get("corpus")) {
+        if (std::optional<std::vector<Program>> corpus = DeserializeCorpus(*text)) {
+          campaign.corpus = std::move(*corpus);
+          loaded = true;
+        }
+      }
+    }
+    if (!loaded) {
+      {
+        KernelVm vm;
+        CorpusOptions corpus_options = options.corpus;
+        corpus_options.seed = corpus_options.seed ^ options.seed;
+        campaign.corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
+      }
+      if (store != nullptr) {
+        store->Put("corpus", SerializeCorpus(campaign.corpus));
       }
     }
   }
-  if (!loaded) {
-    {
-      KernelVm vm;
-      CorpusOptions corpus_options = options.corpus;
-      corpus_options.seed = corpus_options.seed ^ options.seed;
-      campaign.corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
-    }
-    if (store != nullptr) {
-      store->Put("corpus", SerializeCorpus(campaign.corpus));
-    }
-  }
   campaign.corpus_seconds = SecondsSince(t0);
+  TRACE_COUNTER("funnel.corpus_programs", campaign.corpus.size());
   if (Dead(options)) {
     return campaign;
   }
@@ -143,26 +148,29 @@ PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
   auto t1 = std::chrono::steady_clock::now();
   uint64_t restore_nanos_before =
       GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
-  loaded = false;
-  if (store != nullptr && options.resume) {
-    if (std::optional<std::string> text = store->Get("profiles")) {
-      if (std::optional<std::vector<SequentialProfile>> profiles =
-              DeserializeProfiles(*text)) {
-        // A profile set for a different corpus (size mismatch) is stale, not corrupt.
-        if (profiles->size() == campaign.corpus.size()) {
-          campaign.profiles = std::move(*profiles);
-          loaded = true;
+  {
+    TRACE_SPAN("stage.profile");
+    bool loaded = false;
+    if (store != nullptr && options.resume) {
+      if (std::optional<std::string> text = store->Get("profiles")) {
+        if (std::optional<std::vector<SequentialProfile>> profiles =
+                DeserializeProfiles(*text)) {
+          // A profile set for a different corpus (size mismatch) is stale, not corrupt.
+          if (profiles->size() == campaign.corpus.size()) {
+            campaign.profiles = std::move(*profiles);
+            loaded = true;
+          }
         }
       }
     }
-  }
-  if (!loaded) {
-    ProfileOptions profile_options;
-    profile_options.num_workers = num_workers;
-    profile_options.cache = options.profile_cache;
-    campaign.profiles = ProfileCorpusParallel(campaign.corpus, profile_options);
-    if (store != nullptr && !Dead(options)) {
-      store->Put("profiles", SerializeProfiles(campaign.profiles));
+    if (!loaded) {
+      ProfileOptions profile_options;
+      profile_options.num_workers = num_workers;
+      profile_options.cache = options.profile_cache;
+      campaign.profiles = ProfileCorpusParallel(campaign.corpus, profile_options);
+      if (store != nullptr && !Dead(options)) {
+        store->Put("profiles", SerializeProfiles(campaign.profiles));
+      }
     }
   }
   campaign.profile_seconds = SecondsSince(t1);
@@ -174,32 +182,37 @@ PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
   // Stage 2: the overlap scan shards over disjoint ranges of the ordered nested index and
   // merges in canonical PMC order (num_workers == 0 in the options means "inherit").
   auto t2 = std::chrono::steady_clock::now();
-  loaded = false;
-  if (store != nullptr && options.resume) {
-    if (std::optional<std::string> text = store->Get("pmcs")) {
-      if (std::optional<std::vector<Pmc>> pmcs = DeserializePmcs(*text)) {
-        campaign.pmcs = std::move(*pmcs);
-        loaded = true;
+  {
+    TRACE_SPAN("stage.identify");
+    bool loaded = false;
+    if (store != nullptr && options.resume) {
+      if (std::optional<std::string> text = store->Get("pmcs")) {
+        if (std::optional<std::vector<Pmc>> pmcs = DeserializePmcs(*text)) {
+          campaign.pmcs = std::move(*pmcs);
+          loaded = true;
+        }
+      }
+    }
+    if (!loaded) {
+      PmcIdentifyOptions pmc_options = options.pmc;
+      if (pmc_options.num_workers <= 0) {
+        pmc_options.num_workers = num_workers;
+      }
+      campaign.pmcs = IdentifyPmcs(campaign.profiles, pmc_options);
+      if (store != nullptr && !Dead(options)) {
+        store->Put("pmcs", SerializePmcs(campaign.pmcs));
       }
     }
   }
-  if (!loaded) {
-    PmcIdentifyOptions pmc_options = options.pmc;
-    if (pmc_options.num_workers <= 0) {
-      pmc_options.num_workers = num_workers;
-    }
-    campaign.pmcs = IdentifyPmcs(campaign.profiles, pmc_options);
-    if (store != nullptr && !Dead(options)) {
-      store->Put("pmcs", SerializePmcs(campaign.pmcs));
-    }
-  }
   campaign.identify_seconds = SecondsSince(t2);
+  TRACE_COUNTER("funnel.pmcs_identified", campaign.pmcs.size());
   return campaign;
 }
 
 std::vector<ConcurrentTest> GenerateTestsForStrategy(const PreparedCampaign& campaign,
                                                      const PipelineOptions& options,
                                                      size_t* cluster_count_out) {
+  TRACE_SPAN("stage.cluster");
   std::unique_ptr<CheckpointStore> store = OpenStore(options);
   const std::string entry_name = std::string("tests.") + StrategyName(options.strategy);
   if (store != nullptr && options.resume) {
@@ -246,6 +259,7 @@ std::vector<ConcurrentTest> GenerateTestsForStrategy(const PreparedCampaign& cam
 void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hints,
                      const PmcMatcher* matcher, const PipelineOptions& options,
                      PipelineResult* result) {
+  TRACE_SPAN("stage.execute", tests.size());
   auto t0 = std::chrono::steady_clock::now();
   uint64_t restore_nanos_before =
       GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
@@ -295,6 +309,7 @@ void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hint
         break;
       }
       const ConcurrentTest& test = tests[index];
+      TRACE_SPAN("explore.test", index);
       OutcomeRecord record;
       record.test_index = index;
       if (journaled[index].has_value()) {
@@ -370,6 +385,7 @@ void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hint
 }
 
 PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
+  TRACE_SPAN("pipeline.campaign");
   PipelineResult result;
   const std::string result_name = std::string("result.") + StrategyName(options.strategy);
 
@@ -435,6 +451,8 @@ PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
       GenerateTestsForStrategy(campaign, options, &result.cluster_count);
   result.cluster_seconds = SecondsSince(t0);
   result.tests_generated = tests.size();
+  TRACE_COUNTER("funnel.clusters", result.cluster_count);
+  TRACE_COUNTER("funnel.tests_generated", tests.size());
   if (Dead(options)) {
     return result;
   }
@@ -445,6 +463,8 @@ PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
   if (Dead(options)) {
     return result;
   }
+  TRACE_COUNTER("funnel.tests_with_findings", result.tests_with_bug);
+  TRACE_COUNTER("funnel.findings_total", result.findings.total_findings());
 
   if (!options.checkpoint_dir.empty()) {
     std::unique_ptr<CheckpointStore> store = OpenStore(options);

@@ -7,6 +7,7 @@
 #include "src/sim/stackfilter.h"
 #include "src/snowboard/stats.h"
 #include "src/util/hash.h"
+#include "src/util/trace.h"
 
 namespace snowboard {
 
@@ -51,6 +52,9 @@ namespace {
 // Cache-aware single-test profiling step shared by the serial and parallel corpus walks.
 SequentialProfile ProfileTestCached(KernelVm& vm, const Program& program, int test_id,
                                     const ProfileOptions& options) {
+  // One span per corpus program, covering cache lookup and (on miss) the VM run — the
+  // single site both the serial loop and every parallel worker funnel through.
+  TRACE_SPAN("profile.program", static_cast<uint64_t>(test_id));
   SequentialProfile profile;
   if (options.cache != nullptr && options.cache->Lookup(program, test_id, &profile)) {
     GlobalPipelineCounters().profile_cache_hits++;

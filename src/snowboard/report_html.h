@@ -1,0 +1,95 @@
+// Campaign report generation: one self-contained HTML page + a stable report.json.
+//
+// The paper communicates Snowboard's value as a funnel — Table 2/4 compress millions of
+// PMCs into clusters, a prioritized test set, and finally a handful of findings. This
+// module renders that funnel for ONE campaign run: PMCs found → clustered → tested →
+// findings, per-stage wall/restore/retry breakdowns, and the triaged findings, as
+//   * report.json — a versioned, machine-readable schema (kGym-style comparable artifact;
+//     PAPERS.md) whose deterministic portion is byte-identical for any worker count, and
+//   * report.html — a single file with inline CSS only (no scripts, no external fetches),
+//     so it can be archived next to the checkpoint directory and opened anywhere.
+//
+// Masking contract: every run-shape-dependent value (wall clock, worker count, process
+// counters) lives on a JSON line whose key matches the volatile patterns understood by
+// MaskReportVolatile. Golden tests and CI diffs mask those lines and byte-compare the
+// rest — the funnel, stages, findings, and digests must survive that comparison across
+// 1/2/4 workers (the determinism harness invariant, restated over the report).
+#ifndef SRC_SNOWBOARD_REPORT_HTML_H_
+#define SRC_SNOWBOARD_REPORT_HTML_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/snowboard/metrics.h"
+
+namespace snowboard {
+
+struct PipelineOptions;
+struct PipelineResult;
+
+// One bar of the campaign funnel, top to bottom.
+struct FunnelRow {
+  std::string label;  // Stable identifier ("pmcs_identified").
+  std::string title;  // Human rendering ("PMCs identified").
+  uint64_t value = 0;
+};
+
+struct StageTiming {
+  std::string name;             // "corpus", "profile", "identify", "cluster", "execute".
+  double wall_seconds = 0;
+  double restore_seconds = 0;   // Snapshot-restore share (profile/execute only).
+  bool has_restore = false;
+};
+
+// A triaged finding row (first finding per Table 2 issue id; id 0 = unclassified).
+struct ReportFinding {
+  int issue_id = 0;
+  std::string type;       // "DR" / "AV" / "OV" / "?" for unclassified.
+  std::string summary;
+  std::string subsystem;
+  bool harmful = false;
+  bool benign = false;
+  bool duplicate_input = false;
+  size_t test_index = 0;
+  int trial = -1;
+  std::string evidence;
+};
+
+struct CampaignReport {
+  std::string strategy;
+  uint64_t seed = 0;
+  int num_workers = 0;
+  uint64_t pmc_table_digest = 0;
+  std::vector<FunnelRow> funnel;
+  std::vector<StageTiming> stages;
+  std::vector<ReportFinding> findings;
+  uint64_t trials_retried = 0;
+  uint64_t tests_resumed = 0;
+  MetricsSnapshot metrics;
+};
+
+// Assembles the report for one completed campaign (reads GlobalPipelineCounters via
+// CollectCampaignMetrics — reset counters between campaigns for clean attribution).
+CampaignReport BuildCampaignReport(const PipelineOptions& options,
+                                   const PipelineResult& result);
+
+// The versioned JSON document ("schema": "snowboard-report-v1"). One key per line;
+// volatile values only on maskable lines (see MaskReportVolatile).
+std::string RenderReportJson(const CampaignReport& report);
+
+// The self-contained HTML page (inline CSS, light/dark via prefers-color-scheme).
+std::string RenderReportHtml(const CampaignReport& report);
+
+// Writes report.json and report.html into `dir` (created if missing), atomically.
+bool WriteCampaignReport(const CampaignReport& report, const std::string& dir);
+
+// Replaces the value of every volatile line — keys containing "_seconds", keys prefixed
+// "run." (counter metrics), "num_workers", and "tests_resumed" — with "<masked>". The
+// result is still valid JSON; two campaigns with identical deterministic outputs produce
+// byte-identical masked reports regardless of worker count or machine speed.
+std::string MaskReportVolatile(const std::string& report_json);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_REPORT_HTML_H_

@@ -26,6 +26,26 @@ inline std::string StrPrintf(const char* fmt, ...) {
   return out;
 }
 
+inline void StrAppendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+// Appends formatted text to `out` in place (trace/report emitters build multi-megabyte
+// documents; appending avoids a temporary per line).
+inline void StrAppendf(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed > 0) {
+    size_t old_size = out->size();
+    out->resize(old_size + static_cast<size_t>(needed));
+    std::vsnprintf(out->data() + old_size, static_cast<size_t>(needed) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+}
+
 }  // namespace snowboard
 
 #endif  // SRC_UTIL_STRINGS_H_

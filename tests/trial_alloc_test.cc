@@ -18,6 +18,7 @@
 
 #include "src/fuzz/generator.h"
 #include "src/snowboard/pipeline.h"
+#include "src/util/trace.h"
 
 namespace {
 
@@ -109,6 +110,19 @@ TEST(TrialAllocTest, SteadyStateTrialLoopIsAllocationFree) {
   uint64_t after = AllocationCount();
   EXPECT_EQ(after - before, 0u)
       << (after - before) << " heap allocations in a steady-state trial cycle";
+
+  // Tracing runtime-ENABLED must not reintroduce allocations either: the per-thread
+  // buffer is allocated once at registration (inside the warm-up cycle below) and every
+  // span/counter after that is a fixed-size in-place push. This is the cost-model claim in
+  // util/trace.h, proven against the same loop the zero-alloc guarantee covers.
+  Tracer::Global().Start(/*per_thread_capacity=*/1 << 16);
+  run_cycle();  // Warm-up: registers this thread's trace buffer.
+  before = AllocationCount();
+  run_cycle();
+  after = AllocationCount();
+  Tracer::Global().Stop();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations in a traced steady-state trial cycle";
 }
 
 }  // namespace

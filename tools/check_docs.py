@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Doc-drift gate: fails when the code and the documentation disagree.
+
+Checks, each a one-way inclusion the fast CI lane enforces:
+  1. Every --flag defined in tools/snowboard_cli.cc appears somewhere in README.md.
+  2. Every tests/*_test.cc file is registered in tests/CMakeLists.txt (a test file that
+     exists but never builds is silently dead coverage).
+
+Usage: check_docs.py [repo_root]   (default: parent of this script's directory)
+"""
+
+import pathlib
+import re
+import sys
+
+
+def cli_flags(cli_source: str) -> set:
+    """Flags the CLI accepts: entries of the per-command FlagInfo tables.
+
+    Matching the table entries (rather than every "--word" in the file) keeps prose like
+    "--key value" in comments from being treated as a flag definition.
+    """
+    # A FlagInfo row is {"name", VALUE_NAME, "help"} where VALUE_NAME is nullptr or an
+    # all-caps placeholder ("FILE", "[N]"); CommandInfo rows carry a lowercase summary
+    # there and StrategyTable names are uppercase, so neither matches.
+    return set(re.findall(r'^\s*\{"([a-z][a-z0-9-]*)",\s*(?:nullptr|"\[?[A-Z]+\]?")',
+                          cli_source, re.MULTILINE))
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else
+                        pathlib.Path(__file__).resolve().parent.parent)
+    errors = []
+
+    cli = (root / "tools" / "snowboard_cli.cc").read_text()
+    readme = (root / "README.md").read_text()
+    for flag in sorted(cli_flags(cli)):
+        if f"--{flag}" not in readme:
+            errors.append(f"README.md does not document snowboard_cli flag --{flag}")
+
+    tests_cmake = (root / "tests" / "CMakeLists.txt").read_text()
+    for test_file in sorted((root / "tests").glob("*_test.cc")):
+        if test_file.name not in tests_cmake:
+            errors.append(f"tests/CMakeLists.txt does not register {test_file.name}")
+
+    if errors:
+        for error in errors:
+            print(f"check_docs: {error}", file=sys.stderr)
+        print(f"check_docs: {len(errors)} doc-drift error(s)", file=sys.stderr)
+        return 1
+    print("check_docs: CLI flags documented and test files registered; no drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

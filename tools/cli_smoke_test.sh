@@ -1,0 +1,50 @@
+#!/bin/sh
+# Smoke test for snowboard_cli's argument surface: --help must print the full flag
+# reference and exit 0; unknown commands, unknown flags, and stray positionals must exit 2
+# (the CLI used to silently accept unknown flags and exit 0 — this keeps that regression
+# dead). Pass the CLI binary path as $1.
+set -u
+
+CLI="${1:?usage: cli_smoke_test.sh /path/to/snowboard_cli}"
+fails=0
+
+check_exit() {
+  desc="$1"; want="$2"; got="$3"
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: exit $got, want $want"
+    fails=$((fails + 1))
+  else
+    echo "ok: $desc (exit $got)"
+  fi
+}
+
+help_out=$("$CLI" --help 2>&1); check_exit "--help exits 0" 0 $?
+for needle in corpus identify run campaign strategies \
+    --trace-out --report-dir --checkpoint-dir --resume --inject-faults --fault-seed \
+    --strategy --budget --trials --workers --seed; do
+  case "$help_out" in
+    *"$needle"*) ;;
+    *) echo "FAIL: --help output missing '$needle'"; fails=$((fails + 1)) ;;
+  esac
+done
+
+"$CLI" -h > /dev/null 2>&1; check_exit "-h exits 0" 0 $?
+"$CLI" help > /dev/null 2>&1; check_exit "help command exits 0" 0 $?
+"$CLI" campaign --help > /dev/null 2>&1; check_exit "campaign --help exits 0" 0 $?
+"$CLI" strategies > /dev/null 2>&1; check_exit "strategies exits 0" 0 $?
+
+"$CLI" > /dev/null 2>&1; check_exit "no command exits 2" 2 $?
+"$CLI" frobnicate > /dev/null 2>&1; check_exit "unknown command exits 2" 2 $?
+"$CLI" campaign --no-such-flag > /dev/null 2>&1; check_exit "unknown flag exits 2" 2 $?
+"$CLI" campaign stray-positional > /dev/null 2>&1; check_exit "positional arg exits 2" 2 $?
+"$CLI" campaign --resume extra > /dev/null 2>&1; check_exit "value on boolean flag exits 2" 2 $?
+"$CLI" campaign --resume > /dev/null 2>&1; check_exit "--resume without dir exits 2" 2 $?
+"$CLI" run --strategy NOPE --corpus /dev/null --pmcs /dev/null > /dev/null 2>&1
+check_exit "unknown strategy exits 2" 2 $?
+"$CLI" corpus > /dev/null 2>&1; check_exit "corpus without --out exits 2" 2 $?
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails smoke check(s) failed"
+  exit 1
+fi
+echo "all CLI smoke checks passed"

@@ -5,20 +5,20 @@
 // concurrent tests. Artifacts travel through the serialize.h text formats, so stages can run
 // in separate invocations (or be inspected/edited in between).
 //
-//   snowboard_cli corpus   --out corpus.txt [--size N] [--iters N] [--seed S]
-//   snowboard_cli identify --corpus corpus.txt --out pmcs.txt
-//   snowboard_cli run      --corpus corpus.txt --pmcs pmcs.txt
-//                          [--strategy S-INS-PAIR] [--budget N] [--trials N] [--workers N]
-//   snowboard_cli campaign [--strategy S-INS-PAIR] [--budget N] [--workers N] [--seed S]
-//                          [--checkpoint-dir DIR] [--resume]
-//                          [--inject-faults N] [--fault-seed S]
-//   snowboard_cli strategies
+// Run `snowboard_cli --help` for the full command and flag reference; the usage text below
+// is generated from the same per-command flag tables that argument validation uses, so the
+// two cannot drift apart. Any unknown command, unknown flag, or stray positional argument
+// exits with status 2 after pointing at --help.
 //
 // Crash safety: with --checkpoint-dir, every stage commits its artifact on completion and
 // execution journals per-test outcomes; after a crash (real or injected), rerunning with
 // --resume replays the journal and recomputes only what was lost, yielding the identical
 // result. --inject-faults N kills the campaign with probability 1/N at each fault point
 // (N=1: die at the very first one); an injected death exits with status 42.
+//
+// Observability: --trace-out FILE (run/campaign) records a Chrome trace_event JSON stream
+// (open in about:tracing or https://ui.perfetto.dev); --report-dir DIR (campaign) writes
+// report.json + report.html summarizing the funnel, stage timings, and findings.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,12 +26,108 @@
 #include <string>
 
 #include "src/snowboard/pipeline.h"
+#include "src/snowboard/report_html.h"
 #include "src/snowboard/serialize.h"
 #include "src/util/fault.h"
 #include "src/util/log.h"
+#include "src/util/trace.h"
 
 namespace snowboard {
 namespace {
+
+// One flag a command accepts. `value_name` is nullptr for valueless flags (--resume);
+// "[N]" style names mark flags whose value is optional (--inject-faults).
+struct FlagInfo {
+  const char* name;        // Without the leading "--".
+  const char* value_name;  // nullptr = boolean flag.
+  const char* help;
+};
+
+struct CommandInfo {
+  const char* name;
+  const char* summary;
+  const FlagInfo* flags;
+  size_t num_flags;
+};
+
+constexpr FlagInfo kCorpusFlags[] = {
+    {"out", "FILE", "where to write the corpus (required)"},
+    {"size", "N", "target corpus size (default 80)"},
+    {"iters", "N", "fuzzing iterations (default 300)"},
+    {"seed", "S", "fuzzing seed (default 42)"},
+};
+
+constexpr FlagInfo kIdentifyFlags[] = {
+    {"corpus", "FILE", "corpus file from `corpus` (required)"},
+    {"out", "FILE", "where to write the PMC database (required)"},
+};
+
+constexpr FlagInfo kRunFlags[] = {
+    {"corpus", "FILE", "corpus file from `corpus` (required)"},
+    {"pmcs", "FILE", "PMC database from `identify` (required)"},
+    {"strategy", "NAME", "clustering strategy (default S-INS-PAIR; see `strategies`)"},
+    {"budget", "N", "max concurrent tests to generate (default 300)"},
+    {"trials", "N", "trials per concurrent test (default 24)"},
+    {"workers", "N", "execution worker threads (default 4)"},
+    {"seed", "S", "selection/exploration seed (default 1)"},
+    {"trace-out", "FILE", "write a Chrome trace_event JSON of the run"},
+};
+
+constexpr FlagInfo kCampaignFlags[] = {
+    {"strategy", "NAME", "clustering strategy (default S-INS-PAIR; see `strategies`)"},
+    {"budget", "N", "max concurrent tests to generate (default 300)"},
+    {"trials", "N", "trials per concurrent test (default 24)"},
+    {"workers", "N", "worker threads for every parallel stage (default 4)"},
+    {"seed", "S", "campaign seed (default 1)"},
+    {"corpus-size", "N", "target corpus size (default 80)"},
+    {"corpus-iters", "N", "fuzzing iterations (default 300)"},
+    {"checkpoint-dir", "DIR", "commit stage artifacts + per-test journal here"},
+    {"resume", nullptr, "resume from --checkpoint-dir instead of recomputing"},
+    {"inject-faults", "[N]", "crash with chance 1/N at each fault point (bare: first)"},
+    {"fault-seed", "S", "fault-injection seed (default 1)"},
+    {"trace-out", "FILE", "write a Chrome trace_event JSON of the campaign"},
+    {"report-dir", "DIR", "write report.json + report.html for the campaign"},
+};
+
+constexpr CommandInfo kCommands[] = {
+    {"corpus", "fuzz a corpus of sequential tests", kCorpusFlags,
+     sizeof(kCorpusFlags) / sizeof(kCorpusFlags[0])},
+    {"identify", "profile a corpus and emit the PMC database", kIdentifyFlags,
+     sizeof(kIdentifyFlags) / sizeof(kIdentifyFlags[0])},
+    {"run", "cluster, select, and execute concurrent tests from saved artifacts", kRunFlags,
+     sizeof(kRunFlags) / sizeof(kRunFlags[0])},
+    {"campaign", "run the whole pipeline end to end", kCampaignFlags,
+     sizeof(kCampaignFlags) / sizeof(kCampaignFlags[0])},
+    {"strategies", "list the clustering strategies", nullptr, 0},
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out, "usage: snowboard_cli <command> [--flag value]...\n");
+  std::fprintf(out, "       snowboard_cli --help\n\ncommands:\n");
+  for (const CommandInfo& cmd : kCommands) {
+    std::fprintf(out, "  %-11s %s\n", cmd.name, cmd.summary);
+    for (size_t i = 0; i < cmd.num_flags; i++) {
+      const FlagInfo& flag = cmd.flags[i];
+      std::string left = std::string("--") + flag.name;
+      if (flag.value_name != nullptr) {
+        left += std::string(" ") + flag.value_name;
+      }
+      std::fprintf(out, "    %-24s %s\n", left.c_str(), flag.help);
+    }
+  }
+  std::fprintf(out,
+               "\nexit status: 0 success; 1 I/O or input error; 2 usage error; "
+               "42 injected crash (rerun with --resume).\n");
+}
+
+const CommandInfo* FindCommand(const std::string& name) {
+  for (const CommandInfo& cmd : kCommands) {
+    if (name == cmd.name) {
+      return &cmd;
+    }
+  }
+  return nullptr;
+}
 
 struct Args {
   std::map<std::string, std::string> values;
@@ -47,19 +143,37 @@ struct Args {
   bool Has(const std::string& key) const { return values.count(key) != 0; }
 };
 
-bool ParseArgs(int argc, char** argv, int first, Args* args) {
+// Parses and validates against the command's flag table: unknown flags and stray
+// positional arguments are usage errors (the old parser silently accepted both).
+bool ParseArgs(int argc, char** argv, int first, const CommandInfo& cmd, Args* args) {
   for (int i = first; i < argc; i++) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) {
-      std::fprintf(stderr, "bad argument: %s\n", arg);
+      std::fprintf(stderr, "snowboard_cli %s: unexpected argument '%s'\n", cmd.name, arg);
+      return false;
+    }
+    std::string key = arg + 2;
+    const FlagInfo* flag = nullptr;
+    for (size_t f = 0; f < cmd.num_flags; f++) {
+      if (key == cmd.flags[f].name) {
+        flag = &cmd.flags[f];
+        break;
+      }
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "snowboard_cli %s: unknown flag --%s\n", cmd.name, key.c_str());
       return false;
     }
     // A flag followed by another flag (or nothing) is valueless: stored as "1"
     // (--resume; bare --inject-faults means "crash at the first fault point").
     if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
-      args->values[arg + 2] = "1";
+      args->values[key] = "1";
+    } else if (flag->value_name == nullptr) {
+      std::fprintf(stderr, "snowboard_cli %s: flag --%s takes no value\n", cmd.name,
+                   key.c_str());
+      return false;
     } else {
-      args->values[arg + 2] = argv[++i];
+      args->values[key] = argv[++i];
     }
   }
   return true;
@@ -81,6 +195,31 @@ const std::map<std::string, Strategy>& StrategyTable() {
   };
   return *table;
 }
+
+// RAII tracing session bound to --trace-out: starts the tracer when a path is given and
+// writes the merged trace on the way out (normal return, error, or injected crash alike).
+class TraceSession {
+ public:
+  explicit TraceSession(const char* path) : path_(path == nullptr ? "" : path) {
+    if (!path_.empty()) {
+      Tracer::Global().Start();
+    }
+  }
+  ~TraceSession() {
+    if (path_.empty()) {
+      return;
+    }
+    Tracer::Global().Stop();
+    if (!Tracer::Global().WriteChromeTrace(path_)) {
+      std::fprintf(stderr, "warning: cannot write trace to %s\n", path_.c_str());
+    } else {
+      std::printf("trace written to %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+};
 
 int CmdStrategies() {
   for (const auto& [name, strategy] : StrategyTable()) {
@@ -158,6 +297,13 @@ int CmdRun(const Args& args) {
     std::fprintf(stderr, "run: --corpus and --pmcs are required\n");
     return 2;
   }
+  // Usage errors before I/O errors: a bad strategy name is status 2 even if the input
+  // files are also unreadable.
+  auto strategy_it = StrategyTable().find(args.Get("strategy", "S-INS-PAIR"));
+  if (strategy_it == StrategyTable().end()) {
+    std::fprintf(stderr, "run: unknown strategy (see `snowboard_cli strategies`)\n");
+    return 2;
+  }
   std::optional<std::string> corpus_text = ReadFileToString(corpus_path);
   std::optional<std::string> pmcs_text = ReadFileToString(pmcs_path);
   if (!corpus_text.has_value() || !pmcs_text.has_value()) {
@@ -170,12 +316,8 @@ int CmdRun(const Args& args) {
     std::fprintf(stderr, "run: malformed input files\n");
     return 1;
   }
-  auto strategy_it = StrategyTable().find(args.Get("strategy", "S-INS-PAIR"));
-  if (strategy_it == StrategyTable().end()) {
-    std::fprintf(stderr, "run: unknown strategy (see `snowboard_cli strategies`)\n");
-    return 2;
-  }
 
+  TraceSession trace(args.Get("trace-out", nullptr));
   PreparedCampaign campaign;
   campaign.corpus = *corpus;
   campaign.pmcs = *pmcs;
@@ -235,6 +377,7 @@ int CmdCampaign(const Args& args) {
     options.fault = &fault;
   }
 
+  TraceSession trace(args.Get("trace-out", nullptr));
   PipelineResult result = RunSnowboardPipeline(options);
   if (options.fault != nullptr && options.fault->crashed()) {
     std::fprintf(stderr,
@@ -253,20 +396,46 @@ int CmdCampaign(const Args& args) {
                 result.tests_resumed, result.tests_executed);
   }
   PrintResult(result);
+
+  const char* report_dir = args.Get("report-dir", nullptr);
+  if (report_dir != nullptr) {
+    CampaignReport report = BuildCampaignReport(options, result);
+    if (!WriteCampaignReport(report, report_dir)) {
+      std::fprintf(stderr, "campaign: cannot write report to %s\n", report_dir);
+      return 1;
+    }
+    std::printf("report written to %s/report.html (+ report.json)\n", report_dir);
+  }
   return 0;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: snowboard_cli <corpus|identify|run|campaign|strategies> "
-                 "[--key value]...\n");
+    PrintUsage(stderr);
+    return 2;
+  }
+  // --help anywhere on the line wins (including after a command), before any validation.
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(stdout);
+      return 0;
+    }
+  }
+  std::string command = argv[1];
+  if (command == "help") {
+    PrintUsage(stdout);
+    return 0;
+  }
+  const CommandInfo* cmd = FindCommand(command);
+  if (cmd == nullptr) {
+    std::fprintf(stderr, "snowboard_cli: unknown command '%s' (try --help)\n",
+                 command.c_str());
     return 2;
   }
   SetLogLevel(LogLevel::kInfo);
-  std::string command = argv[1];
   Args args;
-  if (!ParseArgs(argc, argv, 2, &args)) {
+  if (!ParseArgs(argc, argv, 2, *cmd, &args)) {
+    std::fprintf(stderr, "run `snowboard_cli --help` for the full flag reference\n");
     return 2;
   }
   if (command == "strategies") {
@@ -281,11 +450,7 @@ int Main(int argc, char** argv) {
   if (command == "run") {
     return CmdRun(args);
   }
-  if (command == "campaign") {
-    return CmdCampaign(args);
-  }
-  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-  return 2;
+  return CmdCampaign(args);
 }
 
 }  // namespace
