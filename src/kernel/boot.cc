@@ -62,6 +62,7 @@ KernelGlobals BootKernel(Engine& engine) {
 }
 
 KernelVm::KernelVm() : engine_(1u << 20) {
+  GlobalPipelineCounters().vm_boots.fetch_add(1, std::memory_order_relaxed);
   globals_ = BootKernel(engine_);
   snapshot_ = engine_.mem().TakeSnapshot();
 }

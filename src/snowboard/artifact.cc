@@ -1,0 +1,32 @@
+#include "src/snowboard/artifact.h"
+
+#include <chrono>
+
+namespace snowboard {
+
+namespace {
+
+uint64_t NowSteadyNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+StageTimer::StageTimer()
+    : start_nanos_(NowSteadyNanos()),
+      restore_nanos_before_(
+          GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed)) {}
+
+double StageTimer::Seconds() const {
+  return static_cast<double>(NowSteadyNanos() - start_nanos_) * 1e-9;
+}
+
+double StageTimer::RestoreSeconds() const {
+  uint64_t now =
+      GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
+  return static_cast<double>(now - restore_nanos_before_) * 1e-9;
+}
+
+}  // namespace snowboard

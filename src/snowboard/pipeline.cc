@@ -1,14 +1,17 @@
 #include "src/snowboard/pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
 
 #include "src/sim/site.h"
+#include "src/snowboard/artifact.h"
 #include "src/snowboard/checkpoint.h"
+#include "src/snowboard/profile.h"
 #include "src/snowboard/serialize.h"
 #include "src/snowboard/stats.h"
 #include "src/util/assert.h"
@@ -18,20 +21,16 @@
 #include "src/util/log.h"
 #include "src/util/strings.h"
 #include "src/util/trace.h"
+#include "src/util/workpool.h"
 
 namespace snowboard {
 
 namespace {
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-
-// Seconds of snapshot-restore time accumulated process-wide since `nanos_before` (read the
-// counter before the stage, call this after).
-double RestoreSecondsSince(uint64_t nanos_before) {
-  uint64_t now = GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
-  return static_cast<double>(now - nanos_before) * 1e-9;
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  double seconds = std::chrono::duration<double>(b - a).count();
+  return seconds > 0 ? seconds : 0;
 }
 
 // Classifies one test's raw outcome into findings. This must run in the process that
@@ -75,8 +74,7 @@ bool Dead(const PipelineOptions& options) {
 }
 
 // Opens the campaign's checkpoint store, or null when checkpointing is off/unavailable.
-// Each stage opens its own handle; the manifest on disk is the source of truth between
-// stages, so sequential opens always observe every prior commit.
+// The store is internally synchronized, so one handle may serve every stage and worker.
 std::unique_ptr<CheckpointStore> OpenStore(const PipelineOptions& options) {
   if (options.checkpoint_dir.empty()) {
     return nullptr;
@@ -90,11 +88,12 @@ std::unique_ptr<CheckpointStore> OpenStore(const PipelineOptions& options) {
   return store;
 }
 
-// Hash of every option that shapes the pipeline's deterministic outputs. num_workers,
-// checkpointing, and fault injection are deliberately excluded: a campaign may be resumed
-// with a different worker count (the determinism invariant guarantees identical results),
-// but any fingerprint mismatch means the directory's artifacts answer a different question
-// and must be discarded.
+// Hash of every option that shapes the pipeline's deterministic outputs. num_workers, the
+// streaming/barrier engine choice, checkpointing, and fault injection are deliberately
+// excluded: a campaign may be resumed with a different worker count or under the other
+// engine (the determinism invariant guarantees identical results), but any fingerprint
+// mismatch means the directory's artifacts answer a different question and must be
+// discarded.
 uint64_t OptionsFingerprint(const PipelineOptions& o) {
   return HashAll(o.seed, o.corpus.seed, o.corpus.max_iterations, o.corpus.target_size,
                  o.corpus.use_seeds, o.pmc.max_keys_per_address, o.pmc.max_pmcs,
@@ -104,290 +103,829 @@ uint64_t OptionsFingerprint(const PipelineOptions& o) {
                  o.explorer.adopt_incidental, o.explorer.max_trial_retries);
 }
 
+// The worker count the identify stage actually uses: its own option, or the pipeline-wide
+// count when unset.
+int IdentifyWorkers(const PipelineOptions& options) {
+  return options.pmc.num_workers > 0 ? options.pmc.num_workers : options.ResolvedWorkers();
+}
+
+// --- Raw stage computations (shared verbatim by both engines) ---------------------------
+
+// Corpus construction: admission is a serial fold over the shared coverage map (each admit
+// changes what counts as fresh for every later candidate), so it runs on one VM.
+std::vector<Program> ComputeCorpus(KernelVm& vm, const PipelineOptions& options) {
+  CorpusOptions corpus_options = options.corpus;
+  corpus_options.seed = corpus_options.seed ^ options.seed;
+  return CorpusPrograms(BuildCorpus(vm, corpus_options));
+}
+
+// Test generation for the campaign's strategy: the pairing baselines need only the corpus;
+// PMC strategies cluster the identified table and select exemplar pairs.
+SerializedTests ComputeTests(const std::vector<Program>& corpus,
+                             const std::vector<Pmc>& pmcs, const PipelineOptions& options) {
+  SerializedTests out;
+  if (!StrategyUsesPmcs(options.strategy)) {
+    out.tests = options.strategy == Strategy::kRandomPairing
+                    ? GenerateRandomPairs(corpus, options.max_concurrent_tests, options.seed)
+                    : GenerateDuplicatePairs(corpus, options.max_concurrent_tests,
+                                             options.seed);
+    return out;
+  }
+  std::vector<PmcCluster> clusters =
+      ClusterPmcs(pmcs, options.strategy, options.ResolvedWorkers());
+  out.cluster_count = clusters.size();
+  SelectOptions select;
+  select.seed = options.seed * 0x9e3779b9ull + 17;
+  select.max_tests = options.max_concurrent_tests;
+  select.randomize_cluster_order = options.strategy == Strategy::kRandomSInsPair;
+  out.tests = SelectConcurrentTests(pmcs, clusters, corpus, select);
+  return out;
+}
+
+// --- Stage definitions (artifact.h) -----------------------------------------------------
+
+StageDef<std::vector<Program>> CorpusStageDef(const PipelineOptions& options) {
+  StageDef<std::vector<Program>> def;
+  def.span = "stage.corpus";
+  def.entry = "corpus";
+  def.serialize = [](const std::vector<Program>& corpus) { return SerializeCorpus(corpus); };
+  def.deserialize = [](const std::string& text) { return DeserializeCorpus(text); };
+  def.funnel = "funnel.corpus_programs";
+  def.funnel_value = [](const std::vector<Program>& corpus) { return corpus.size(); };
+  def.compute = [&options]() {
+    // One pool worker supplies the VM (reused across stages rather than booted here).
+    std::vector<Program> corpus;
+    WorkerPool::Global().Run(1, [&](PoolWorker& worker) {
+      corpus = ComputeCorpus(PoolWorkerVm(worker), options);
+    });
+    return corpus;
+  };
+  return def;
+}
+
+StageDef<std::vector<SequentialProfile>> ProfilesStageDef(
+    const PipelineOptions& options, const std::vector<Program>& corpus) {
+  StageDef<std::vector<SequentialProfile>> def;
+  def.span = "stage.profile";
+  def.entry = "profiles";
+  def.serialize = [](const std::vector<SequentialProfile>& profiles) {
+    return SerializeProfiles(profiles);
+  };
+  def.deserialize = [](const std::string& text) { return DeserializeProfiles(text); };
+  // A profile set for a different corpus (size mismatch) is stale, not corrupt.
+  def.validate = [&corpus](const std::vector<SequentialProfile>& profiles) {
+    return profiles.size() == corpus.size();
+  };
+  def.compute = [&options, &corpus]() {
+    ProfileOptions profile_options;
+    profile_options.num_workers = options.ResolvedWorkers();
+    profile_options.cache = options.profile_cache;
+    return ProfileCorpusParallel(corpus, profile_options);
+  };
+  return def;
+}
+
+StageDef<std::vector<Pmc>> PmcsStageDef(const PipelineOptions& options,
+                                        const std::vector<SequentialProfile>& profiles) {
+  StageDef<std::vector<Pmc>> def;
+  def.span = "stage.identify";
+  def.entry = "pmcs";
+  def.serialize = [](const std::vector<Pmc>& pmcs) { return SerializePmcs(pmcs); };
+  def.deserialize = [](const std::string& text) { return DeserializePmcs(text); };
+  def.funnel = "funnel.pmcs_identified";
+  def.funnel_value = [](const std::vector<Pmc>& pmcs) { return pmcs.size(); };
+  def.compute = [&options, &profiles]() {
+    PmcIdentifyOptions pmc_options = options.pmc;
+    pmc_options.num_workers = IdentifyWorkers(options);
+    return IdentifyPmcs(profiles, pmc_options);
+  };
+  return def;
+}
+
+StageDef<SerializedTests> TestsStageDef(const PipelineOptions& options,
+                                        const std::vector<Program>& corpus,
+                                        const std::vector<Pmc>& pmcs) {
+  StageDef<SerializedTests> def;
+  def.span = "stage.cluster";
+  def.entry = std::string("tests.") + StrategyName(options.strategy);
+  def.serialize = [](const SerializedTests& tests) {
+    return SerializeConcurrentTests(tests.tests, tests.cluster_count);
+  };
+  def.deserialize = [](const std::string& text) { return DeserializeConcurrentTests(text); };
+  def.compute = [&options, &corpus, &pmcs]() { return ComputeTests(corpus, pmcs, options); };
+  return def;
+}
+
+StageDef<PipelineResult> ResultStageDef(const PipelineOptions& options) {
+  StageDef<PipelineResult> def;
+  def.span = "stage.result";
+  def.entry = std::string("result.") + StrategyName(options.strategy);
+  def.serialize = [](const PipelineResult& result) { return SerializePipelineResult(result); };
+  def.deserialize = [](const std::string& text) { return DeserializePipelineResult(text); };
+  return def;
+}
+
+// --- Execution helpers (shared by both engines) -----------------------------------------
+
+// Pre-parses the execution journal into a by-index replay table. A record whose test index
+// is outside the current test list cannot belong to this campaign's tests (a mismatched
+// journal would otherwise silently masquerade as progress): it is dropped, counted in
+// GlobalPipelineCounters().journal_records_dropped, and warned about once per build.
+std::vector<std::optional<OutcomeRecord>> BuildJournalTable(const StageRunner& runner,
+                                                            const std::string& journal_name,
+                                                            size_t num_tests) {
+  std::vector<std::optional<OutcomeRecord>> journaled(num_tests);
+  if (runner.store() == nullptr || !runner.resume()) {
+    return journaled;
+  }
+  size_t dropped = 0;
+  for (const std::string& record : runner.store()->ReadJournal(journal_name)) {
+    std::optional<OutcomeRecord> decoded = DecodeOutcomeRecord(record);
+    if (!decoded.has_value()) {
+      continue;  // Torn tail record (documented journal tolerance).
+    }
+    if (decoded->test_index >= num_tests) {
+      dropped++;
+      continue;
+    }
+    size_t index = decoded->test_index;
+    journaled[index] = std::move(*decoded);
+  }
+  if (dropped > 0) {
+    GlobalPipelineCounters().journal_records_dropped.fetch_add(dropped,
+                                                               std::memory_order_relaxed);
+    SB_LOG(kWarn) << "checkpoint: dropped " << dropped << " journal record(s) of "
+                  << journal_name << " with test indices past the " << num_tests
+                  << "-test list (journal belongs to a different test set?)";
+  }
+  return journaled;
+}
+
+// Executes one live (non-journaled) concurrent test on `vm` and journals its outcome.
+// Returns nullopt when an injected crash fired mid-test or at the journal append: the
+// record then "never existed" in this process and only the on-disk journal decides what
+// survived.
+std::optional<OutcomeRecord> RunOneExploreTest(KernelVm& vm, const ConcurrentTest& test,
+                                               size_t index, bool use_pmc_hints,
+                                               const PmcMatcher* matcher,
+                                               const PipelineOptions& options,
+                                               const StageRunner& runner,
+                                               const std::string& journal_name) {
+  OutcomeRecord record;
+  record.test_index = index;
+  ExplorerOptions explorer = options.explorer;
+  // Per-test seed derived from the test index: trial schedules are independent of which
+  // worker runs the test and in what order.
+  explorer.seed = options.explorer.seed + index * 1000003ull;
+  explorer.fault = runner.fault();
+  if (use_pmc_hints) {
+    record.outcome = ExploreConcurrentTest(vm, test, matcher, explorer);
+  } else {
+    RandomPreemptScheduler scheduler;
+    record.outcome =
+        ExploreWithScheduler(vm, test, scheduler, /*check_channel=*/false, explorer);
+  }
+  if (runner.dead()) {
+    return std::nullopt;  // The trial loop died mid-test; its partial outcome never existed.
+  }
+  record.findings = ExtractFindings(test, record.outcome, index);
+  if (runner.store() != nullptr) {
+    runner.store()->AppendJournal(journal_name, EncodeOutcomeRecord(record));
+    if (runner.dead()) {
+      return std::nullopt;  // Died at the append; the on-disk journal decides what survived.
+    }
+  }
+  GlobalPipelineCounters().concurrent_tests_run.fetch_add(1, std::memory_order_relaxed);
+  return record;
+}
+
+// Folds per-test outcome slots into the result in test-index order. FindingsLog::Record
+// keeps the lowest-test-index finding per issue, so this fold lands on the same final
+// state as any merge order — which is what makes the fold byte-identical between the
+// barrier and streaming engines and across worker counts. Empty slots (tests never run
+// because an injected crash fired first) are skipped.
+void FoldExploreOutcomes(const std::vector<std::optional<OutcomeRecord>>& outcomes,
+                         const std::vector<uint8_t>& resumed, PipelineResult* result) {
+  for (size_t i = 0; i < outcomes.size(); i++) {
+    if (!outcomes[i].has_value()) {
+      continue;
+    }
+    const OutcomeRecord& record = *outcomes[i];
+    result->tests_executed++;
+    result->total_trials += static_cast<uint64_t>(record.outcome.trials_run);
+    result->trials_retried += static_cast<uint64_t>(record.outcome.trials_retried);
+    if (record.outcome.bug_found) {
+      result->tests_with_bug++;
+    }
+    if (record.outcome.channel_exercised) {
+      result->channel_exercised++;
+    }
+    if (resumed[i]) {
+      result->tests_resumed++;
+    }
+    for (const Finding& finding : record.findings) {
+      result->findings.Record(finding);
+    }
+  }
+}
+
+// One explore slot: journal replay or live execution. Writes only slot `index` of
+// `outcomes`/`resumed` (slot-exclusive, so no locking). Returns false when an injected
+// crash consumed the test.
+bool ExploreOneSlot(PoolWorker& worker, const std::vector<ConcurrentTest>& tests,
+                    size_t index, bool use_pmc_hints, const PmcMatcher* matcher,
+                    const PipelineOptions& options, const StageRunner& runner,
+                    const std::string& journal_name,
+                    const std::vector<std::optional<OutcomeRecord>>& journaled,
+                    std::vector<std::optional<OutcomeRecord>>* outcomes,
+                    std::vector<uint8_t>* resumed) {
+  TRACE_SPAN("explore.test", index);
+  if (journaled[index].has_value()) {
+    // Replayed from the journal: no VM involved (a fully journaled resume therefore
+    // never boots one).
+    (*outcomes)[index] = journaled[index];
+    (*resumed)[index] = 1;
+    GlobalPipelineCounters().tests_resumed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  std::optional<OutcomeRecord> record =
+      RunOneExploreTest(PoolWorkerVm(worker), tests[index], index, use_pmc_hints, matcher,
+                        options, runner, journal_name);
+  if (!record.has_value()) {
+    return false;
+  }
+  (*outcomes)[index] = std::move(*record);
+  return true;
+}
+
+// --- Streaming engine -------------------------------------------------------------------
+
+// Runs the whole campaign as one pool job over a dependency DAG of work items instead of a
+// sequence of stage barriers:
+//
+//   corpus ──► profile[i] ──► fold (in corpus order) ──► finish ──► scan[p] ──► merge
+//      │                                                                         │
+//      └────────────► generate (baselines)            generate (PMC) ◄───────────┘
+//                          │                                │
+//                          └──────────► explore[t] ◄────────┘
+//
+// Workers claim whatever is runnable; completed profiles fold into the PmcAccumulator
+// while the profile tail is still executing, and exploration starts the moment the test
+// list (and, for PMC strategies, the matcher) resolves — for the pairing baselines and for
+// resumes whose test list is checkpointed, that genuinely overlaps the profile tail.
+//
+// Determinism: every ordered computation is pinned to the same order the barrier engine
+// uses — profiles fold strictly in corpus-index order (single folder at a time, advancing
+// over the completed prefix), partition scans write partition-exclusive slices merged in
+// partition order, and explore outcomes land in per-test slots folded in index order. The
+// scheduling freedom the DAG adds therefore never reaches a deterministic output, which is
+// what the streaming-vs-barrier A/B in pipeline_determinism_test locks in.
+//
+// Fault injection: claiming a pre-explore item passes the "pool.claim" fault point,
+// claiming an explore item passes "execute.claim" (same site as the barrier engine), and
+// explorer trials pass their own sites inside the explorer. An injected crash flips
+// `crashed_`; every worker unwinds at its next claim, exactly as a SIGKILL would.
+class StreamingEngine {
+ public:
+  StreamingEngine(const PipelineOptions& options, CheckpointStore* store)
+      : options_(options),
+        runner_(store, options.fault, options.resume),
+        use_pmc_(StrategyUsesPmcs(options.strategy)),
+        journal_name_(std::string("execute.") + StrategyName(options.strategy)),
+        accumulator_(options.pmc) {}
+
+  void Run(PipelineResult* result) {
+    TRACE_SPAN("engine.streaming");
+    t_start_ = std::chrono::steady_clock::now();
+    t_corpus_ = t_profiles_ = t_pmcs_ = t_tests_ = t_start_;
+    restore_mark_corpus_ = restore_mark_profiles_ = restore_mark_tests_ = RestoreNanos();
+
+    ResolveFromCheckpoint();
+    bool all_done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      all_done = AllDoneLocked();
+    }
+    if (!all_done && !runner_.dead()) {
+      WorkerPool::Global().Run(options_.ResolvedWorkers(),
+                               [this](PoolWorker& worker) { WorkerLoop(worker); });
+    }
+    Fill(result);
+  }
+
+ private:
+  enum class Kind {
+    kNone,
+    kCorpus,          // Build (or it was loaded) the corpus.
+    kProfile,         // Profile corpus[arg].
+    kFold,            // Fold completed profiles into the accumulator, in corpus order.
+    kFinishProfiles,  // Persist profiles, seal + partition the access index.
+    kScan,            // Overlap-scan partition arg.
+    kMergePmcs,       // Merge partition slices, persist the PMC table.
+    kGenerate,        // Cluster/select (or pair) the test list, build replay table.
+    kExplore,         // Execute (or replay) test arg.
+  };
+  struct Item {
+    Kind kind = Kind::kNone;
+    size_t arg = 0;
+  };
+
+  static uint64_t RestoreNanos() {
+    return GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
+  }
+
+  // Up-front checkpoint resolution on the caller thread: loads run before any worker
+  // starts, so the DAG begins from the furthest checkpointed frontier.
+  void ResolveFromCheckpoint() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Artifact<std::vector<Program>> corpus;
+    if (runner_.TryLoad(CorpusStageDef(options_), &corpus)) {
+      corpus_ = std::move(corpus.value);
+      corpus_loaded_ = true;
+      CorpusResolvedLocked();
+    }
+    if (corpus_loaded_) {
+      // Profiles are only trusted against a loaded corpus (their staleness gate needs the
+      // exact corpus they were computed from).
+      Artifact<std::vector<SequentialProfile>> profiles;
+      if (runner_.TryLoad(ProfilesStageDef(options_, corpus_), &profiles)) {
+        profiles_ = std::move(profiles.value);
+        profiles_loaded_ = true;
+        profile_next_ = profiles_.size();
+        std::fill(profile_done_.begin(), profile_done_.end(), uint8_t{1});
+      }
+    }
+    Artifact<std::vector<Pmc>> pmcs;
+    if (runner_.TryLoad(PmcsStageDef(options_, profiles_), &pmcs)) {
+      pmcs_ = std::move(pmcs.value);
+      pmcs_loaded_ = true;
+      // The identified table is settled: profiles (loaded or recomputed) only feed stats,
+      // so the fold machinery runs but skips the accumulator.
+      fold_into_accumulator_ = false;
+      PmcsResolvedLocked();
+    }
+    Artifact<SerializedTests> tests;
+    if (runner_.TryLoad(TestsStageDef(options_, corpus_, pmcs_), &tests)) {
+      tests_loaded_ = true;
+      TestsResolvedLocked(std::move(tests.value));
+    }
+  }
+
+  void WorkerLoop(PoolWorker& worker) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (crashed_ || AllDoneLocked()) {
+        return;
+      }
+      Item item = ClaimLocked();
+      if (item.kind == Kind::kNone) {
+        cv_.wait(lock);
+        continue;
+      }
+      lock.unlock();
+      // Claiming real work is a kill point: "execute.claim" for concurrent tests (the same
+      // site the barrier engine fires), "pool.claim" for the pre-explore stages. The
+      // coordination items (fold / finish / merge) are deliberately NOT fault points: how
+      // many times they are claimed depends on thread timing, and the crash-sweep harness
+      // needs the campaign's total fault-point count to be deterministic. Their crash
+      // coverage comes from the fs.commit points inside the artifacts they persist.
+      FaultInjector* fault = runner_.fault();
+      bool countable_claim = item.kind == Kind::kCorpus || item.kind == Kind::kProfile ||
+                             item.kind == Kind::kScan || item.kind == Kind::kGenerate ||
+                             item.kind == Kind::kExplore;
+      if (fault != nullptr && countable_claim &&
+          fault->At(item.kind == Kind::kExplore ? "execute.claim" : "pool.claim")) {
+        CrashOut();
+        return;
+      }
+      if (!Execute(item, worker)) {
+        CrashOut();
+        return;
+      }
+      lock.lock();
+    }
+  }
+
+  void CrashOut() {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_ = true;
+    cv_.notify_all();
+  }
+
+  bool AllDoneLocked() const {
+    return corpus_done_ && profiles_complete_ && pmcs_done_ && tests_ready_ &&
+           explores_done_ == tests_.size();
+  }
+
+  // Work-claiming priority: cheap unblocking transitions first, then the long-running VM
+  // items. Profile items outrank explore items so the profile tail drains at full width;
+  // explore picks up the slack once fewer profiles remain than workers.
+  Item ClaimLocked() {
+    if (!corpus_done_ && !corpus_claimed_) {
+      corpus_claimed_ = true;
+      return {Kind::kCorpus, 0};
+    }
+    if (corpus_done_ && !profiles_complete_) {
+      if (!folding_ && fold_next_ < profiles_.size() && profile_done_[fold_next_]) {
+        folding_ = true;
+        return {Kind::kFold, 0};
+      }
+      if (!finish_profiles_claimed_ && !folding_ && fold_next_ == profiles_.size()) {
+        finish_profiles_claimed_ = true;
+        return {Kind::kFinishProfiles, 0};
+      }
+    }
+    if (profiles_complete_ && fold_into_accumulator_ && !pmcs_done_ && !merge_claimed_ &&
+        scans_done_ == num_partitions_) {
+      merge_claimed_ = true;
+      return {Kind::kMergePmcs, 0};
+    }
+    if (!tests_resolved_ && !generate_claimed_ && corpus_done_ &&
+        (!use_pmc_ || pmcs_done_)) {
+      generate_claimed_ = true;
+      return {Kind::kGenerate, 0};
+    }
+    if (scan_ready_ && scan_next_ < num_partitions_) {
+      return {Kind::kScan, scan_next_++};
+    }
+    if (corpus_done_ && !profiles_loaded_ && profile_next_ < corpus_.size()) {
+      return {Kind::kProfile, profile_next_++};
+    }
+    if (tests_ready_ && explore_next_ < tests_.size()) {
+      return {Kind::kExplore, explore_next_++};
+    }
+    return {Kind::kNone, 0};
+  }
+
+  bool Execute(Item item, PoolWorker& worker) {
+    switch (item.kind) {
+      case Kind::kCorpus:
+        return ExecuteCorpus(worker);
+      case Kind::kProfile:
+        return ExecuteProfile(worker, item.arg);
+      case Kind::kFold:
+        return ExecuteFold();
+      case Kind::kFinishProfiles:
+        return ExecuteFinishProfiles();
+      case Kind::kScan:
+        return ExecuteScan(item.arg);
+      case Kind::kMergePmcs:
+        return ExecuteMergePmcs();
+      case Kind::kGenerate:
+        return ExecuteGenerate();
+      case Kind::kExplore:
+        return ExecuteExplore(worker, item.arg);
+      case Kind::kNone:
+        break;
+    }
+    return true;
+  }
+
+  // Caller holds mu_. Sizes the profile plumbing and stamps the corpus event.
+  void CorpusResolvedLocked() {
+    corpus_done_ = true;
+    profiles_.resize(corpus_.size());
+    profile_done_.assign(corpus_.size(), 0);
+    t_corpus_ = std::chrono::steady_clock::now();
+    restore_mark_corpus_ = RestoreNanos();
+    TRACE_COUNTER("funnel.corpus_programs", corpus_.size());
+    cv_.notify_all();
+  }
+
+  bool ExecuteCorpus(PoolWorker& worker) {
+    std::vector<Program> corpus = ComputeCorpus(PoolWorkerVm(worker), options_);
+    runner_.Persist(CorpusStageDef(options_), corpus);
+    if (runner_.dead()) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    corpus_ = std::move(corpus);
+    CorpusResolvedLocked();
+    return true;
+  }
+
+  bool ExecuteProfile(PoolWorker& worker, size_t index) {
+    ProfileOptions profile_options;
+    profile_options.cache = options_.profile_cache;
+    SequentialProfile profile =
+        ProfileTestCached(PoolWorkerVm(worker), corpus_[index], static_cast<int>(index),
+                          profile_options);
+    std::lock_guard<std::mutex> lock(mu_);
+    profiles_[index] = std::move(profile);
+    profile_done_[index] = 1;
+    cv_.notify_all();  // A folder (or the finish item) may now be claimable.
+    return true;
+  }
+
+  // Folds the completed prefix of profiles into the accumulator, strictly in corpus-index
+  // order — the exact AddProfile order the batch IdentifyPmcs uses, which is what keeps
+  // the incremental side tables byte-identical. `folding_` makes this a single-consumer
+  // loop; the fold itself runs outside the lock.
+  bool ExecuteFold() {
+    for (;;) {
+      size_t index;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fold_next_ >= profiles_.size() || !profile_done_[fold_next_]) {
+          folding_ = false;
+          cv_.notify_all();  // kFinishProfiles may now be claimable.
+          return true;
+        }
+        index = fold_next_;
+      }
+      if (fold_into_accumulator_) {
+        accumulator_.AddProfile(profiles_[index]);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      fold_next_++;
+    }
+  }
+
+  bool ExecuteFinishProfiles() {
+    if (!profiles_loaded_) {
+      runner_.Persist(ProfilesStageDef(options_, corpus_), profiles_);
+      if (runner_.dead()) {
+        return false;
+      }
+    }
+    size_t num_partitions = 0;
+    if (fold_into_accumulator_) {
+      accumulator_.Seal();
+      num_partitions = accumulator_.PlanPartitions(IdentifyWorkers(options_));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    profiles_complete_ = true;
+    num_partitions_ = num_partitions;
+    scan_ready_ = fold_into_accumulator_ && num_partitions_ > 0;
+    t_profiles_ = std::chrono::steady_clock::now();
+    restore_mark_profiles_ = RestoreNanos();
+    cv_.notify_all();
+    return true;
+  }
+
+  bool ExecuteScan(size_t partition) {
+    accumulator_.ScanPartition(partition);
+    std::lock_guard<std::mutex> lock(mu_);
+    scans_done_++;
+    cv_.notify_all();  // The merge item becomes claimable after the last scan.
+    return true;
+  }
+
+  // Caller holds mu_. Stamps the PMC event and checks whether explore can open.
+  void PmcsResolvedLocked() {
+    pmcs_done_ = true;
+    t_pmcs_ = std::chrono::steady_clock::now();
+    TRACE_COUNTER("funnel.pmcs_identified", pmcs_.size());
+    MaybeTestsReadyLocked();
+    cv_.notify_all();
+  }
+
+  bool ExecuteMergePmcs() {
+    std::vector<Pmc> pmcs = accumulator_.Merge();
+    runner_.Persist(PmcsStageDef(options_, profiles_), pmcs);
+    if (runner_.dead()) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    pmcs_ = std::move(pmcs);
+    PmcsResolvedLocked();
+    return true;
+  }
+
+  // Caller holds mu_. Installs the resolved test list and its replay plumbing.
+  void TestsResolvedLocked(SerializedTests tests) {
+    tests_ = std::move(tests.tests);
+    cluster_count_ = tests.cluster_count;
+    tests_resolved_ = true;
+    outcomes_.resize(tests_.size());
+    resumed_.assign(tests_.size(), 0);
+    journaled_ = BuildJournalTable(runner_, journal_name_, tests_.size());
+    TRACE_COUNTER("funnel.clusters", cluster_count_);
+    TRACE_COUNTER("funnel.tests_generated", tests_.size());
+    MaybeTestsReadyLocked();
+    cv_.notify_all();
+  }
+
+  // Caller holds mu_. Explore opens once the test list is resolved AND its scheduler
+  // input is settled: PMC strategies need the matcher, which needs the final PMC table.
+  void MaybeTestsReadyLocked() {
+    if (tests_ready_ || !tests_resolved_ || (use_pmc_ && !pmcs_done_)) {
+      return;
+    }
+    if (use_pmc_) {
+      matcher_.emplace(&pmcs_);
+    }
+    tests_ready_ = true;
+    t_tests_ = std::chrono::steady_clock::now();
+    restore_mark_tests_ = RestoreNanos();
+  }
+
+  bool ExecuteGenerate() {
+    SerializedTests tests = ComputeTests(corpus_, pmcs_, options_);
+    runner_.Persist(TestsStageDef(options_, corpus_, pmcs_), tests);
+    if (runner_.dead()) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    TestsResolvedLocked(std::move(tests));
+    return true;
+  }
+
+  bool ExecuteExplore(PoolWorker& worker, size_t index) {
+    bool ok = ExploreOneSlot(worker, tests_, index, use_pmc_,
+                             matcher_.has_value() ? &*matcher_ : nullptr, options_, runner_,
+                             journal_name_, journaled_, &outcomes_, &resumed_);
+    if (!ok) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    explores_done_++;
+    if (AllDoneLocked()) {
+      cv_.notify_all();
+    }
+    return true;
+  }
+
+  void Fill(PipelineResult* result) {
+    auto t_end = std::chrono::steady_clock::now();
+    result->corpus_size = corpus_.size();
+    for (const SequentialProfile& profile : profiles_) {
+      if (profile.ok) {
+        result->profiled_ok++;
+        result->shared_accesses += profile.accesses.size();
+      }
+    }
+    result->pmc_count = pmcs_.size();
+    for (const Pmc& pmc : pmcs_) {
+      result->total_pmc_pairs += pmc.total_pairs;
+    }
+    result->pmc_table_digest = PmcTableDigest(pmcs_);
+    result->cluster_count = cluster_count_;
+    result->tests_generated = tests_.size();
+    FoldExploreOutcomes(outcomes_, resumed_, result);
+    // Stage timings become event-window attributions under streaming: each stage is
+    // charged the wall-clock between its predecessor's completion event and its own. When
+    // stages overlap (explore running during the profile tail) the windows overlap too, so
+    // the per-stage columns no longer sum to the campaign wall-clock — by design. The same
+    // windows attribute the snapshot-restore counter deltas. None of these fields are
+    // serialized or compared across engines.
+    result->corpus_seconds = SecondsBetween(t_start_, t_corpus_);
+    result->profile_seconds = SecondsBetween(t_corpus_, t_profiles_);
+    result->identify_seconds = SecondsBetween(t_profiles_, t_pmcs_);
+    result->cluster_seconds = SecondsBetween(t_pmcs_, t_tests_);
+    result->execute_seconds = SecondsBetween(t_tests_, t_end);
+    result->profile_restore_seconds =
+        static_cast<double>(restore_mark_profiles_ - restore_mark_corpus_) * 1e-9;
+    result->execute_restore_seconds =
+        static_cast<double>(RestoreNanos() - restore_mark_tests_) * 1e-9;
+  }
+
+  const PipelineOptions& options_;
+  StageRunner runner_;
+  const bool use_pmc_;
+  const std::string journal_name_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool crashed_ = false;
+
+  // Corpus.
+  bool corpus_claimed_ = false;
+  bool corpus_loaded_ = false;
+  bool corpus_done_ = false;
+  std::vector<Program> corpus_;
+
+  // Profiles. `profiles_`/`profile_done_` slots are written by the claiming worker and
+  // read by the folder; the mutex around the done flags orders the handoff.
+  bool profiles_loaded_ = false;
+  size_t profile_next_ = 0;
+  std::vector<SequentialProfile> profiles_;
+  std::vector<uint8_t> profile_done_;
+  bool folding_ = false;
+  size_t fold_next_ = 0;
+  bool finish_profiles_claimed_ = false;
+  bool profiles_complete_ = false;
+
+  // Identification.
+  PmcAccumulator accumulator_;
+  bool fold_into_accumulator_ = true;  // false when the PMC table was checkpoint-loaded.
+  bool scan_ready_ = false;
+  size_t num_partitions_ = 0;
+  size_t scan_next_ = 0;
+  size_t scans_done_ = 0;
+  bool merge_claimed_ = false;
+  bool pmcs_loaded_ = false;
+  bool pmcs_done_ = false;
+  std::vector<Pmc> pmcs_;
+
+  // Tests.
+  bool generate_claimed_ = false;
+  bool tests_loaded_ = false;
+  bool tests_resolved_ = false;
+  bool tests_ready_ = false;
+  size_t cluster_count_ = 0;
+  std::vector<ConcurrentTest> tests_;
+  std::optional<PmcMatcher> matcher_;
+  std::vector<std::optional<OutcomeRecord>> journaled_;
+
+  // Explore.
+  size_t explore_next_ = 0;
+  size_t explores_done_ = 0;
+  std::vector<std::optional<OutcomeRecord>> outcomes_;
+  std::vector<uint8_t> resumed_;
+
+  // Event timestamps (stage-attribution windows; see Fill).
+  std::chrono::steady_clock::time_point t_start_, t_corpus_, t_profiles_, t_pmcs_, t_tests_;
+  uint64_t restore_mark_corpus_ = 0;
+  uint64_t restore_mark_profiles_ = 0;
+  uint64_t restore_mark_tests_ = 0;
+};
+
 }  // namespace
 
 PreparedCampaign PrepareCampaign(const PipelineOptions& options) {
   PreparedCampaign campaign;
-  int num_workers = options.num_workers > 0 ? options.num_workers : 1;
   std::unique_ptr<CheckpointStore> store = OpenStore(options);
+  StageRunner runner(store.get(), options.fault, options.resume);
 
-  // Stage 0: corpus construction stays sequential — admission is a serial fold over the
-  // shared coverage map (each admit changes what counts as fresh for every later candidate).
-  auto t0 = std::chrono::steady_clock::now();
-  {
-    TRACE_SPAN("stage.corpus");
-    bool loaded = false;
-    if (store != nullptr && options.resume) {
-      if (std::optional<std::string> text = store->Get("corpus")) {
-        if (std::optional<std::vector<Program>> corpus = DeserializeCorpus(*text)) {
-          campaign.corpus = std::move(*corpus);
-          loaded = true;
-        }
-      }
-    }
-    if (!loaded) {
-      {
-        KernelVm vm;
-        CorpusOptions corpus_options = options.corpus;
-        corpus_options.seed = corpus_options.seed ^ options.seed;
-        campaign.corpus = CorpusPrograms(BuildCorpus(vm, corpus_options));
-      }
-      if (store != nullptr) {
-        store->Put("corpus", SerializeCorpus(campaign.corpus));
-      }
-    }
-  }
-  campaign.corpus_seconds = SecondsSince(t0);
-  TRACE_COUNTER("funnel.corpus_programs", campaign.corpus.size());
-  if (Dead(options)) {
+  Artifact<std::vector<Program>> corpus = runner.Run(CorpusStageDef(options));
+  campaign.corpus = std::move(corpus.value);
+  campaign.corpus_seconds = corpus.seconds;
+  if (runner.dead()) {
     return campaign;
   }
 
-  // Stage 1: profiling shards over a shared-nothing VM pool; profiles return in corpus
-  // order regardless of worker count.
-  auto t1 = std::chrono::steady_clock::now();
-  uint64_t restore_nanos_before =
-      GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
-  {
-    TRACE_SPAN("stage.profile");
-    bool loaded = false;
-    if (store != nullptr && options.resume) {
-      if (std::optional<std::string> text = store->Get("profiles")) {
-        if (std::optional<std::vector<SequentialProfile>> profiles =
-                DeserializeProfiles(*text)) {
-          // A profile set for a different corpus (size mismatch) is stale, not corrupt.
-          if (profiles->size() == campaign.corpus.size()) {
-            campaign.profiles = std::move(*profiles);
-            loaded = true;
-          }
-        }
-      }
-    }
-    if (!loaded) {
-      ProfileOptions profile_options;
-      profile_options.num_workers = num_workers;
-      profile_options.cache = options.profile_cache;
-      campaign.profiles = ProfileCorpusParallel(campaign.corpus, profile_options);
-      if (store != nullptr && !Dead(options)) {
-        store->Put("profiles", SerializeProfiles(campaign.profiles));
-      }
-    }
-  }
-  campaign.profile_seconds = SecondsSince(t1);
-  campaign.profile_restore_seconds = RestoreSecondsSince(restore_nanos_before);
-  if (Dead(options)) {
+  Artifact<std::vector<SequentialProfile>> profiles =
+      runner.Run(ProfilesStageDef(options, campaign.corpus));
+  campaign.profiles = std::move(profiles.value);
+  campaign.profile_seconds = profiles.seconds;
+  campaign.profile_restore_seconds = profiles.restore_seconds;
+  if (runner.dead()) {
     return campaign;
   }
 
-  // Stage 2: the overlap scan shards over disjoint ranges of the ordered nested index and
-  // merges in canonical PMC order (num_workers == 0 in the options means "inherit").
-  auto t2 = std::chrono::steady_clock::now();
-  {
-    TRACE_SPAN("stage.identify");
-    bool loaded = false;
-    if (store != nullptr && options.resume) {
-      if (std::optional<std::string> text = store->Get("pmcs")) {
-        if (std::optional<std::vector<Pmc>> pmcs = DeserializePmcs(*text)) {
-          campaign.pmcs = std::move(*pmcs);
-          loaded = true;
-        }
-      }
-    }
-    if (!loaded) {
-      PmcIdentifyOptions pmc_options = options.pmc;
-      if (pmc_options.num_workers <= 0) {
-        pmc_options.num_workers = num_workers;
-      }
-      campaign.pmcs = IdentifyPmcs(campaign.profiles, pmc_options);
-      if (store != nullptr && !Dead(options)) {
-        store->Put("pmcs", SerializePmcs(campaign.pmcs));
-      }
-    }
-  }
-  campaign.identify_seconds = SecondsSince(t2);
-  TRACE_COUNTER("funnel.pmcs_identified", campaign.pmcs.size());
+  Artifact<std::vector<Pmc>> pmcs = runner.Run(PmcsStageDef(options, campaign.profiles));
+  campaign.pmcs = std::move(pmcs.value);
+  campaign.identify_seconds = pmcs.seconds;
   return campaign;
 }
 
 std::vector<ConcurrentTest> GenerateTestsForStrategy(const PreparedCampaign& campaign,
                                                      const PipelineOptions& options,
                                                      size_t* cluster_count_out) {
-  TRACE_SPAN("stage.cluster");
   std::unique_ptr<CheckpointStore> store = OpenStore(options);
-  const std::string entry_name = std::string("tests.") + StrategyName(options.strategy);
-  if (store != nullptr && options.resume) {
-    if (std::optional<std::string> text = store->Get(entry_name)) {
-      if (std::optional<SerializedTests> saved = DeserializeConcurrentTests(*text)) {
-        if (cluster_count_out != nullptr) {
-          *cluster_count_out = saved->cluster_count;
-        }
-        return std::move(saved->tests);
-      }
-    }
-  }
-
-  size_t cluster_count = 0;
-  std::vector<ConcurrentTest> tests;
-  if (!StrategyUsesPmcs(options.strategy)) {
-    if (options.strategy == Strategy::kRandomPairing) {
-      tests = GenerateRandomPairs(campaign.corpus, options.max_concurrent_tests,
-                                  options.seed);
-    } else {
-      tests = GenerateDuplicatePairs(campaign.corpus, options.max_concurrent_tests,
-                                     options.seed);
-    }
-  } else {
-    std::vector<PmcCluster> clusters =
-        ClusterPmcs(campaign.pmcs, options.strategy,
-                    options.num_workers > 0 ? options.num_workers : 1);
-    cluster_count = clusters.size();
-    SelectOptions select;
-    select.seed = options.seed * 0x9e3779b9ull + 17;
-    select.max_tests = options.max_concurrent_tests;
-    select.randomize_cluster_order = options.strategy == Strategy::kRandomSInsPair;
-    tests = SelectConcurrentTests(campaign.pmcs, clusters, campaign.corpus, select);
-  }
+  StageRunner runner(store.get(), options.fault, options.resume);
+  Artifact<SerializedTests> tests =
+      runner.Run(TestsStageDef(options, campaign.corpus, campaign.pmcs));
   if (cluster_count_out != nullptr) {
-    *cluster_count_out = cluster_count;
+    *cluster_count_out = tests.value.cluster_count;
   }
-  if (store != nullptr && !Dead(options)) {
-    store->Put(entry_name, SerializeConcurrentTests(tests, cluster_count));
-  }
-  return tests;
+  return std::move(tests.value.tests);
 }
 
 void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hints,
                      const PmcMatcher* matcher, const PipelineOptions& options,
                      PipelineResult* result) {
   TRACE_SPAN("stage.execute", tests.size());
-  auto t0 = std::chrono::steady_clock::now();
-  uint64_t restore_nanos_before =
-      GlobalPipelineCounters().snapshot_restore_nanos.load(std::memory_order_relaxed);
-  int num_workers = options.num_workers > 0 ? options.num_workers : 1;
+  StageTimer timer;
   std::unique_ptr<CheckpointStore> store = OpenStore(options);
+  StageRunner runner(store.get(), options.fault, options.resume);
   const std::string journal_name = std::string("execute.") + StrategyName(options.strategy);
-  FaultInjector* fault = options.fault;
+  std::vector<std::optional<OutcomeRecord>> journaled =
+      BuildJournalTable(runner, journal_name, tests.size());
 
-  // On resume, pre-parse the execution journal into a by-index table: a journaled test is
-  // replayed from its recorded outcome and execution-time findings (no VM involved),
-  // everything else runs live. The table is read-only once built, so workers index it
-  // without locking.
-  std::vector<std::optional<OutcomeRecord>> journaled(tests.size());
-  if (store != nullptr && options.resume) {
-    for (const std::string& record : store->ReadJournal(journal_name)) {
-      std::optional<OutcomeRecord> decoded = DecodeOutcomeRecord(record);
-      if (decoded.has_value() && decoded->test_index < tests.size()) {
-        size_t index = decoded->test_index;
-        journaled[index] = std::move(*decoded);
-      }
-    }
-  }
-
-  std::atomic<size_t> next_test{0};
-  std::mutex merge_mutex;
-
-  // Each worker owns a booted VM (shared-nothing, as in the paper's distributed queue) —
-  // booted lazily, so a fully journaled resume replays without paying for a single boot.
-  auto worker_fn = [&]() {
-    std::optional<KernelVm> vm;
-    FindingsLog local_findings;
-    size_t local_executed = 0;
-    size_t local_with_bug = 0;
-    size_t local_exercised = 0;
-    size_t local_resumed = 0;
-    uint64_t local_trials = 0;
-    uint64_t local_retried = 0;
-
+  // Per-test outcome slots, claimed dynamically, folded in index order below. Workers come
+  // from the shared pool and reuse their parked VMs; a fully journaled resume replays
+  // without touching one.
+  std::vector<std::optional<OutcomeRecord>> outcomes(tests.size());
+  std::vector<uint8_t> resumed(tests.size(), 0);
+  IndexClaim claim(tests.size());
+  WorkerPool::Global().Run(options.ResolvedWorkers(), [&](PoolWorker& worker) {
     for (;;) {
       // The worker-kill point: a crash injected here (or anywhere else) makes every
       // worker abandon its claim loop, exactly as a SIGKILL would.
-      if (fault != nullptr && fault->At("execute.claim")) {
-        break;
+      if (runner.fault() != nullptr && runner.fault()->At("execute.claim")) {
+        return;
       }
-      size_t index = next_test.fetch_add(1);
-      if (index >= tests.size()) {
-        break;
+      size_t index = 0;
+      if (!claim.Next(&index)) {
+        return;
       }
-      const ConcurrentTest& test = tests[index];
-      TRACE_SPAN("explore.test", index);
-      OutcomeRecord record;
-      record.test_index = index;
-      if (journaled[index].has_value()) {
-        record = *journaled[index];
-        local_resumed++;
-        GlobalPipelineCounters().tests_resumed.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        ExplorerOptions explorer = options.explorer;
-        explorer.seed = options.explorer.seed + index * 1000003ull;
-        explorer.fault = fault;
-        if (!vm.has_value()) {
-          vm.emplace();
-        }
-        if (use_pmc_hints) {
-          record.outcome = ExploreConcurrentTest(*vm, test, matcher, explorer);
-        } else {
-          RandomPreemptScheduler scheduler;
-          record.outcome = ExploreWithScheduler(*vm, test, scheduler,
-                                                /*check_channel=*/false, explorer);
-        }
-        if (fault != nullptr && fault->crashed()) {
-          break;  // The trial loop died mid-test; its partial outcome never existed.
-        }
-        record.findings = ExtractFindings(test, record.outcome, index);
-        if (store != nullptr) {
-          store->AppendJournal(journal_name, EncodeOutcomeRecord(record));
-          if (fault != nullptr && fault->crashed()) {
-            break;  // Died at the append; only the on-disk journal decides what survived.
-          }
-        }
-        GlobalPipelineCounters().concurrent_tests_run.fetch_add(1,
-                                                                std::memory_order_relaxed);
-      }
-      const ExploreOutcome& outcome = record.outcome;
-      local_executed++;
-      local_trials += static_cast<uint64_t>(outcome.trials_run);
-      local_retried += static_cast<uint64_t>(outcome.trials_retried);
-      if (outcome.bug_found) {
-        local_with_bug++;
-      }
-      if (outcome.channel_exercised) {
-        local_exercised++;
-      }
-      for (const Finding& finding : record.findings) {
-        local_findings.Record(finding);
+      if (!ExploreOneSlot(worker, tests, index, use_pmc_hints, matcher, options, runner,
+                          journal_name, journaled, &outcomes, &resumed)) {
+        return;
       }
     }
-
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    result->tests_executed += local_executed;
-    result->tests_with_bug += local_with_bug;
-    result->channel_exercised += local_exercised;
-    result->total_trials += local_trials;
-    result->tests_resumed += local_resumed;
-    result->trials_retried += local_retried;
-    result->findings.Merge(local_findings);
-  };
-
-  if (num_workers == 1) {
-    worker_fn();
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(num_workers));
-    for (int i = 0; i < num_workers; i++) {
-      workers.emplace_back(worker_fn);
-    }
-    for (std::thread& worker : workers) {
-      worker.join();
-    }
-  }
-  result->execute_seconds += SecondsSince(t0);
-  result->execute_restore_seconds += RestoreSecondsSince(restore_nanos_before);
+  });
+  FoldExploreOutcomes(outcomes, resumed, result);
+  result->execute_seconds += timer.Seconds();
+  result->execute_restore_seconds += timer.RestoreSeconds();
 }
 
 PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
   TRACE_SPAN("pipeline.campaign");
   PipelineResult result;
-  const std::string result_name = std::string("result.") + StrategyName(options.strategy);
+  const StageDef<PipelineResult> result_def = ResultStageDef(options);
 
   // Checkpoint-directory admission: the guard entry pins the options fingerprint. A fresh
   // run, or a directory written under different options, is reset before any stage can
@@ -407,15 +945,17 @@ PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
         }
         store->Reset();
         store->Put("campaign", guard);
-      } else if (std::optional<std::string> text = store->Get(result_name)) {
-        if (std::optional<PipelineResult> done = DeserializePipelineResult(*text)) {
-          done->tests_resumed = done->tests_executed;
-          GlobalPipelineCounters().tests_resumed.fetch_add(done->tests_executed,
+      } else {
+        StageRunner runner(store.get(), options.fault, options.resume);
+        Artifact<PipelineResult> done;
+        if (runner.TryLoad(result_def, &done)) {
+          done.value.tests_resumed = done.value.tests_executed;
+          GlobalPipelineCounters().tests_resumed.fetch_add(done.value.tests_executed,
                                                            std::memory_order_relaxed);
           SB_LOG(kInfo) << StrategyName(options.strategy)
-                        << ": resumed from completed checkpoint (" << done->tests_executed
-                        << " tests)";
-          return *done;
+                        << ": resumed from completed checkpoint ("
+                        << done.value.tests_executed << " tests)";
+          return done.value;
         }
       }
     }
@@ -424,53 +964,61 @@ PipelineResult RunSnowboardPipeline(const PipelineOptions& options) {
     }
   }
 
-  PreparedCampaign campaign = PrepareCampaign(options);
-  if (Dead(options)) {
-    return result;
-  }
-
-  result.corpus_size = campaign.corpus.size();
-  for (const SequentialProfile& profile : campaign.profiles) {
-    if (profile.ok) {
-      result.profiled_ok++;
-      result.shared_accesses += profile.accesses.size();
+  if (options.streaming) {
+    std::unique_ptr<CheckpointStore> store = OpenStore(options);
+    StreamingEngine engine(options, store.get());
+    engine.Run(&result);
+    if (Dead(options)) {
+      return result;
     }
-  }
-  result.pmc_count = campaign.pmcs.size();
-  for (const Pmc& pmc : campaign.pmcs) {
-    result.total_pmc_pairs += pmc.total_pairs;
-  }
-  result.pmc_table_digest = PmcTableDigest(campaign.pmcs);
-  result.corpus_seconds = campaign.corpus_seconds;
-  result.profile_seconds = campaign.profile_seconds;
-  result.profile_restore_seconds = campaign.profile_restore_seconds;
-  result.identify_seconds = campaign.identify_seconds;
+  } else {
+    PreparedCampaign campaign = PrepareCampaign(options);
+    if (Dead(options)) {
+      return result;
+    }
 
-  auto t0 = std::chrono::steady_clock::now();
-  std::vector<ConcurrentTest> tests =
-      GenerateTestsForStrategy(campaign, options, &result.cluster_count);
-  result.cluster_seconds = SecondsSince(t0);
-  result.tests_generated = tests.size();
-  TRACE_COUNTER("funnel.clusters", result.cluster_count);
-  TRACE_COUNTER("funnel.tests_generated", tests.size());
-  if (Dead(options)) {
-    return result;
-  }
+    result.corpus_size = campaign.corpus.size();
+    for (const SequentialProfile& profile : campaign.profiles) {
+      if (profile.ok) {
+        result.profiled_ok++;
+        result.shared_accesses += profile.accesses.size();
+      }
+    }
+    result.pmc_count = campaign.pmcs.size();
+    for (const Pmc& pmc : campaign.pmcs) {
+      result.total_pmc_pairs += pmc.total_pairs;
+    }
+    result.pmc_table_digest = PmcTableDigest(campaign.pmcs);
+    result.corpus_seconds = campaign.corpus_seconds;
+    result.profile_seconds = campaign.profile_seconds;
+    result.profile_restore_seconds = campaign.profile_restore_seconds;
+    result.identify_seconds = campaign.identify_seconds;
 
-  bool use_pmc = StrategyUsesPmcs(options.strategy);
-  PmcMatcher matcher(&campaign.pmcs);
-  ExecuteCampaign(tests, use_pmc, use_pmc ? &matcher : nullptr, options, &result);
-  if (Dead(options)) {
-    return result;
+    StageTimer cluster_timer;
+    std::vector<ConcurrentTest> tests =
+        GenerateTestsForStrategy(campaign, options, &result.cluster_count);
+    result.cluster_seconds = cluster_timer.Seconds();
+    result.tests_generated = tests.size();
+    TRACE_COUNTER("funnel.clusters", result.cluster_count);
+    TRACE_COUNTER("funnel.tests_generated", tests.size());
+    if (Dead(options)) {
+      return result;
+    }
+
+    bool use_pmc = StrategyUsesPmcs(options.strategy);
+    PmcMatcher matcher(&campaign.pmcs);
+    ExecuteCampaign(tests, use_pmc, use_pmc ? &matcher : nullptr, options, &result);
+    if (Dead(options)) {
+      return result;
+    }
   }
   TRACE_COUNTER("funnel.tests_with_findings", result.tests_with_bug);
   TRACE_COUNTER("funnel.findings_total", result.findings.total_findings());
 
   if (!options.checkpoint_dir.empty()) {
     std::unique_ptr<CheckpointStore> store = OpenStore(options);
-    if (store != nullptr) {
-      store->Put(result_name, SerializePipelineResult(result));
-    }
+    StageRunner runner(store.get(), options.fault, options.resume);
+    runner.Persist(result_def, result);
     if (Dead(options)) {
       return result;
     }

@@ -1,14 +1,23 @@
 // End-to-end pipeline — Figure 2: sequential test generation & profiling → PMC
 // identification → PMC selection (clustering + prioritization) → concurrent test execution.
 //
-// Both the expensive preparation stages (profiling, PMC identification) and execution fan
-// out over pools of shared-nothing workers, each owning its own booted KernelVm where VM
-// work is involved — the in-process analog of the paper's Redis-queue-plus-GCP-VMs
-// deployment (§4.4.1). Budgets are expressed in test counts rather than wall-clock, shard
-// merges are canonically ordered, and per-test exploration seeds derive from the test index,
-// so the pipeline's deterministic outputs (stats, PMC tables, findings) are byte-identical
-// for a fixed seed at ANY worker count — the invariant the determinism test harness locks
-// in.
+// Every stage draws its threads from the process-lifetime WorkerPool (util/workpool.h),
+// whose workers carry lazily-booted KernelVms reused from the corpus stage through
+// profiling into concurrent-test execution — the in-process analog of the paper's
+// Redis-queue-plus-GCP-VMs deployment (§4.4.1), where a fixed fleet streams through all
+// campaign work. Two engines drive the stages:
+//   * streaming (default): one pool job runs the whole campaign as a dependency DAG —
+//     completed profiles fold into PMC identification while the profile tail executes, and
+//     concurrent tests start exploring as soon as the test list resolves.
+//   * barrier (`streaming = false`, CLI --no-stream): stages run to completion in sequence,
+//     each as its own pool job — the reference structure the streaming engine is A/B-tested
+//     against.
+// Budgets are expressed in test counts rather than wall-clock, shard merges are canonically
+// ordered (profile folds and outcome folds happen in index order regardless of completion
+// order), and per-test exploration seeds derive from the test index, so the pipeline's
+// deterministic outputs (stats, PMC tables, findings) are byte-identical for a fixed seed
+// at ANY worker count, under EITHER engine — the invariant the determinism test harness
+// locks in.
 #ifndef SRC_SNOWBOARD_PIPELINE_H_
 #define SRC_SNOWBOARD_PIPELINE_H_
 
@@ -34,7 +43,13 @@ struct PipelineOptions {
   ExplorerOptions explorer;
   // Shared-nothing workers (machine fleet analog) used by profiling, identification,
   // clustering, and execution alike. All deterministic outputs are invariant under it.
+  // <= 0 means "unset" and resolves to 1 (ResolvedWorkers).
   int num_workers = 1;
+  // Cross-stage streaming (the default engine): profiles fold into PMC identification as
+  // they complete and exploration starts as soon as tests resolve, instead of a full
+  // barrier between stages. Deterministic outputs are invariant under this flag (and it is
+  // excluded from the checkpoint fingerprint, so campaigns may be resumed across engines).
+  bool streaming = true;
   // Optional cross-run profile memo: multi-strategy campaigns (Table 3) share one cache so
   // each distinct program is profiled on a VM only once.
   ProfileCache* profile_cache = nullptr;
@@ -51,6 +66,10 @@ struct PipelineOptions {
   // crash fires, the pipeline unwinds at the next fault point of every worker and returns
   // a partial result — only the on-disk checkpoint state is meaningful afterwards.
   FaultInjector* fault = nullptr;
+
+  // The single interpretation of num_workers, shared by every stage (profiling, the
+  // identify "inherit" case, clustering, execution): non-positive means 1.
+  int ResolvedWorkers() const { return num_workers > 0 ? num_workers : 1; }
 };
 
 struct PipelineResult {

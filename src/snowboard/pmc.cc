@@ -1,12 +1,10 @@
 #include "src/snowboard/pmc.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
-#include <unordered_map>
 
 #include "src/util/assert.h"
 #include "src/util/hash.h"
+#include "src/util/workpool.h"
 
 namespace snowboard {
 
@@ -25,41 +23,11 @@ uint64_t SideHash(const PmcSide& side) {
   return HashAll(side.addr, side.len, side.site, side.value);
 }
 
-// Builds the unique-key table for one access type.
-std::vector<SideRecord> CollectSides(const std::vector<SequentialProfile>& profiles,
-                                     AccessType type) {
-  std::unordered_map<uint64_t, size_t> index;
-  std::vector<SideRecord> records;
-  for (const SequentialProfile& profile : profiles) {
-    if (!profile.ok) {
-      continue;
-    }
-    for (const SharedAccess& access : profile.accesses) {
-      if (access.type != type) {
-        continue;
-      }
-      PmcSide side{access.addr, access.len, access.site, access.value};
-      uint64_t h = SideHash(side);
-      auto [it, inserted] = index.try_emplace(h, records.size());
-      if (inserted) {
-        records.push_back(SideRecord{side, access.df_leader, {profile.test_id}, 1,
-                                     profile.test_id});
-        continue;
-      }
-      SideRecord& record = records[it->second];
-      record.df_leader = record.df_leader || access.df_leader;
-      if (record.last_test != profile.test_id) {
-        // Profiles are visited in test order, so a test-id change means a new test.
-        record.last_test = profile.test_id;
-        record.total_tests++;
-        if (record.tests.size() < kMaxPairsPerPmc) {
-          record.tests.push_back(profile.test_id);
-        }
-      }
-    }
-  }
-  // The ordered nested index (§4.2.1): start address, then range length, then site.
-  std::sort(records.begin(), records.end(), [](const SideRecord& a, const SideRecord& b) {
+// The ordered nested index (§4.2.1): start address, then range length, then site. Keys are
+// unique per record (the table dedups on the full tuple), so the unstable sort is still
+// deterministic.
+void SortNestedIndex(std::vector<SideRecord>* records) {
+  std::sort(records->begin(), records->end(), [](const SideRecord& a, const SideRecord& b) {
     if (a.side.addr != b.side.addr) {
       return a.side.addr < b.side.addr;
     }
@@ -71,10 +39,168 @@ std::vector<SideRecord> CollectSides(const std::vector<SequentialProfile>& profi
     }
     return a.side.value < b.side.value;
   });
-  return records;
 }
 
 }  // namespace
+
+// Per-type unique-key tables, built incrementally one profile at a time. Record order
+// before Seal is first-encounter order — the same order the old one-shot CollectSides pass
+// produced, because both visit profiles in corpus order and accesses in program order.
+struct PmcAccumulator::Sides {
+  struct Table {
+    std::unordered_map<uint64_t, size_t> index;
+    std::vector<SideRecord> records;
+
+    void Add(const SharedAccess& access, int test_id) {
+      PmcSide side{access.addr, access.len, access.site, access.value};
+      uint64_t h = SideHash(side);
+      auto [it, inserted] = index.try_emplace(h, records.size());
+      if (inserted) {
+        records.push_back(SideRecord{side, access.df_leader, {test_id}, 1, test_id});
+        return;
+      }
+      SideRecord& record = records[it->second];
+      record.df_leader = record.df_leader || access.df_leader;
+      if (record.last_test != test_id) {
+        // Profiles arrive in test order, so a test-id change means a new test.
+        record.last_test = test_id;
+        record.total_tests++;
+        if (record.tests.size() < kMaxPairsPerPmc) {
+          record.tests.push_back(test_id);
+        }
+      }
+    }
+  };
+
+  Table writes;
+  Table reads;
+};
+
+PmcAccumulator::PmcAccumulator(const PmcIdentifyOptions& options)
+    : options_(options), sides_(std::make_unique<Sides>()) {}
+
+PmcAccumulator::~PmcAccumulator() = default;
+
+void PmcAccumulator::AddProfile(const SequentialProfile& profile) {
+  SB_DCHECK(!sealed_);
+  if (!profile.ok) {
+    return;
+  }
+  for (const SharedAccess& access : profile.accesses) {
+    if (access.type == AccessType::kWrite) {
+      sides_->writes.Add(access, profile.test_id);
+    } else {
+      sides_->reads.Add(access, profile.test_id);
+    }
+  }
+}
+
+void PmcAccumulator::Seal() {
+  SB_DCHECK(!sealed_);
+  // Optional hot-cell valve: drop addresses with pathological key counts.
+  if (options_.max_keys_per_address != SIZE_MAX) {
+    auto prune = [this](std::vector<SideRecord>* records) {
+      std::unordered_map<GuestAddr, size_t> per_addr;
+      for (const SideRecord& r : *records) {
+        per_addr[r.side.addr]++;
+      }
+      records->erase(std::remove_if(records->begin(), records->end(),
+                                    [&](const SideRecord& r) {
+                                      return per_addr[r.side.addr] >
+                                             options_.max_keys_per_address;
+                                    }),
+                     records->end());
+    };
+    prune(&sides_->writes.records);
+    prune(&sides_->reads.records);
+  }
+  SortNestedIndex(&sides_->writes.records);
+  SortNestedIndex(&sides_->reads.records);
+  sides_->writes.index.clear();
+  sides_->reads.index.clear();
+  sealed_ = true;
+}
+
+size_t PmcAccumulator::PlanPartitions(int num_workers) {
+  SB_DCHECK(sealed_);
+  size_t resolved = num_workers > 0 ? static_cast<size_t>(num_workers) : 1;
+  // Several partitions per worker so PMC-dense regions balance. Partition boundaries
+  // depend only on the table size, and the merge is an ordered concatenation, so the
+  // merged table is invariant under this value (pmc_shard_property_test).
+  num_partitions_ = std::min(sides_->writes.records.size(), resolved * 4);
+  if (num_partitions_ == 0 && !sides_->writes.records.empty()) {
+    num_partitions_ = 1;
+  }
+  partition_pmcs_.assign(num_partitions_, {});
+  return num_partitions_;
+}
+
+void PmcAccumulator::ScanPartition(size_t partition) {
+  SB_DCHECK(sealed_ && partition < num_partitions_);
+  const std::vector<SideRecord>& writes = sides_->writes.records;
+  const std::vector<SideRecord>& reads = sides_->reads.records;
+  size_t begin = writes.size() * partition / num_partitions_;
+  size_t end = writes.size() * (partition + 1) / num_partitions_;
+  std::vector<Pmc>* out = &partition_pmcs_[partition];
+
+  // Lines 6-15 of Algorithm 1: scan read/write overlaps through the ordered index. Ranges
+  // are at most 8 bytes, so for a write starting at `a` only reads starting in (a-8,
+  // a+len) can overlap. Output is appended in index order, capped at max_pmcs per
+  // partition (the global truncation happens after the ordered merge and can never need
+  // more than max_pmcs from any prefix).
+  for (size_t wi = begin; wi < end; wi++) {
+    const SideRecord& w = writes[wi];
+    GuestAddr window_start = w.side.addr >= 8 ? w.side.addr - 8 : 0;
+    auto it = std::lower_bound(reads.begin(), reads.end(), window_start,
+                               [](const SideRecord& r, GuestAddr addr) {
+                                 return r.side.addr < addr;
+                               });
+    for (; it != reads.end() && it->side.addr < w.side.end(); ++it) {
+      const SideRecord& r = *it;
+      GuestAddr ov_start = std::max(w.side.addr, r.side.addr);
+      GuestAddr ov_end = std::min(w.side.end(), r.side.end());
+      if (ov_start >= ov_end) {
+        continue;
+      }
+      uint32_t ov_len = ov_end - ov_start;
+      uint64_t read_value =
+          ProjectValue(r.side.addr, r.side.len, r.side.value, ov_start, ov_len);
+      uint64_t write_value =
+          ProjectValue(w.side.addr, w.side.len, w.side.value, ov_start, ov_len);
+      if (read_value == write_value) {
+        continue;  // The write would not change what the reader fetches: not a PMC.
+      }
+      Pmc pmc;
+      pmc.key = PmcKey{w.side, r.side, r.df_leader};
+      pmc.total_pairs = w.total_tests * r.total_tests;
+      // Sample test pairs: diagonal-ish walk over the two capped test lists.
+      size_t limit = std::max(w.tests.size(), r.tests.size());
+      for (size_t i = 0; i < limit && pmc.pairs.size() < kMaxPairsPerPmc; i++) {
+        pmc.pairs.push_back(PmcTestPair{w.tests[i % w.tests.size()],
+                                        r.tests[i % r.tests.size()]});
+      }
+      out->push_back(std::move(pmc));
+      if (out->size() >= options_.max_pmcs) {
+        return;
+      }
+    }
+  }
+}
+
+std::vector<Pmc> PmcAccumulator::Merge() {
+  SB_DCHECK(sealed_);
+  // Concatenation order == sequential scan order == canonical PMC order.
+  std::vector<Pmc> pmcs;
+  for (std::vector<Pmc>& partition : partition_pmcs_) {
+    for (Pmc& pmc : partition) {
+      if (pmcs.size() >= options_.max_pmcs) {
+        return pmcs;
+      }
+      pmcs.push_back(std::move(pmc));
+    }
+  }
+  return pmcs;
+}
 
 uint64_t PmcKey::Hash() const {
   return HashAll(write.addr, write.len, write.site, write.value, read.addr, read.len,
@@ -100,123 +226,31 @@ bool AccessMatchesSide(const SharedAccess& access, const PmcSide& side) {
 
 std::vector<Pmc> IdentifyPmcs(const std::vector<SequentialProfile>& profiles,
                               const PmcIdentifyOptions& options) {
-  // Lines 1-5 of Algorithm 1: index all accesses (aggregated per unique feature key).
-  std::vector<SideRecord> writes = CollectSides(profiles, AccessType::kWrite);
-  std::vector<SideRecord> reads = CollectSides(profiles, AccessType::kRead);
-
-  // Optional hot-cell valve: drop addresses with pathological key counts.
-  if (options.max_keys_per_address != SIZE_MAX) {
-    auto prune = [&options](std::vector<SideRecord>* records) {
-      std::unordered_map<GuestAddr, size_t> per_addr;
-      for (const SideRecord& r : *records) {
-        per_addr[r.side.addr]++;
-      }
-      records->erase(std::remove_if(records->begin(), records->end(),
-                                    [&](const SideRecord& r) {
-                                      return per_addr[r.side.addr] >
-                                             options.max_keys_per_address;
-                                    }),
-                     records->end());
-    };
-    prune(&writes);
-    prune(&reads);
+  PmcAccumulator accumulator(options);
+  for (const SequentialProfile& profile : profiles) {
+    accumulator.AddProfile(profile);
   }
-
-  // Lines 6-15: scan read/write overlaps through the ordered index. Ranges are at most 8
-  // bytes, so for a write starting at `a` only reads starting in (a-8, a+len) can overlap.
-  // The scan over one contiguous write-table partition [begin, end); output appended in
-  // index order, capped at max_pmcs per partition (the global truncation happens after the
-  // ordered merge and can never need more than max_pmcs from any prefix).
-  auto scan_partition = [&reads, &options](const std::vector<SideRecord>& writes,
-                                           size_t begin, size_t end, std::vector<Pmc>* out) {
-    for (size_t wi = begin; wi < end; wi++) {
-      const SideRecord& w = writes[wi];
-      GuestAddr window_start = w.side.addr >= 8 ? w.side.addr - 8 : 0;
-      auto it = std::lower_bound(reads.begin(), reads.end(), window_start,
-                                 [](const SideRecord& r, GuestAddr addr) {
-                                   return r.side.addr < addr;
-                                 });
-      for (; it != reads.end() && it->side.addr < w.side.end(); ++it) {
-        const SideRecord& r = *it;
-        GuestAddr ov_start = std::max(w.side.addr, r.side.addr);
-        GuestAddr ov_end = std::min(w.side.end(), r.side.end());
-        if (ov_start >= ov_end) {
-          continue;
-        }
-        uint32_t ov_len = ov_end - ov_start;
-        uint64_t read_value =
-            ProjectValue(r.side.addr, r.side.len, r.side.value, ov_start, ov_len);
-        uint64_t write_value =
-            ProjectValue(w.side.addr, w.side.len, w.side.value, ov_start, ov_len);
-        if (read_value == write_value) {
-          continue;  // The write would not change what the reader fetches: not a PMC.
-        }
-        Pmc pmc;
-        pmc.key = PmcKey{w.side, r.side, r.df_leader};
-        pmc.total_pairs = w.total_tests * r.total_tests;
-        // Sample test pairs: diagonal-ish walk over the two capped test lists.
-        size_t limit = std::max(w.tests.size(), r.tests.size());
-        for (size_t i = 0; i < limit && pmc.pairs.size() < kMaxPairsPerPmc; i++) {
-          pmc.pairs.push_back(PmcTestPair{w.tests[i % w.tests.size()],
-                                          r.tests[i % r.tests.size()]});
-        }
-        out->push_back(std::move(pmc));
-        if (out->size() >= options.max_pmcs) {
-          return;
-        }
-      }
-    }
-  };
+  accumulator.Seal();
 
   int num_workers = options.num_workers > 0 ? options.num_workers : 1;
-  if (num_workers == 1) {
-    std::vector<Pmc> pmcs;
-    scan_partition(writes, 0, writes.size(), &pmcs);
-    return pmcs;
+  size_t num_partitions = accumulator.PlanPartitions(num_workers);
+  if (num_workers == 1 || num_partitions <= 1) {
+    for (size_t p = 0; p < num_partitions; p++) {
+      accumulator.ScanPartition(p);
+    }
+    return accumulator.Merge();
   }
 
-  // Partition the sorted write table into disjoint contiguous ranges — several per worker so
-  // PMC-dense regions balance — claimed dynamically and emitted per-partition, then merged
-  // in partition order. Concatenation order == sequential scan order == canonical PMC order.
-  size_t num_partitions =
-      std::min(writes.size(), static_cast<size_t>(num_workers) * 4);
-  if (num_partitions <= 1) {
-    std::vector<Pmc> pmcs;
-    scan_partition(writes, 0, writes.size(), &pmcs);
-    return pmcs;
-  }
-  std::vector<std::vector<Pmc>> partition_pmcs(num_partitions);
-  std::atomic<size_t> next_partition{0};
-  auto worker_fn = [&]() {
-    for (;;) {
-      size_t p = next_partition.fetch_add(1);
-      if (p >= num_partitions) {
-        break;
-      }
-      size_t begin = writes.size() * p / num_partitions;
-      size_t end = writes.size() * (p + 1) / num_partitions;
-      scan_partition(writes, begin, end, &partition_pmcs[p]);
+  // Fan the partition scans out over the shared worker pool (claimed dynamically so dense
+  // partitions balance); each partition emits into its own slice.
+  IndexClaim claim(num_partitions);
+  WorkerPool::Global().Run(num_workers, [&](PoolWorker& worker) {
+    size_t p = 0;
+    while (claim.Next(&p)) {
+      accumulator.ScanPartition(p);
     }
-  };
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_workers));
-  for (int w = 0; w < num_workers; w++) {
-    workers.emplace_back(worker_fn);
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
-
-  std::vector<Pmc> pmcs;
-  for (std::vector<Pmc>& partition : partition_pmcs) {
-    for (Pmc& pmc : partition) {
-      if (pmcs.size() >= options.max_pmcs) {
-        return pmcs;
-      }
-      pmcs.push_back(std::move(pmc));
-    }
-  }
-  return pmcs;
+  });
+  return accumulator.Merge();
 }
 
 }  // namespace snowboard

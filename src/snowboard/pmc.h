@@ -22,6 +22,8 @@
 #define SRC_SNOWBOARD_PMC_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/snowboard/profile.h"
@@ -79,6 +81,44 @@ struct PmcIdentifyOptions {
 // whose projected values differ.
 std::vector<Pmc> IdentifyPmcs(const std::vector<SequentialProfile>& profiles,
                               const PmcIdentifyOptions& options = PmcIdentifyOptions{});
+
+// Incremental PMC identification, decomposed so the streaming campaign engine can fold
+// profiles into the access index WHILE the profile tail is still executing and fan the
+// overlap scan out over the shared worker pool afterwards. The protocol (single-consumer
+// fold, multi-worker scan):
+//   1. AddProfile(profile) once per profile, in corpus order — order is load-bearing:
+//      per-key test lists dedup via "the test id changed" exactly like the batch pass.
+//   2. Seal() once after the last profile: prunes hot cells and sorts both side tables
+//      into the ordered nested index (§4.2.1).
+//   3. PlanPartitions(num_workers), then ScanPartition(p) for each p — concurrently from
+//      any threads; partition p writes only its own output slice.
+//   4. Merge() concatenates slices in partition order and applies the max_pmcs cap.
+// For any profile set, AddProfile* → Seal → scan → Merge is byte-identical to
+// IdentifyPmcs (which is itself implemented on top of this class), for any worker count
+// and any partition interleaving.
+class PmcAccumulator {
+ public:
+  explicit PmcAccumulator(const PmcIdentifyOptions& options);
+  ~PmcAccumulator();
+
+  void AddProfile(const SequentialProfile& profile);
+  void Seal();
+
+  // Chooses the partition count for `num_workers` (several partitions per worker so
+  // PMC-dense regions balance) and sizes the output slices. Returns the count.
+  size_t PlanPartitions(int num_workers);
+  void ScanPartition(size_t partition);
+  std::vector<Pmc> Merge();
+
+ private:
+  struct Sides;  // Per-type unique-key tables (pmc.cc).
+
+  PmcIdentifyOptions options_;
+  std::unique_ptr<Sides> sides_;
+  bool sealed_ = false;
+  size_t num_partitions_ = 0;
+  std::vector<std::vector<Pmc>> partition_pmcs_;
+};
 
 // project_value (Algorithm 1 lines 9-10): the bytes of `value` (at [addr, addr+len))
 // restricted to [ov_start, ov_start+ov_len), little-endian.

@@ -1,7 +1,5 @@
 #include "src/snowboard/profile.h"
 
-#include <atomic>
-#include <thread>
 #include <unordered_map>
 
 #include "src/sim/stackfilter.h"
@@ -47,9 +45,10 @@ size_t ProfileCache::size() const {
   return total;
 }
 
-namespace {
+KernelVm& PoolWorkerVm(PoolWorker& worker) {
+  return worker.State<KernelVm>([]() { return std::make_unique<KernelVm>(); });
+}
 
-// Cache-aware single-test profiling step shared by the serial and parallel corpus walks.
 SequentialProfile ProfileTestCached(KernelVm& vm, const Program& program, int test_id,
                                     const ProfileOptions& options) {
   // One span per corpus program, covering cache lookup and (on miss) the VM run — the
@@ -69,8 +68,6 @@ SequentialProfile ProfileTestCached(KernelVm& vm, const Program& program, int te
   }
   return profile;
 }
-
-}  // namespace
 
 std::vector<SharedAccess> ExtractSharedAccesses(const Trace& trace, VcpuId vcpu) {
   std::vector<SharedAccess> accesses;
@@ -169,34 +166,20 @@ std::vector<SequentialProfile> ProfileCorpus(KernelVm& vm, const std::vector<Pro
 std::vector<SequentialProfile> ProfileCorpusParallel(const std::vector<Program>& corpus,
                                                      const ProfileOptions& options) {
   int num_workers = options.num_workers > 0 ? options.num_workers : 1;
-  if (num_workers == 1) {
-    KernelVm vm;
-    return ProfileCorpus(vm, corpus, options);
-  }
 
   // Dynamic index claiming balances load (test lengths vary); slot `i` of the result is
   // written only by the worker that claimed index i, so no profile-level synchronization is
-  // needed and the output order is the corpus order regardless of scheduling.
+  // needed and the output order is the corpus order regardless of scheduling. Workers come
+  // from the shared pool and reuse their parked VMs — no boots after warm-up.
   std::vector<SequentialProfile> profiles(corpus.size());
-  std::atomic<size_t> next{0};
-  auto worker_fn = [&]() {
-    KernelVm vm;
-    for (;;) {
-      size_t i = next.fetch_add(1);
-      if (i >= corpus.size()) {
-        break;
-      }
+  IndexClaim claim(corpus.size());
+  WorkerPool::Global().Run(num_workers, [&](PoolWorker& worker) {
+    KernelVm& vm = PoolWorkerVm(worker);
+    size_t i = 0;
+    while (claim.Next(&i)) {
       profiles[i] = ProfileTestCached(vm, corpus[i], static_cast<int>(i), options);
     }
-  };
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_workers));
-  for (int w = 0; w < num_workers; w++) {
-    workers.emplace_back(worker_fn);
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
+  });
   return profiles;
 }
 

@@ -19,6 +19,7 @@
 #include "src/fuzz/program.h"
 #include "src/kernel/kernel.h"
 #include "src/sim/access.h"
+#include "src/util/workpool.h"
 
 namespace snowboard {
 
@@ -74,6 +75,17 @@ struct ProfileOptions {
 // Profiles one test from the fixed initial state.
 SequentialProfile ProfileTest(KernelVm& vm, const Program& program, int test_id,
                               const ProfileOptions& options = ProfileOptions{});
+
+// Cache-aware single-test step shared by the serial walk, the pooled parallel walk, and
+// the streaming campaign engine (which schedules corpus indices itself): consults
+// `options.cache`, executes on a miss, inserts the result.
+SequentialProfile ProfileTestCached(KernelVm& vm, const Program& program, int test_id,
+                                    const ProfileOptions& options);
+
+// The pool worker's lazily-booted KernelVm: boots on the worker's first VM-needing work
+// item and is then reused across stages, campaigns, and strategies for the process
+// lifetime (GlobalPipelineCounters().vm_boots observes the boot-once invariant).
+KernelVm& PoolWorkerVm(PoolWorker& worker);
 
 // Profiles a whole corpus (restoring the snapshot before each test) on one caller-owned VM,
 // consulting `options.cache` if set.

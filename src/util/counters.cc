@@ -9,6 +9,7 @@ PipelineCounters& GlobalPipelineCounters() {
 
 void ResetPipelineCounters() {
   PipelineCounters& counters = GlobalPipelineCounters();
+  counters.vm_boots = 0;
   counters.vm_profile_runs = 0;
   counters.profile_cache_hits = 0;
   counters.profile_cache_misses = 0;
@@ -19,6 +20,7 @@ void ResetPipelineCounters() {
   counters.snapshot_restore_nanos = 0;
   counters.concurrent_tests_run = 0;
   counters.tests_resumed = 0;
+  counters.journal_records_dropped = 0;
   counters.trials_retried = 0;
   counters.checkpoint_writes = 0;
   counters.checkpoint_bytes = 0;

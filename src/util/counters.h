@@ -18,6 +18,10 @@ namespace snowboard {
 // `vm_profile_runs == corpus_size` once); restore efficacy likewise (delta restores must
 // copy a small fraction of `full` bytes on the standard campaign workload).
 struct PipelineCounters {
+  // KernelVm constructions (full kernel boots). The unified campaign engine parks one VM
+  // per pool worker for the process lifetime, so this stays at ~max worker count no matter
+  // how many stages or campaigns run — the boot-once invariant workpool_test asserts.
+  std::atomic<uint64_t> vm_boots{0};
   std::atomic<uint64_t> vm_profile_runs{0};     // Sequential tests actually executed on a VM.
   std::atomic<uint64_t> profile_cache_hits{0};  // Profiles served from a ProfileCache.
   std::atomic<uint64_t> profile_cache_misses{0};
@@ -35,6 +39,11 @@ struct PipelineCounters {
   // re-executes zero already-journaled tests.
   std::atomic<uint64_t> concurrent_tests_run{0};  // Concurrent tests explored live.
   std::atomic<uint64_t> tests_resumed{0};         // Outcomes replayed from a journal.
+  // Journal records that decoded but referenced a test index outside the current test
+  // list (a foreign or truncated campaign's journal). They are skipped — the test runs
+  // live — but silently dropping them hides real corruption, so they are counted and
+  // warned about.
+  std::atomic<uint64_t> journal_records_dropped{0};
   std::atomic<uint64_t> trials_retried{0};        // Hung-trial retries in the explorer.
   std::atomic<uint64_t> checkpoint_writes{0};     // CheckpointStore::Put commits.
   std::atomic<uint64_t> checkpoint_bytes{0};      // Payload bytes across those commits.

@@ -1,0 +1,87 @@
+#include "src/util/workpool.h"
+
+#include "src/util/assert.h"
+
+namespace snowboard {
+
+namespace {
+// Set inside ThreadMain; a nested Run from a pool thread deadlocks by construction (the
+// caller would wait on workers that can never include itself), so it is checked fatal.
+thread_local bool t_in_pool_thread = false;
+}  // namespace
+
+WorkerPool& WorkerPool::Global() {
+  static WorkerPool* pool = new WorkerPool;  // Leaked on purpose — see header.
+  return *pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::unique_ptr<PoolThread>& t : threads_) {
+    if (t->thread.joinable()) {
+      t->thread.join();
+    }
+  }
+}
+
+int WorkerPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::GrowLocked(int target) {
+  while (static_cast<int>(threads_.size()) < target) {
+    auto t = std::make_unique<PoolThread>();
+    t->worker.index_ = static_cast<int>(threads_.size());
+    PoolThread* raw = t.get();
+    threads_.push_back(std::move(t));
+    raw->thread = std::thread([this, raw]() { ThreadMain(raw); });
+  }
+}
+
+void WorkerPool::ThreadMain(PoolThread* self) {
+  t_in_pool_thread = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&]() {
+      return stopping_ || (job_ != nullptr && self->last_job != job_id_ &&
+                           self->worker.index_ < job_width_);
+    });
+    if (stopping_) {
+      return;
+    }
+    self->last_job = job_id_;
+    const std::function<void(PoolWorker&)>* job = job_;
+    lock.unlock();
+    (*job)(self->worker);
+    lock.lock();
+    if (--remaining_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::Run(int num_workers, const std::function<void(PoolWorker&)>& body) {
+  SB_CHECK(!t_in_pool_thread);  // Nested Run from a pool thread would deadlock.
+  if (num_workers < 1) {
+    num_workers = 1;
+  }
+  std::lock_guard<std::mutex> serial(run_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  SB_CHECK(!stopping_);
+  GrowLocked(num_workers);
+  job_ = &body;
+  job_width_ = num_workers;
+  remaining_ = num_workers;
+  job_id_++;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&]() { return remaining_ == 0; });
+  job_ = nullptr;
+  job_width_ = 0;
+}
+
+}  // namespace snowboard

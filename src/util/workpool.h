@@ -1,0 +1,158 @@
+// Process-lifetime worker pool: the single thread-fan-out point of the campaign engine.
+//
+// The paper's deployment keeps a fixed fleet of VMs busy end-to-end (§4.4.1): workers are
+// provisioned once and stream through profiling, identification, and execution work from a
+// shared queue. Before this pool existed, every pipeline stage spawned and joined its own
+// std::threads and booted its own KernelVms — three independent spawn sites (profiling
+// shards, PMC identification shards, the execution claim loop), each paying a full VM boot
+// per worker per stage. The WorkerPool is the in-process fleet analog: threads are created
+// once, parked between jobs, and carry typed per-worker state (see PoolWorker::State) that
+// survives across jobs — which is how a KernelVm boots once per worker per process and is
+// reused from the corpus stage through profiling into concurrent-test execution.
+//
+// Determinism contract: the pool adds no scheduling decisions of its own. A job body runs
+// once per participating worker; work distribution happens inside the body (typically via
+// an IndexClaim, which hands out indices in increasing order). Stages remain responsible
+// for slot-keyed outputs / ordered merges, exactly as before — the determinism tests lock
+// in that pipeline outputs are byte-identical for any worker count, pooled or not.
+//
+// This lives in util (below sim/kernel) and knows nothing about VMs: per-worker state is
+// type-erased, and the kernel-aware layers supply the factories.
+#ifndef SRC_UTIL_WORKPOOL_H_
+#define SRC_UTIL_WORKPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <typeinfo>
+#include <vector>
+
+namespace snowboard {
+
+// Per-worker handle passed to job bodies. Owned by the pool thread it represents; not
+// thread-safe (only that thread may touch it, which is the only access the API offers).
+class PoolWorker {
+ public:
+  // Stable worker index in [0, pool size): slot-keyed stage outputs and deterministic
+  // seeding key off it, never off the OS thread id.
+  int index() const { return index_; }
+
+  // Lazily-built per-worker state, keyed by type. The first request constructs the object
+  // via `make`; every later request — same job, later job, later campaign — returns the
+  // SAME object. This is the VM-reuse hook: worker code asks for its KernelVm here and
+  // boots at most one per worker per process lifetime.
+  template <typename T>
+  T& State(const std::function<std::unique_ptr<T>()>& make) {
+    for (Slot& slot : slots_) {
+      if (*slot.type == typeid(T)) {
+        return *static_cast<T*>(slot.ptr.get());
+      }
+    }
+    std::shared_ptr<T> made(make());
+    slots_.push_back(Slot{&typeid(T), made});
+    return *made;
+  }
+
+  // True if a State<T> object already exists (tests observe boot-once behavior).
+  template <typename T>
+  bool HasState() const {
+    for (const Slot& slot : slots_) {
+      if (*slot.type == typeid(T)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  friend class WorkerPool;
+  struct Slot {
+    const std::type_info* type;
+    std::shared_ptr<void> ptr;  // shared_ptr<void> keeps the typed deleter.
+  };
+
+  int index_ = 0;
+  std::vector<Slot> slots_;
+};
+
+// A pool of parked threads that runs one job at a time. Jobs are SPMD-style: Run(n, body)
+// executes body(worker) once on each of n distinct pool threads and returns when all n
+// instances have returned. The pool grows on demand and never shrinks; idle threads block
+// on a condition variable and cost nothing.
+class WorkerPool {
+ public:
+  // The process-lifetime pool every pipeline stage shares. Intentionally leaked: its
+  // threads (and the booted VMs parked in their PoolWorker slots) live until process exit,
+  // so no static-destruction-order hazard can fire while a worker is mid-teardown.
+  static WorkerPool& Global();
+
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Runs `body` once on each of `num_workers` pool threads (growing the pool as needed)
+  // and blocks until every instance returns. An unwinding body (fault-injected "crash",
+  // exhausted claim loop) simply returns — the pool itself has no cancellation state, so
+  // a job that died on one worker leaves the pool immediately reusable.
+  //
+  // Concurrent Run calls from different threads serialize. Calling Run from inside a pool
+  // thread would deadlock by construction and is checked fatal.
+  void Run(int num_workers, const std::function<void(PoolWorker&)>& body);
+
+  // Threads created so far (monotonic; tests assert boot-once / grow-on-demand behavior).
+  int thread_count() const;
+
+ private:
+  struct PoolThread {
+    std::thread thread;
+    PoolWorker worker;
+    uint64_t last_job = 0;  // Job id this thread last picked up (it runs each job once).
+  };
+
+  void ThreadMain(PoolThread* self);
+  void GrowLocked(int target);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // New job posted, or shutting down.
+  std::condition_variable done_cv_;  // A job instance finished.
+  std::vector<std::unique_ptr<PoolThread>> threads_;
+  const std::function<void(PoolWorker&)>* job_ = nullptr;
+  uint64_t job_id_ = 0;   // Incremented per Run.
+  int job_width_ = 0;     // Threads with index < job_width_ participate.
+  int remaining_ = 0;     // Instances still running (or not yet picked up).
+  bool stopping_ = false;
+  std::mutex run_mutex_;  // Serializes Run callers.
+};
+
+// Deterministic dynamic work claiming: hands out indices 0..size-1 in increasing order
+// across however many workers pull from it. The claim ORDER is fixed; which worker gets
+// which index is not — so stages write results into slot `i` (or merge in index order)
+// and their outputs are invariant under worker count and scheduling.
+class IndexClaim {
+ public:
+  explicit IndexClaim(size_t size) : size_(size) {}
+
+  // Claims the next index; false when the range is exhausted.
+  bool Next(size_t* index) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= size_) {
+      return false;
+    }
+    *index = i;
+    return true;
+  }
+
+ private:
+  std::atomic<size_t> next_{0};
+  size_t size_;
+};
+
+}  // namespace snowboard
+
+#endif  // SRC_UTIL_WORKPOOL_H_

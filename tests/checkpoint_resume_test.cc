@@ -180,6 +180,122 @@ TEST(CheckpointResumeTest, MismatchedOptionsFingerprintResetsDirectory) {
   std::filesystem::remove_all(options.checkpoint_dir);
 }
 
+// A journal record whose test index is outside the campaign's test list (e.g. a journal
+// left by a differently-sized test set) must be dropped and counted — never replayed as
+// progress, and never allowed to perturb the resumed result.
+TEST(CheckpointResumeTest, OutOfRangeJournalRecordsDroppedAndCounted) {
+  PipelineOptions plain = TinyOptions(2);
+  const std::string golden_text = SerializePipelineResult(RunSnowboardPipeline(plain));
+  const std::string journal = std::string("execute.") + StrategyName(plain.strategy);
+  const std::string result_entry = std::string("result.") + StrategyName(plain.strategy);
+
+  // Count the campaign's fault points, then crash late enough that the directory has
+  // journaled outcomes but no committed result (so a resume actually replays the journal).
+  FaultInjector::Plan no_crash;
+  FaultInjector point_counter(no_crash);
+  PipelineOptions count_options = TinyOptions(2);
+  count_options.checkpoint_dir = FreshDir("dropcount");
+  count_options.fault = &point_counter;
+  PipelineResult counted = RunSnowboardPipeline(count_options);
+  const size_t total_tests = counted.tests_generated;
+  const uint64_t total_points = point_counter.points_seen();
+  ASSERT_GT(total_points, 20u);
+
+  std::string dir;
+  size_t journaled = 0;
+  for (uint64_t crash_at = total_points; crash_at-- > 0;) {
+    std::string candidate = FreshDir("drop");
+    FaultInjector::Plan plan;
+    plan.crash_at = static_cast<int64_t>(crash_at);
+    FaultInjector fault(plan);
+    PipelineOptions crash_options = TinyOptions(2);
+    crash_options.checkpoint_dir = candidate;
+    crash_options.fault = &fault;
+    RunSnowboardPipeline(crash_options);
+    ASSERT_TRUE(fault.crashed());
+    CheckpointStore store(candidate);
+    if (!store.Has(result_entry) && !store.ReadJournal(journal).empty()) {
+      dir = candidate;
+      CountJournaled(candidate, crash_options, total_tests, &journaled);
+      break;
+    }
+    std::filesystem::remove_all(candidate);
+  }
+  ASSERT_FALSE(dir.empty()) << "no crash point left journaled outcomes without a result";
+  ASSERT_GT(journaled, 0u);
+
+  // Poison the journal with a record far past any test index this campaign can generate.
+  {
+    CheckpointStore store(dir);
+    OutcomeRecord bogus;
+    bogus.test_index = 1'000'000;
+    ASSERT_TRUE(store.AppendJournal(journal, EncodeOutcomeRecord(bogus)));
+  }
+
+  ResetPipelineCounters();
+  PipelineOptions resume_options = TinyOptions(2);
+  resume_options.checkpoint_dir = dir;
+  resume_options.resume = true;
+  PipelineResult resumed = RunSnowboardPipeline(resume_options);
+
+  EXPECT_EQ(SerializePipelineResult(resumed), golden_text)
+      << "a dropped record must not perturb the resumed result";
+  EXPECT_GE(GlobalPipelineCounters().journal_records_dropped.load(), 1u)
+      << "the out-of-range record must be counted as dropped";
+  EXPECT_EQ(resumed.tests_resumed, journaled)
+      << "only in-range journaled outcomes may replay";
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(count_options.checkpoint_dir);
+}
+
+// The options fingerprint deliberately excludes the engine choice, so a campaign crashed
+// under one engine must resume byte-identically under the other — in both directions, at
+// sampled crash ordinals (the exhaustive per-point sweep is CrashAtEveryFaultPoint's job).
+TEST(CheckpointResumeTest, CrossEngineResumeIsByteIdentical) {
+  PipelineOptions plain = TinyOptions(2);
+  const std::string golden_text = SerializePipelineResult(RunSnowboardPipeline(plain));
+
+  for (bool crash_streaming : {true, false}) {
+    SCOPED_TRACE(testing::Message() << "crash under "
+                                    << (crash_streaming ? "streaming" : "barrier")
+                                    << ", resume under the other");
+    // Fault-point totals can differ between engines, so count under the crashing engine.
+    FaultInjector::Plan no_crash;
+    FaultInjector point_counter(no_crash);
+    PipelineOptions count_options = TinyOptions(2);
+    count_options.streaming = crash_streaming;
+    count_options.checkpoint_dir = FreshDir("xengine_count");
+    count_options.fault = &point_counter;
+    ASSERT_EQ(SerializePipelineResult(RunSnowboardPipeline(count_options)), golden_text);
+    const uint64_t total_points = point_counter.points_seen();
+    ASSERT_GT(total_points, 20u);
+    std::filesystem::remove_all(count_options.checkpoint_dir);
+
+    for (uint64_t crash_at : {total_points / 5, total_points / 2, total_points - 1}) {
+      SCOPED_TRACE(testing::Message() << "crash_at=" << crash_at);
+      std::string dir = FreshDir("xengine");
+      FaultInjector::Plan plan;
+      plan.crash_at = static_cast<int64_t>(crash_at);
+      FaultInjector fault(plan);
+      PipelineOptions crash_options = TinyOptions(2);
+      crash_options.streaming = crash_streaming;
+      crash_options.checkpoint_dir = dir;
+      crash_options.fault = &fault;
+      RunSnowboardPipeline(crash_options);
+      ASSERT_TRUE(fault.crashed());
+
+      PipelineOptions resume_options = TinyOptions(2);
+      resume_options.streaming = !crash_streaming;
+      resume_options.checkpoint_dir = dir;
+      resume_options.resume = true;
+      PipelineResult resumed = RunSnowboardPipeline(resume_options);
+      EXPECT_EQ(SerializePipelineResult(resumed), golden_text);
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
 TEST(CheckpointResumeTest, InjectedHangsRetryWithoutChangingResults) {
   PipelineOptions base_options = TinyOptions(1);
   std::string golden_text = SerializePipelineResult(RunSnowboardPipeline(base_options));

@@ -6,7 +6,10 @@
 // al.; O'Callahan et al.), applied to our §4.4.1 fleet analog.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/snowboard/pipeline.h"
+#include "src/snowboard/serialize.h"
 #include "src/snowboard/stats.h"
 
 namespace snowboard {
@@ -123,6 +126,46 @@ TEST(PipelineDeterminismTest, DeltaRestoreOnOffProducesIdenticalResults) {
     SCOPED_TRACE("delta on, 2 workers vs 1 worker");
     PipelineResult with_delta_mt = RunSnowboardPipeline(BaseOptions(2));
     ExpectSameResults(with_delta_mt, with_delta);
+  }
+}
+
+// The streaming engine overlaps stages (profiles fold into identification while the
+// profile tail runs; exploration starts as soon as tests resolve) but pins every ordered
+// computation to the barrier engine's order — so the serialized result must be
+// byte-identical across engines AND worker counts. This is the A/B the unified campaign
+// engine is held to.
+TEST(PipelineDeterminismTest, StreamingAndBarrierEnginesByteIdentical) {
+  PipelineOptions golden_options = BaseOptions(1);
+  golden_options.streaming = false;
+  const std::string golden = SerializePipelineResult(RunSnowboardPipeline(golden_options));
+  ASSERT_FALSE(golden.empty());
+  for (bool streaming : {false, true}) {
+    for (int workers : {1, 2, 4, 8}) {
+      if (!streaming && workers == 1) {
+        continue;  // The golden itself.
+      }
+      SCOPED_TRACE(testing::Message()
+                   << (streaming ? "streaming" : "barrier") << " workers=" << workers);
+      PipelineOptions options = BaseOptions(workers);
+      options.streaming = streaming;
+      EXPECT_EQ(SerializePipelineResult(RunSnowboardPipeline(options)), golden);
+    }
+  }
+}
+
+// Same A/B over a pairing baseline, where the streaming engine genuinely overlaps
+// exploration with the profile tail (tests depend only on the corpus).
+TEST(PipelineDeterminismTest, StreamingMatchesBarrierForPairingBaseline) {
+  PipelineOptions barrier = BaseOptions(1);
+  barrier.strategy = Strategy::kRandomPairing;
+  barrier.streaming = false;
+  const std::string golden = SerializePipelineResult(RunSnowboardPipeline(barrier));
+  for (int workers : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "workers=" << workers);
+    PipelineOptions streaming = BaseOptions(workers);
+    streaming.strategy = Strategy::kRandomPairing;
+    streaming.streaming = true;
+    EXPECT_EQ(SerializePipelineResult(RunSnowboardPipeline(streaming)), golden);
   }
 }
 

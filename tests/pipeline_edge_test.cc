@@ -8,6 +8,40 @@
 namespace snowboard {
 namespace {
 
+// ResolvedWorkers is the single interpretation of num_workers shared by every stage:
+// non-positive values (unset / nonsense from a caller) resolve to one worker, explicit
+// counts pass through.
+TEST(PipelineEdgeTest, ResolvedWorkersClampsNonPositiveCounts) {
+  PipelineOptions options;
+  EXPECT_EQ(options.ResolvedWorkers(), 1);  // Default num_workers = 1.
+  options.num_workers = 0;
+  EXPECT_EQ(options.ResolvedWorkers(), 1);
+  options.num_workers = -3;
+  EXPECT_EQ(options.ResolvedWorkers(), 1);
+  options.num_workers = 8;
+  EXPECT_EQ(options.ResolvedWorkers(), 8);
+}
+
+// A zero or negative worker count must behave exactly like one worker, end to end.
+TEST(PipelineEdgeTest, NonPositiveWorkerCountRunsLikeOneWorker) {
+  PipelineOptions base;
+  base.corpus.max_iterations = 10;
+  base.corpus.target_size = 8;
+  base.max_concurrent_tests = 4;
+  base.explorer.num_trials = 2;
+  base.num_workers = 1;
+  PipelineResult golden = RunSnowboardPipeline(base);
+  for (int workers : {0, -1}) {
+    SCOPED_TRACE(testing::Message() << "num_workers=" << workers);
+    PipelineOptions options = base;
+    options.num_workers = workers;
+    PipelineResult result = RunSnowboardPipeline(options);
+    EXPECT_EQ(result.tests_executed, golden.tests_executed);
+    EXPECT_EQ(result.total_trials, golden.total_trials);
+    EXPECT_EQ(result.pmc_count, golden.pmc_count);
+  }
+}
+
 TEST(PipelineEdgeTest, ZeroBudgetExecutesNothing) {
   PipelineOptions options;
   options.corpus.max_iterations = 10;

@@ -1,0 +1,163 @@
+// The shared worker pool (util/workpool.h): SPMD job semantics, deterministic index
+// claiming, per-worker state that survives across jobs (the KernelVm boot-once invariant),
+// and clean unwinding when an injected fault kills a job mid-flight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/snowboard/profile.h"
+#include "src/util/counters.h"
+#include "src/util/fault.h"
+#include "src/util/workpool.h"
+
+namespace snowboard {
+namespace {
+
+TEST(WorkpoolTest, RunExecutesBodyOncePerWorkerWithDistinctIndices) {
+  WorkerPool pool;
+  for (int width : {1, 3, 5}) {
+    SCOPED_TRACE(testing::Message() << "width=" << width);
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(width));
+    for (auto& h : hits) {
+      h = 0;
+    }
+    pool.Run(width, [&](PoolWorker& worker) {
+      ASSERT_GE(worker.index(), 0);
+      ASSERT_LT(worker.index(), width);
+      hits[static_cast<size_t>(worker.index())]++;
+    });
+    for (int i = 0; i < width; i++) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "worker " << i;
+    }
+  }
+  // The pool grew to the widest job and never shrank.
+  EXPECT_EQ(pool.thread_count(), 5);
+}
+
+TEST(WorkpoolTest, IndexClaimHandsOutEachIndexExactlyOnceAtAnyWidth) {
+  WorkerPool pool;
+  constexpr size_t kItems = 1000;
+  for (int width : {1, 2, 4, 8}) {
+    SCOPED_TRACE(testing::Message() << "width=" << width);
+    std::vector<std::atomic<int>> claimed(kItems);
+    for (auto& c : claimed) {
+      c = 0;
+    }
+    IndexClaim claim(kItems);
+    pool.Run(width, [&](PoolWorker&) {
+      size_t i = 0;
+      while (claim.Next(&i)) {
+        claimed[i]++;
+      }
+    });
+    for (size_t i = 0; i < kItems; i++) {
+      ASSERT_EQ(claimed[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+// Slot-keyed outputs under dynamic claiming are the pool's determinism contract: the same
+// input produces the same output vector at every width because slot i is written only by
+// the claimer of index i.
+TEST(WorkpoolTest, SlotKeyedOutputsInvariantAcrossWidths) {
+  WorkerPool pool;
+  constexpr size_t kItems = 257;
+  auto run = [&](int width) {
+    std::vector<uint64_t> out(kItems, 0);
+    IndexClaim claim(kItems);
+    pool.Run(width, [&](PoolWorker&) {
+      size_t i = 0;
+      while (claim.Next(&i)) {
+        out[i] = i * 2654435761ull + 17;
+      }
+    });
+    return out;
+  };
+  std::vector<uint64_t> base = run(1);
+  for (int width : {2, 4, 8}) {
+    EXPECT_EQ(run(width), base) << "width=" << width;
+  }
+}
+
+TEST(WorkpoolTest, PerWorkerStatePersistsAcrossJobs) {
+  WorkerPool pool;
+  std::vector<int*> first_addresses(4, nullptr);
+  std::atomic<int> makes{0};
+  auto factory = [&]() {
+    makes++;
+    return std::make_unique<int>(0);
+  };
+  // Two jobs ("stages"): the second must see the exact object the first created.
+  pool.Run(4, [&](PoolWorker& worker) {
+    int& state = worker.State<int>(factory);
+    state = worker.index() + 100;
+    first_addresses[static_cast<size_t>(worker.index())] = &state;
+  });
+  pool.Run(4, [&](PoolWorker& worker) {
+    ASSERT_TRUE(worker.HasState<int>());
+    int& state = worker.State<int>(factory);
+    EXPECT_EQ(&state, first_addresses[static_cast<size_t>(worker.index())]);
+    EXPECT_EQ(state, worker.index() + 100);
+  });
+  EXPECT_EQ(makes.load(), 4);  // One construction per worker, not per job.
+}
+
+// The boot-once invariant the campaign engine is built on: a pool worker's KernelVm boots
+// on first use and is then reused by later jobs — the "stages" of a campaign — without
+// another boot.
+TEST(WorkpoolTest, PoolWorkerVmBootsOncePerWorkerAcrossStages) {
+  WorkerPool pool;
+  ResetPipelineCounters();
+  pool.Run(2, [&](PoolWorker& worker) { PoolWorkerVm(worker).RestoreSnapshot(); });
+  uint64_t boots_after_first_stage = GlobalPipelineCounters().vm_boots.load();
+  EXPECT_EQ(boots_after_first_stage, 2u);
+  for (int stage = 0; stage < 3; stage++) {
+    pool.Run(2, [&](PoolWorker& worker) { PoolWorkerVm(worker).RestoreSnapshot(); });
+  }
+  EXPECT_EQ(GlobalPipelineCounters().vm_boots.load(), boots_after_first_stage)
+      << "later stages must reuse the booted VMs";
+}
+
+// An injected crash makes every worker abandon its claim loop; the pool itself carries no
+// job state across Run calls, so the next job runs to completion on the same threads.
+TEST(WorkpoolTest, PoolSurvivesFaultInjectedJobAndStaysReusable) {
+  WorkerPool pool;
+  constexpr size_t kItems = 200;
+  FaultInjector::Plan plan;
+  plan.crash_at = 20;  // Die at the 21st claim, mid-job.
+  FaultInjector fault(plan);
+
+  std::atomic<size_t> completed{0};
+  IndexClaim claim(kItems);
+  pool.Run(4, [&](PoolWorker&) {
+    size_t i = 0;
+    for (;;) {
+      if (fault.At("pool.claim")) {
+        return;  // Unwind exactly as the campaign engine's workers do.
+      }
+      if (!claim.Next(&i)) {
+        return;
+      }
+      completed++;
+    }
+  });
+  EXPECT_TRUE(fault.crashed());
+  EXPECT_LT(completed.load(), kItems) << "the crash should have cut the job short";
+
+  // Same pool, fresh job: full completion, and per-worker state survived the "crash".
+  std::vector<uint8_t> done(kItems, 0);
+  IndexClaim claim2(kItems);
+  pool.Run(4, [&](PoolWorker&) {
+    size_t i = 0;
+    while (claim2.Next(&i)) {
+      done[i] = 1;
+    }
+  });
+  for (size_t i = 0; i < kItems; i++) {
+    ASSERT_EQ(done[i], 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -78,6 +78,7 @@ constexpr FlagInfo kCampaignFlags[] = {
     {"budget", "N", "max concurrent tests to generate (default 300)"},
     {"trials", "N", "trials per concurrent test (default 24)"},
     {"workers", "N", "worker threads for every parallel stage (default 4)"},
+    {"no-stream", nullptr, "run stages as strict barriers instead of streaming"},
     {"seed", "S", "campaign seed (default 1)"},
     {"corpus-size", "N", "target corpus size (default 80)"},
     {"corpus-iters", "N", "fuzzing iterations (default 300)"},
@@ -355,6 +356,7 @@ int CmdCampaign(const Args& args) {
   options.max_concurrent_tests = static_cast<size_t>(args.GetInt("budget", 300));
   options.explorer.num_trials = static_cast<int>(args.GetInt("trials", 24));
   options.num_workers = static_cast<int>(args.GetInt("workers", 4));
+  options.streaming = !args.Has("no-stream");
   options.checkpoint_dir = args.Get("checkpoint-dir", "");
   options.resume = args.Has("resume");
   if (options.resume && options.checkpoint_dir.empty()) {
