@@ -244,6 +244,44 @@ void RaceDetector::Detect(const Trace& trace, std::vector<RaceReport>* races) {
   }
 }
 
+uint64_t DetectorFingerprint(const DetectorResult& result) {
+  uint64_t h = HashAll(uint64_t{0xf19e}, result.panicked ? 1 : 0,
+                       Fnv1a(result.panic_message), result.console_hits.size(),
+                       result.races.size());
+  for (const std::string& line : result.console_hits) {
+    h = HashCombine(h, Fnv1a(line));
+  }
+  for (const RaceReport& race : result.races) {
+    h = HashCombine(h, HashAll(race.write_site, race.other_site,
+                               static_cast<uint64_t>(race.addr),
+                               race.write_write ? 1 : 0));
+  }
+  return h;
+}
+
+bool DetectorResultContainsKey(const DetectorResult& result, FindingKind kind,
+                               uint64_t key) {
+  switch (kind) {
+    case FindingKind::kRace:
+      for (const RaceReport& race : result.races) {
+        if (race.Signature() == key) {
+          return true;
+        }
+      }
+      return false;
+    case FindingKind::kConsole:
+      for (const std::string& line : result.console_hits) {
+        if (Fnv1a(line) == key) {
+          return true;
+        }
+      }
+      return false;
+    case FindingKind::kPanic:
+      return result.panicked && Fnv1a(result.panic_message) == key;
+  }
+  return false;
+}
+
 std::vector<RaceReport> DetectRaces(const Trace& trace) {
   RaceDetector detector;
   std::vector<RaceReport> races;

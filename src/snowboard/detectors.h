@@ -99,6 +99,21 @@ class RaceDetector {
   FlatSet<uint64_t> seen_signatures_;
 };
 
+// Order-sensitive hash of a full detector output (panic flag + message, console hits, and
+// race reports in trace order). Detection is a pure function of the trace, so two trials
+// with the same interleaving fingerprint identically — which is what lets a replay token
+// carry the expected fingerprint and a replayed trial prove it reproduced the original.
+uint64_t DetectorFingerprint(const DetectorResult& result);
+
+// Finding kinds as they appear in a trial's detector output; the dedup key of a finding is
+// RaceReport::Signature() for races and Fnv1a(line) for console hits and panic messages —
+// the exact keys the explorer's cross-trial dedup sets use.
+enum class FindingKind : uint8_t { kRace = 0, kConsole = 1, kPanic = 2 };
+
+// True if `result` contains a finding of `kind` whose dedup key equals `key` — the
+// minimizer's acceptance test ("does the finding of interest still fire?").
+bool DetectorResultContainsKey(const DetectorResult& result, FindingKind kind, uint64_t key);
+
 // Runs both oracles over a finished trial.
 DetectorResult RunDetectors(const Engine::RunResult& result);
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/snowboard/minimize.h"
 #include "src/snowboard/profile.h"
+#include "src/snowboard/replay.h"
 #include "src/snowboard/report.h"
 #include "src/util/counters.h"
 #include "src/util/fault.h"
@@ -186,13 +188,36 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
   const std::vector<Engine::GuestFn> vcpu_fns = {
       MakeProgramRunner(vm.globals(), test.writer, /*task_index=*/0),
       MakeProgramRunner(vm.globals(), test.reader, /*task_index=*/1)};
+  // Every trial runs through a recorder so a first-seen finding can be captured with the
+  // exact decision sequence that produced it. The recording buffer keeps its capacity
+  // across trials (SeedTrial clears, not reallocates), preserving the no-alloc steady state.
+  RecordingScheduler recorder(&scheduler);
   Engine::RunOptions run_opts;
-  run_opts.scheduler = &scheduler;
+  run_opts.scheduler = &recorder;
   run_opts.max_instructions = options.max_instructions;
   Engine::RunResult result;
   RaceDetector race_detector;
   DetectorResult detectors;
   IncidentalScratch incidental;
+
+  uint64_t trial_fingerprint = 0;  // Computed lazily, at most once per trial.
+  int fingerprint_trial = -1;
+  auto capture_finding = [&](FindingKind kind, uint64_t key, int trial) {
+    if (fingerprint_trial != trial) {
+      trial_fingerprint = DetectorFingerprint(detectors);
+      fingerprint_trial = trial;
+    }
+    TrialCapture capture;
+    capture.kind = static_cast<uint8_t>(kind);
+    capture.finding_key = key;
+    capture.trial = trial;
+    capture.fingerprint = trial_fingerprint;
+    capture.schedule = recorder.schedule().ToString();
+    capture.orig_len = static_cast<uint32_t>(recorder.schedule().switch_after.size());
+    capture.orig_switches = static_cast<uint32_t>(recorder.schedule().SwitchCount());
+    capture.min_switches = capture.orig_switches;
+    outcome.captures.push_back(std::move(capture));
+  };
 
   for (int trial = 0; trial < options.num_trials; trial++) {
     if (options.fault != nullptr && options.fault->At("explorer.trial")) {
@@ -206,7 +231,7 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
     // so a retry that succeeds is byte-identical to the attempt never having hung.
     int attempt = 0;
     for (;;) {
-      scheduler.SeedTrial(options.seed + static_cast<uint64_t>(trial));
+      recorder.SeedTrial(options.seed + static_cast<uint64_t>(trial));
       vm.RestoreSnapshot();
       vm.engine().RunInto(vcpu_fns, run_opts, &result);
       bool injected_hang = options.fault != nullptr && options.fault->HangTrial();
@@ -241,18 +266,21 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
       check_target(ClassifyRace(race));
       if (race_signatures.insert(race.Signature()).second) {
         outcome.races.push_back(race);
+        capture_finding(FindingKind::kRace, race.Signature(), trial);
       }
     }
     for (const std::string& line : detectors.console_hits) {
       check_target(ClassifyConsoleLine(line));
       if (console_hashes.insert(Fnv1a(line)).second) {
         outcome.console_hits.push_back(line);
+        capture_finding(FindingKind::kConsole, Fnv1a(line), trial);
       }
     }
     if (detectors.panicked) {
       check_target(ClassifyConsoleLine(detectors.panic_message));
       if (panic_hashes.insert(Fnv1a(detectors.panic_message)).second) {
         outcome.panic_messages.push_back(detectors.panic_message);
+        capture_finding(FindingKind::kPanic, Fnv1a(detectors.panic_message), trial);
       }
     }
     if (bug_this_trial && !outcome.bug_found) {
@@ -276,6 +304,51 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
         if (current_keys.Insert(key.Hash())) {
           pmc_scheduler->AddPmc(key);
         }
+      }
+    }
+  }
+
+  // Shrink each captured schedule toward the 2-preemption ideal. This runs after the trial
+  // loop so it adds no fault points or hang ordinals (the crash-sweep's point count stays a
+  // function of the campaign shape alone); under an injected crash the partial outcome is
+  // discarded anyway, so the replays are skipped. Each probe is a deterministic replay, so
+  // the minimized schedules — and everything serialized from them — are identical on any
+  // worker count or engine configuration.
+  if (options.minimize_schedules && !outcome.captures.empty() &&
+      !(options.fault != nullptr && options.fault->crashed())) {
+    Engine::RunOptions replay_opts;
+    replay_opts.max_instructions = options.max_instructions;
+    MinimizeOptions min_opts;
+    min_opts.max_probes = options.minimize_probes;
+    for (TrialCapture& capture : outcome.captures) {
+      std::optional<RecordedSchedule> recorded =
+          RecordedSchedule::FromString(capture.schedule);
+      if (!recorded.has_value()) {
+        continue;
+      }
+      FindingKind kind = static_cast<FindingKind>(capture.kind);
+      uint64_t last_fingerprint = 0;
+      auto probe = [&](const RecordedSchedule& candidate) {
+        ReplayScheduler replayer(candidate);
+        replayer.SeedTrial(0);
+        replay_opts.scheduler = &replayer;
+        vm.RestoreSnapshot();
+        vm.engine().RunInto(vcpu_fns, replay_opts, &result);
+        RunDetectors(result, &race_detector, &detectors);
+        if (!DetectorResultContainsKey(detectors, kind, capture.finding_key)) {
+          return false;
+        }
+        last_fingerprint = DetectorFingerprint(detectors);
+        return true;
+      };
+      MinimizeStats stats;
+      RecordedSchedule minimized = MinimizeSchedule(*recorded, probe, min_opts, &stats);
+      if (stats.reproduced) {
+        // The final successful probe ran exactly `minimized`, so its fingerprint is the
+        // one a replay of this capture will produce.
+        capture.schedule = minimized.ToString();
+        capture.fingerprint = last_fingerprint;
+        capture.min_switches = static_cast<uint32_t>(stats.min_switches);
       }
     }
   }

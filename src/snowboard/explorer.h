@@ -130,6 +130,30 @@ struct ExplorerOptions {
   // Crash/hang fault-injection hook (crash-sweep harness); nullptr = off. A crash makes
   // the trial loop unwind immediately with a partial outcome the caller must discard.
   FaultInjector* fault = nullptr;
+  // Record the schedule of every first-seen finding and shrink it with the delta-debugging
+  // minimizer (minimize.h) after the trial loop, so findings ship with a minimal replay
+  // token. Minimization replays are extra engine runs; disable for raw-throughput runs.
+  bool minimize_schedules = true;
+  int minimize_probes = 48;  // Per-finding replay budget for the minimizer.
+};
+
+// The recorded reproducer of one first-seen finding: enough to rebuild a replay token
+// (serialize.h) once the pipeline layer attaches the program pair and issue id. `key` is
+// the same dedup key the explorer's first-seen sets use (race Signature(), FNV-1a of the
+// console line / panic message), so findings classified later can be joined back to their
+// capture. `fingerprint` is DetectorFingerprint() of the replayed trial that the final
+// (minimized) schedule was verified against.
+struct TrialCapture {
+  uint8_t kind = 0;  // FindingKind.
+  uint64_t finding_key = 0;
+  int trial = -1;
+  uint64_t fingerprint = 0;
+  std::string schedule;        // RecordedSchedule::ToString() of the (minimized) schedule.
+  uint32_t orig_len = 0;       // Decisions in the raw recording.
+  uint32_t orig_switches = 0;  // Switches in the raw recording.
+  uint32_t min_switches = 0;   // Switches surviving minimization.
+
+  bool operator==(const TrialCapture&) const = default;
 };
 
 struct ExploreOutcome {
@@ -144,6 +168,7 @@ struct ExploreOutcome {
   std::vector<RaceReport> races;            // Deduped across trials.
   std::vector<std::string> console_hits;    // Deduped.
   std::vector<std::string> panic_messages;  // Deduped.
+  std::vector<TrialCapture> captures;       // One per first-seen finding (replay tokens).
 
   bool operator==(const ExploreOutcome&) const = default;
 };

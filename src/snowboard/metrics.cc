@@ -37,6 +37,8 @@ MetricsSnapshot CollectCampaignMetrics(const PipelineOptions& options,
   add("funnel.tests_with_findings", static_cast<double>(result.tests_with_bug));
   add("funnel.channel_exercised", static_cast<double>(result.channel_exercised));
   add("funnel.trials_total", static_cast<double>(result.total_trials));
+  add("funnel.schedule_switches_orig", static_cast<double>(result.schedule_switches_orig));
+  add("funnel.schedule_switches_min", static_cast<double>(result.schedule_switches_min));
   add("funnel.findings_total", static_cast<double>(result.findings.total_findings()));
   add("funnel.distinct_issues", static_cast<double>(result.findings.first_findings().size()));
   add("execute.trials_retried", static_cast<double>(result.trials_retried));

@@ -1,0 +1,113 @@
+#include "src/snowboard/minimize.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace snowboard {
+
+namespace {
+
+// Rebuilds a schedule from the kept switch positions (ascending). The schedule is
+// truncated right after the last kept switch: ReplayScheduler never switches past the end
+// of the recording, so the trailing run of '.' decisions is semantically dead weight.
+RecordedSchedule BuildFromPositions(const std::vector<size_t>& kept) {
+  RecordedSchedule schedule;
+  if (kept.empty()) {
+    return schedule;
+  }
+  schedule.switch_after.assign(kept.back() + 1, false);
+  for (size_t position : kept) {
+    schedule.switch_after[position] = true;
+  }
+  return schedule;
+}
+
+}  // namespace
+
+RecordedSchedule MinimizeSchedule(const RecordedSchedule& schedule, const SchedProbe& probe,
+                                  const MinimizeOptions& options, MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& out = stats != nullptr ? *stats : local;
+  out = MinimizeStats();
+  out.orig_len = schedule.switch_after.size();
+  out.orig_switches = schedule.SwitchCount();
+  out.min_len = out.orig_len;
+  out.min_switches = out.orig_switches;
+
+  std::vector<size_t> positions;
+  positions.reserve(out.orig_switches);
+  for (size_t i = 0; i < schedule.switch_after.size(); i++) {
+    if (schedule.switch_after[i]) {
+      positions.push_back(i);
+    }
+  }
+
+  auto try_probe = [&](const RecordedSchedule& candidate) {
+    if (out.probes >= options.max_probes) {
+      return false;
+    }
+    out.probes++;
+    return probe(candidate);
+  };
+
+  // Baseline: the truncated form of the full recording (replay-equivalent to it) must
+  // reproduce; otherwise the recording does not describe the finding and shrinking it
+  // would minimize toward noise.
+  RecordedSchedule best = BuildFromPositions(positions);
+  if (!try_probe(best)) {
+    return schedule;
+  }
+  out.reproduced = true;
+
+  // Quick win first: many console/panic findings fire on the serialized (no-preemption)
+  // run of this exact program pair and need no steering at all.
+  if (!positions.empty()) {
+    RecordedSchedule none;
+    if (try_probe(none)) {
+      positions.clear();
+      best = std::move(none);
+    }
+  }
+
+  // ddmin over the switch positions (complement removal): drop chunks of switches while
+  // the finding keeps reproducing, halving chunk size when no chunk can go.
+  size_t granularity = 2;
+  while (positions.size() >= 2 && granularity <= positions.size() &&
+         out.probes < options.max_probes) {
+    size_t chunk = (positions.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (size_t start = 0; start < positions.size() && out.probes < options.max_probes;
+         start += chunk) {
+      std::vector<size_t> kept;
+      kept.reserve(positions.size());
+      for (size_t i = 0; i < positions.size(); i++) {
+        if (i < start || i >= start + chunk) {
+          kept.push_back(positions[i]);
+        }
+      }
+      if (kept.size() == positions.size()) {
+        continue;
+      }
+      RecordedSchedule candidate = BuildFromPositions(kept);
+      if (try_probe(candidate)) {
+        positions = std::move(kept);
+        best = std::move(candidate);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= positions.size()) {
+        break;
+      }
+      granularity = std::min(positions.size(), granularity * 2);
+    }
+  }
+
+  out.min_len = best.switch_after.size();
+  out.min_switches = positions.size();
+  return best;
+}
+
+}  // namespace snowboard

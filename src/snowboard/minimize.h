@@ -1,0 +1,50 @@
+// Delta-debugging schedule minimization.
+//
+// The paper argues most kernel concurrency bugs need only a tiny number of preemptions
+// ("two context switches suffice" is the classic CHESS/small-scope observation Snowboard's
+// 2-thread trials lean on). A recorded schedule, by contrast, logs EVERY scheduler decision
+// of the trial — thousands of '.' entries around a handful of 'S' switches, most of which
+// are incidental coin flips that never mattered. MinimizeSchedule shrinks the recording
+// toward that ideal: it removes switch decisions (ddmin over the switch positions, plus a
+// free truncation past the last kept switch) while a caller-supplied probe confirms the
+// finding still reproduces under deterministic replay. The result is a shorter, more
+// legible reproducer whose surviving switches are exactly the preemptions the bug needs.
+#ifndef SRC_SNOWBOARD_MINIMIZE_H_
+#define SRC_SNOWBOARD_MINIMIZE_H_
+
+#include <functional>
+
+#include "src/snowboard/replay.h"
+
+namespace snowboard {
+
+struct MinimizeOptions {
+  // Probe budget: each probe is one deterministic replay of the trial, so this bounds the
+  // minimizer's cost at max_probes trial executions per finding.
+  int max_probes = 48;
+};
+
+struct MinimizeStats {
+  int probes = 0;          // Replays actually spent.
+  bool reproduced = false; // The original recording itself reproduced under replay.
+  size_t orig_len = 0;     // Decisions in the original recording.
+  size_t min_len = 0;      // Decisions in the minimized schedule (truncation included).
+  size_t orig_switches = 0;
+  size_t min_switches = 0;
+};
+
+// Probe contract: replays the trial under `candidate` and returns true iff the finding of
+// interest still fires. The probe MUST be deterministic (same candidate -> same answer);
+// MinimizeSchedule guarantees the returned schedule was accepted by the FINAL successful
+// probe, so state the probe captures (e.g. the replay's detector fingerprint) describes
+// exactly the returned schedule.
+using SchedProbe = std::function<bool(const RecordedSchedule& candidate)>;
+
+// Shrinks `schedule` while `probe` keeps succeeding. If even the original recording fails
+// the probe (stats->reproduced == false), the original is returned unchanged.
+RecordedSchedule MinimizeSchedule(const RecordedSchedule& schedule, const SchedProbe& probe,
+                                  const MinimizeOptions& options, MinimizeStats* stats);
+
+}  // namespace snowboard
+
+#endif  // SRC_SNOWBOARD_MINIMIZE_H_

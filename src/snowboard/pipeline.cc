@@ -40,29 +40,60 @@ double SecondsBetween(std::chrono::steady_clock::time_point a,
 // the execution journal, and journal replay records them verbatim instead of
 // re-classifying.
 std::vector<Finding> ExtractFindings(const ConcurrentTest& test,
-                                     const ExploreOutcome& outcome, size_t test_index) {
+                                     const ExploreOutcome& outcome, size_t test_index,
+                                     const ExplorerOptions& explorer) {
   std::vector<Finding> findings;
   bool duplicate_input = test.write_test == test.read_test;
-  auto record = [&](int issue_id, const std::string& evidence) {
+  // Joins a finding back to its trial capture by the shared dedup key, and renders the
+  // capture as a shippable replay token. `explorer` must be the per-test options the
+  // outcome was executed with — the token's trial seed comes from it.
+  auto token_for = [&](int issue_id, FindingKind kind, uint64_t key) -> std::string {
+    for (const TrialCapture& capture : outcome.captures) {
+      if (capture.kind != static_cast<uint8_t>(kind) || capture.finding_key != key) {
+        continue;
+      }
+      std::optional<RecordedSchedule> schedule =
+          RecordedSchedule::FromString(capture.schedule);
+      if (!schedule.has_value()) {
+        break;
+      }
+      ReplayToken token;
+      token.issue_id = issue_id;
+      token.write_test = test.write_test;
+      token.read_test = test.read_test;
+      token.trial_seed = explorer.seed + static_cast<uint64_t>(capture.trial);
+      token.max_instructions = explorer.max_instructions;
+      token.fingerprint = capture.fingerprint;
+      token.schedule = std::move(*schedule);
+      token.hint = test.hint;
+      token.writer = test.writer;
+      token.reader = test.reader;
+      return FormatReplayToken(token);
+    }
+    return std::string();
+  };
+  auto record = [&](int issue_id, const std::string& evidence, FindingKind kind,
+                    uint64_t key) {
     Finding finding;
     finding.issue_id = issue_id;
     finding.evidence = evidence;
     finding.test_index = test_index;
     finding.trial = outcome.first_bug_trial;
     finding.duplicate_input = duplicate_input;
+    finding.replay_token = token_for(issue_id, kind, key);
     findings.push_back(std::move(finding));
   };
   for (const RaceReport& race : outcome.races) {
     std::string evidence =
         StrPrintf("data race: %s / %s @0x%x", SiteName(race.write_site).c_str(),
                   SiteName(race.other_site).c_str(), race.addr);
-    record(ClassifyRace(race), evidence);
+    record(ClassifyRace(race), evidence, FindingKind::kRace, race.Signature());
   }
   for (const std::string& line : outcome.console_hits) {
-    record(ClassifyConsoleLine(line), line);
+    record(ClassifyConsoleLine(line), line, FindingKind::kConsole, Fnv1a(line));
   }
   for (const std::string& line : outcome.panic_messages) {
-    record(ClassifyConsoleLine(line), line);
+    record(ClassifyConsoleLine(line), line, FindingKind::kPanic, Fnv1a(line));
   }
   return findings;
 }
@@ -100,7 +131,8 @@ uint64_t OptionsFingerprint(const PipelineOptions& o) {
                  static_cast<uint64_t>(o.strategy), o.max_concurrent_tests,
                  o.explorer.num_trials, o.explorer.seed, o.explorer.max_instructions,
                  o.explorer.stop_on_bug, o.explorer.target_issue,
-                 o.explorer.adopt_incidental, o.explorer.max_trial_retries);
+                 o.explorer.adopt_incidental, o.explorer.max_trial_retries,
+                 o.explorer.minimize_schedules, o.explorer.minimize_probes);
 }
 
 // The worker count the identify stage actually uses: its own option, or the pipeline-wide
@@ -288,7 +320,7 @@ std::optional<OutcomeRecord> RunOneExploreTest(KernelVm& vm, const ConcurrentTes
   if (runner.dead()) {
     return std::nullopt;  // The trial loop died mid-test; its partial outcome never existed.
   }
-  record.findings = ExtractFindings(test, record.outcome, index);
+  record.findings = ExtractFindings(test, record.outcome, index, explorer);
   if (runner.store() != nullptr) {
     runner.store()->AppendJournal(journal_name, EncodeOutcomeRecord(record));
     if (runner.dead()) {
@@ -322,6 +354,10 @@ void FoldExploreOutcomes(const std::vector<std::optional<OutcomeRecord>>& outcom
     }
     if (resumed[i]) {
       result->tests_resumed++;
+    }
+    for (const TrialCapture& capture : record.outcome.captures) {
+      result->schedule_switches_orig += capture.orig_switches;
+      result->schedule_switches_min += capture.min_switches;
     }
     for (const Finding& finding : record.findings) {
       result->findings.Record(finding);

@@ -85,6 +85,10 @@ struct PipelineResult {
   size_t tests_with_bug = 0;
   size_t channel_exercised = 0;  // §5.3.2 numerator.
   uint64_t total_trials = 0;
+  // Minimization funnel: switch counts of the captured finding schedules before and after
+  // the delta-debugging minimizer (summed over every capture of every executed test).
+  uint64_t schedule_switches_orig = 0;
+  uint64_t schedule_switches_min = 0;
   uint64_t pmc_table_digest = 0;  // PmcTableDigest of the identified table.
   FindingsLog findings;
   // Resume bookkeeping (run-shape dependent; excluded from SerializePipelineResult).

@@ -11,13 +11,27 @@ std::string RecordedSchedule::ToString() const {
   return text;
 }
 
-RecordedSchedule RecordedSchedule::FromString(const std::string& text) {
+std::optional<RecordedSchedule> RecordedSchedule::FromString(const std::string& text) {
+  if (text.size() > kMaxScheduleLength) {
+    return std::nullopt;
+  }
   RecordedSchedule schedule;
   schedule.switch_after.reserve(text.size());
   for (char c : text) {
+    if (c != '.' && c != 'S') {
+      return std::nullopt;
+    }
     schedule.switch_after.push_back(c == 'S');
   }
   return schedule;
+}
+
+size_t RecordedSchedule::SwitchCount() const {
+  size_t count = 0;
+  for (bool decision : switch_after) {
+    count += decision ? 1 : 0;
+  }
+  return count;
 }
 
 Engine::RunResult ReproduceTrial(KernelVm& vm, const ConcurrentTest& test, uint64_t seed,
@@ -59,6 +73,29 @@ bool ReplayCapsule(KernelVm& vm, const BugCapsule& capsule) {
     return result.panicked && result.panic_message == capsule.panic_message;
   }
   return result.completed;
+}
+
+ReplayVerdict ReplayTokenTrial(KernelVm& vm, const ReplayToken& token) {
+  ReplayScheduler replayer(token.schedule);
+  replayer.SeedTrial(token.trial_seed);
+
+  vm.RestoreSnapshot();
+  Engine::RunOptions opts;
+  opts.scheduler = &replayer;
+  if (token.max_instructions > 0) {
+    opts.max_instructions = token.max_instructions;
+  }
+  Engine::RunResult result = vm.engine().Run(
+      {MakeProgramRunner(vm.globals(), token.writer, 0),
+       MakeProgramRunner(vm.globals(), token.reader, 1)},
+      opts);
+
+  ReplayVerdict verdict;
+  verdict.completed = result.completed || result.panicked || result.hang;
+  verdict.detectors = RunDetectors(result);
+  verdict.fingerprint = DetectorFingerprint(verdict.detectors);
+  verdict.fingerprint_match = verdict.fingerprint == token.fingerprint;
+  return verdict;
 }
 
 }  // namespace snowboard

@@ -13,12 +13,18 @@
 #ifndef SRC_SNOWBOARD_REPLAY_H_
 #define SRC_SNOWBOARD_REPLAY_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/snowboard/explorer.h"
 
 namespace snowboard {
+
+// Upper bound on a parseable schedule string. Recorded schedules are bounded by the trial
+// instruction budget (one decision per memory access), so anything past this is adversarial
+// input, not a recording.
+inline constexpr size_t kMaxScheduleLength = 1 << 20;
 
 // A recorded schedule: for each access (in per-vCPU execution order is not enough — the
 // global access index is used, which the serialized engine makes well-defined), whether a
@@ -28,7 +34,11 @@ struct RecordedSchedule {
 
   // Compact textual form ("..S..S.S") for bug reports; parseable by FromString.
   std::string ToString() const;
-  static RecordedSchedule FromString(const std::string& text);
+  // Rejecting parse: any character other than '.'/'S', or a string past
+  // kMaxScheduleLength, yields nullopt (tokens cross trust boundaries — bug trackers,
+  // checked-in corpora — so junk must never round-trip into a bogus schedule).
+  static std::optional<RecordedSchedule> FromString(const std::string& text);
+  size_t SwitchCount() const;
   bool operator==(const RecordedSchedule&) const = default;
 };
 
@@ -91,6 +101,42 @@ Engine::RunResult ReproduceTrial(KernelVm& vm, const ConcurrentTest& test, uint6
 
 // Replays a capsule and reports whether the original signature reproduced.
 bool ReplayCapsule(KernelVm& vm, const BugCapsule& capsule);
+
+// --- Replay tokens: a finding as a shippable artifact. ---
+//
+// A token is self-contained: it embeds the program pair, the PMC hint, the per-trial seed,
+// the (minimized) recorded schedule, and the detector fingerprint the recorded trial
+// produced. Re-executing it needs nothing but a booted KernelVm — no corpus, no checkpoint
+// directory, no site-name registry from the original process. The single-line textual form
+// (FormatReplayToken / ParseReplayToken in serialize.h) is versioned and checksummed.
+struct ReplayToken {
+  int issue_id = 0;          // Table 2 classification (0 = unclassified).
+  int write_test = -1;       // Program-pair corpus ids (provenance; -1 = unknown).
+  int read_test = -1;
+  uint64_t trial_seed = 0;   // The exact SeedTrial value of the recorded trial.
+  uint64_t max_instructions = 0;  // The trial's instruction budget.
+  uint64_t fingerprint = 0;  // DetectorFingerprint of the recorded (minimized) trial.
+  RecordedSchedule schedule;
+  PmcKey hint;               // The PMC that steered the finding (provenance).
+  Program writer;
+  Program reader;
+
+  bool operator==(const ReplayToken&) const = default;
+};
+
+// The result of re-executing a token's trial.
+struct ReplayVerdict {
+  bool completed = false;          // The replayed trial ran to a terminal engine state.
+  uint64_t fingerprint = 0;        // DetectorFingerprint of the replayed trial.
+  bool fingerprint_match = false;  // fingerprint == token.fingerprint.
+  DetectorResult detectors;        // Full detector output, for reporting divergence.
+};
+
+// Deterministically re-executes the token's trial (ReplayScheduler over the recorded
+// decisions, programs on vCPU 0/1 from the fixed snapshot) and verifies the detector
+// fingerprint. The token's schedule fully determines the interleaving, so the verdict is
+// identical on any machine, worker count, or engine configuration.
+ReplayVerdict ReplayTokenTrial(KernelVm& vm, const ReplayToken& token);
 
 }  // namespace snowboard
 

@@ -45,6 +45,10 @@ struct Finding {
   size_t test_index = 0;  // How many concurrent tests had been executed when it fired.
   int trial = -1;
   bool duplicate_input = false;  // writer test == reader test ("Duplicate" in Table 2).
+  // Self-contained single-line reproducer (FormatReplayToken, serialize.h): feed it to
+  // `snowboard_cli replay` to deterministically re-trigger the finding. Empty when the
+  // explorer ran with schedule capture disabled or no capture matched.
+  std::string replay_token;
 };
 
 // Aggregates findings across a testing campaign: first discovery per issue id.

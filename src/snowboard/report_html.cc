@@ -67,6 +67,10 @@ CampaignReport BuildCampaignReport(const PipelineOptions& options,
       {"clusters", "Clusters (strategy exemplars)", result.cluster_count},
       {"tests_executed", "Concurrent tests executed", result.tests_executed},
       {"tests_with_findings", "Tests with findings", result.tests_with_bug},
+      {"schedule_switches_orig", "Captured schedule switches (recorded)",
+       result.schedule_switches_orig},
+      {"schedule_switches_min", "Captured schedule switches (minimized)",
+       result.schedule_switches_min},
   };
 
   report.stages = {
@@ -96,6 +100,7 @@ CampaignReport BuildCampaignReport(const PipelineOptions& options,
     row.test_index = finding.test_index;
     row.trial = finding.trial;
     row.evidence = finding.evidence;
+    row.replay_token = finding.replay_token;
     report.findings.push_back(std::move(row));
   }
 
@@ -144,11 +149,12 @@ std::string RenderReportJson(const CampaignReport& report) {
                "  {\"issue_id\": %d, \"type\": \"%s\", \"subsystem\": \"%s\", "
                "\"summary\": \"%s\", \"harmful\": %s, \"benign\": %s, "
                "\"duplicate_input\": %s, \"test_index\": %zu, \"trial\": %d, "
-               "\"evidence\": \"%s\"}%s\n",
+               "\"evidence\": \"%s\", \"replay_token\": \"%s\"}%s\n",
                f.issue_id, JsonEscape(f.type).c_str(), JsonEscape(f.subsystem).c_str(),
                JsonEscape(f.summary).c_str(), f.harmful ? "true" : "false",
                f.benign ? "true" : "false", f.duplicate_input ? "true" : "false",
                f.test_index, f.trial, JsonEscape(f.evidence).c_str(),
+               JsonEscape(f.replay_token).c_str(),
                i + 1 == report.findings.size() ? "" : ",");
   }
   out += "],\n";
@@ -388,15 +394,20 @@ footer { color: var(--muted); font-size: 12px; margin-top: 28px; }
     for (const ReportFinding& f : report.findings) {
       const char* sev_class = f.harmful ? "harmful" : (f.benign ? "benign" : "neutral");
       const char* sev_text = f.harmful ? "✕ harmful" : (f.benign ? "✓ benign" : "—");
+      std::string token_div =
+          f.replay_token.empty()
+              ? std::string()
+              : StrPrintf("<div class=\"evid\">replay: %s</div>",
+                          HtmlEscape(f.replay_token).c_str());
       StrAppendf(&out,
                  "<tr><td>#%d</td><td>%s</td><td>%s</td><td>%s"
-                 "<div class=\"evid\">%s</div></td>"
+                 "<div class=\"evid\">%s</div>%s</td>"
                  "<td><span class=\"sev %s\">%s</span></td><td>%s</td>"
                  "<td class=\"num\">%zu</td><td class=\"num\">%d</td></tr>\n",
                  f.issue_id, HtmlEscape(f.type).c_str(), HtmlEscape(f.subsystem).c_str(),
-                 HtmlEscape(f.summary).c_str(), HtmlEscape(f.evidence).c_str(), sev_class,
-                 sev_text, f.duplicate_input ? "duplicate" : "distinct", f.test_index,
-                 f.trial);
+                 HtmlEscape(f.summary).c_str(), HtmlEscape(f.evidence).c_str(),
+                 token_div.c_str(), sev_class, sev_text,
+                 f.duplicate_input ? "duplicate" : "distinct", f.test_index, f.trial);
     }
     out += "</table>\n";
   }

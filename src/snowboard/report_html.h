@@ -54,6 +54,7 @@ struct ReportFinding {
   size_t test_index = 0;
   int trial = -1;
   std::string evidence;
+  std::string replay_token;  // Single-line reproducer for `snowboard_cli replay`.
 };
 
 struct CampaignReport {

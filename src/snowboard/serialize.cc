@@ -6,6 +6,7 @@
 
 #include "src/snowboard/pipeline.h"
 #include "src/util/fs.h"
+#include "src/util/hash.h"
 #include "src/util/strings.h"
 
 namespace snowboard {
@@ -16,9 +17,13 @@ constexpr const char* kCorpusHeader = "snowboard-corpus-v1";
 constexpr const char* kPmcHeader = "snowboard-pmcs-v1";
 constexpr const char* kProfilesHeader = "snowboard-profiles-v1";
 constexpr const char* kTestsHeader = "snowboard-tests-v1";
-constexpr const char* kOutcomeHeader = "snowboard-outcome-v1";
-constexpr const char* kFindingsHeader = "snowboard-findings-v1";
-constexpr const char* kResultHeader = "snowboard-result-v1";
+constexpr const char* kOutcomeHeader = "snowboard-outcome-v2";   // v2: captures section.
+constexpr const char* kFindingsHeader = "snowboard-findings-v2"; // v2: replay tokens.
+constexpr const char* kResultHeader = "snowboard-result-v2";     // v2: switch counters.
+constexpr const char* kReplayTokenHeader = "sb-replay-v1";
+
+// Tokens embed a schedule plus two hex programs; anything past this is not a token.
+constexpr size_t kMaxReplayTokenLength = (1 << 20) + 65536;
 
 // Empty byte strings serialize as "-" so every field stays a non-empty token.
 constexpr const char* kEmptyToken = "-";
@@ -136,6 +141,31 @@ bool ParsePmcSide(std::istringstream& fields, uint32_t min_len, PmcSide* side) {
   side->addr = static_cast<GuestAddr>(addr);
   side->len = static_cast<uint8_t>(len);
   return true;
+}
+
+// Strict 16-lowercase-hex-digit parse (fingerprints, checksums).
+bool ParseHex16(const std::string& hex, uint64_t* value) {
+  if (hex.size() != 16) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : hex) {
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(nibble);
+  }
+  *value = v;
+  return true;
+}
+
+std::string Hex16(uint64_t value) {
+  return StrPrintf("%016llx", static_cast<unsigned long long>(value));
 }
 
 }  // namespace
@@ -482,6 +512,13 @@ std::string SerializeExploreOutcome(const ExploreOutcome& outcome) {
   for (const std::string& message : outcome.panic_messages) {
     os << "p " << HexToken(message) << "\n";
   }
+  os << "captures " << outcome.captures.size() << "\n";
+  for (const TrialCapture& capture : outcome.captures) {
+    os << "k " << static_cast<uint32_t>(capture.kind) << ' ' << capture.finding_key << ' '
+       << capture.trial << ' ' << Hex16(capture.fingerprint) << ' ' << capture.orig_len
+       << ' ' << capture.orig_switches << ' ' << capture.min_switches << ' '
+       << (capture.schedule.empty() ? kEmptyToken : capture.schedule) << "\n";
+  }
   os << "endoutcome\n";
   return os.str();
 }
@@ -577,6 +614,42 @@ std::optional<ExploreOutcome> DeserializeExploreOutcome(const std::string& text)
       !parse_strings("panics", "p", &outcome.panic_messages)) {
     return std::nullopt;
   }
+
+  uint64_t capture_count = 0;
+  if (!ParseLabeledUint(is, "captures", &capture_count)) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < capture_count; i++) {
+    if (!std::getline(is, line)) {
+      return std::nullopt;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    uint32_t kind = 0;
+    std::string fp_hex;
+    std::string sched;
+    TrialCapture capture;
+    fields >> tag >> kind >> capture.finding_key >> capture.trial >> fp_hex >>
+        capture.orig_len >> capture.orig_switches >> capture.min_switches >> sched;
+    std::string extra;
+    if (fields.fail() || tag != "k" || kind > 2 || !ParseHex16(fp_hex, &capture.fingerprint) ||
+        (fields >> extra)) {
+      return std::nullopt;
+    }
+    capture.kind = static_cast<uint8_t>(kind);
+    if (sched == kEmptyToken) {
+      capture.schedule.clear();
+    } else {
+      // Validate via the rejecting schedule parser; stores the canonical text form.
+      std::optional<RecordedSchedule> parsed = RecordedSchedule::FromString(sched);
+      if (!parsed.has_value()) {
+        return std::nullopt;
+      }
+      capture.schedule = std::move(sched);
+    }
+    outcome.captures.push_back(std::move(capture));
+  }
+
   if (!std::getline(is, line) || line != "endoutcome") {
     return std::nullopt;
   }
@@ -590,7 +663,7 @@ std::string EncodeOutcomeRecord(const OutcomeRecord& record) {
   for (const Finding& finding : record.findings) {
     std::string text = StrPrintf("%d %d %d ", finding.issue_id, finding.trial,
                                  finding.duplicate_input ? 1 : 0) +
-                       HexToken(finding.evidence);
+                       HexToken(finding.evidence) + " " + HexToken(finding.replay_token);
     os << ' ' << HexEncode(text);
   }
   return os.str();
@@ -631,14 +704,16 @@ std::optional<OutcomeRecord> DecodeOutcomeRecord(const std::string& record) {
     int64_t trial = 0;
     int64_t duplicate = 0;
     std::string evidence_token;
-    finding_fields >> issue_id >> trial >> duplicate >> evidence_token;
+    std::string replay_hex;
+    finding_fields >> issue_id >> trial >> duplicate >> evidence_token >> replay_hex;
     std::string finding_extra;
     if (finding_fields.fail() || duplicate < 0 || duplicate > 1 ||
         (finding_fields >> finding_extra)) {
       return std::nullopt;
     }
     std::optional<std::string> evidence = DecodeHexToken(evidence_token);
-    if (!evidence.has_value()) {
+    std::optional<std::string> replay_token = DecodeHexToken(replay_hex);
+    if (!evidence.has_value() || !replay_token.has_value()) {
       return std::nullopt;
     }
     Finding finding;
@@ -647,6 +722,7 @@ std::optional<OutcomeRecord> DecodeOutcomeRecord(const std::string& record) {
     finding.trial = static_cast<int>(trial);
     finding.duplicate_input = duplicate == 1;
     finding.evidence = std::move(*evidence);
+    finding.replay_token = std::move(*replay_token);
     out.findings.push_back(std::move(finding));
   }
   std::string extra;
@@ -663,7 +739,8 @@ std::string SerializeFindings(const FindingsLog& findings) {
   os << "entries " << findings.first_findings().size() << "\n";
   for (const auto& [issue_id, finding] : findings.first_findings()) {
     os << "f " << issue_id << ' ' << finding.test_index << ' ' << finding.trial << ' '
-       << (finding.duplicate_input ? 1 : 0) << ' ' << HexToken(finding.evidence) << "\n";
+       << (finding.duplicate_input ? 1 : 0) << ' ' << HexToken(finding.evidence) << ' '
+       << HexToken(finding.replay_token) << "\n";
   }
   os << "endfindings\n";
   return os.str();
@@ -693,12 +770,16 @@ std::optional<FindingsLog> DeserializeFindings(const std::string& text) {
     int64_t trial = 0;
     int64_t duplicate = 0;
     std::string token;
-    fields >> tag >> issue_id >> test_index >> trial >> duplicate >> token;
-    if (fields.fail() || tag != "f" || test_index < 0 || duplicate < 0 || duplicate > 1) {
+    std::string replay_hex;
+    fields >> tag >> issue_id >> test_index >> trial >> duplicate >> token >> replay_hex;
+    std::string extra;
+    if (fields.fail() || tag != "f" || test_index < 0 || duplicate < 0 || duplicate > 1 ||
+        (fields >> extra)) {
       return std::nullopt;
     }
     std::optional<std::string> evidence = DecodeHexToken(token);
-    if (!evidence.has_value()) {
+    std::optional<std::string> replay_token = DecodeHexToken(replay_hex);
+    if (!evidence.has_value() || !replay_token.has_value()) {
       return std::nullopt;
     }
     Finding finding;
@@ -707,6 +788,7 @@ std::optional<FindingsLog> DeserializeFindings(const std::string& text) {
     finding.trial = static_cast<int>(trial);
     finding.duplicate_input = duplicate == 1;
     finding.evidence = std::move(*evidence);
+    finding.replay_token = std::move(*replay_token);
     if (!first_findings.emplace(finding.issue_id, std::move(finding)).second) {
       return std::nullopt;  // Duplicate issue id: not a valid first-findings map.
     }
@@ -733,9 +815,9 @@ std::string SerializePipelineResult(const PipelineResult& result) {
   os << "tests_with_bug " << result.tests_with_bug << "\n";
   os << "channel_exercised " << result.channel_exercised << "\n";
   os << "total_trials " << result.total_trials << "\n";
-  os << "pmc_digest " << StrPrintf("%016llx",
-                                   static_cast<unsigned long long>(result.pmc_table_digest))
-     << "\n";
+  os << "schedule_switches_orig " << result.schedule_switches_orig << "\n";
+  os << "schedule_switches_min " << result.schedule_switches_min << "\n";
+  os << "pmc_digest " << Hex16(result.pmc_table_digest) << "\n";
   os << SerializeFindings(result.findings);
   os << "endresult\n";
   return os.str();
@@ -771,6 +853,10 @@ std::optional<PipelineResult> DeserializePipelineResult(const std::string& text)
   result.channel_exercised = value;
   if (!ParseLabeledUint(is, "total_trials", &value)) return std::nullopt;
   result.total_trials = value;
+  if (!ParseLabeledUint(is, "schedule_switches_orig", &value)) return std::nullopt;
+  result.schedule_switches_orig = value;
+  if (!ParseLabeledUint(is, "schedule_switches_min", &value)) return std::nullopt;
+  result.schedule_switches_min = value;
   {
     if (!std::getline(is, line)) {
       return std::nullopt;
@@ -802,6 +888,93 @@ std::optional<PipelineResult> DeserializePipelineResult(const std::string& text)
   }
   result.findings = std::move(*findings);
   return result;
+}
+
+std::string FormatReplayToken(const ReplayToken& token) {
+  std::ostringstream os;
+  os << kReplayTokenHeader << ' ' << token.issue_id << ' ' << token.write_test << ' '
+     << token.read_test << ' ' << token.trial_seed << ' ' << token.max_instructions << ' '
+     << Hex16(token.fingerprint) << ' ';
+  std::string sched = token.schedule.ToString();
+  os << (sched.empty() ? kEmptyToken : sched) << ' ';
+  SerializePmcSide(os, token.hint.write);
+  os << ' ';
+  SerializePmcSide(os, token.hint.read);
+  os << ' ' << (token.hint.df_leader ? 1 : 0) << ' '
+     << HexEncode(SerializeProgram(token.writer)) << ' '
+     << HexEncode(SerializeProgram(token.reader));
+  std::string body = os.str();
+  // The trailing checksum covers the literal body text, so any in-flight corruption of a
+  // pasted token is caught before a replay is attempted.
+  return body + ' ' + Hex16(Fnv1a(body));
+}
+
+std::optional<ReplayToken> ParseReplayToken(const std::string& text) {
+  if (text.empty() || text.size() > kMaxReplayTokenLength) {
+    return std::nullopt;
+  }
+  size_t crc_pos = text.find_last_of(' ');
+  if (crc_pos == std::string::npos) {
+    return std::nullopt;
+  }
+  std::string body = text.substr(0, crc_pos);
+  uint64_t crc = 0;
+  if (!ParseHex16(text.substr(crc_pos + 1), &crc) || crc != Fnv1a(body)) {
+    return std::nullopt;
+  }
+
+  std::istringstream fields(body);
+  std::string header;
+  fields >> header;
+  if (header != kReplayTokenHeader) {
+    return std::nullopt;
+  }
+  ReplayToken token;
+  fields >> token.issue_id >> token.write_test >> token.read_test >> token.trial_seed >>
+      token.max_instructions;
+  std::string fp_hex;
+  std::string sched;
+  fields >> fp_hex >> sched;
+  if (fields.fail() || token.issue_id < 0 || !ParseHex16(fp_hex, &token.fingerprint)) {
+    return std::nullopt;
+  }
+  if (sched != kEmptyToken) {
+    std::optional<RecordedSchedule> schedule = RecordedSchedule::FromString(sched);
+    if (!schedule.has_value()) {
+      return std::nullopt;
+    }
+    token.schedule = std::move(*schedule);
+  }
+  uint32_t df = 0;
+  if (!ParsePmcSide(fields, /*min_len=*/0, &token.hint.write) ||
+      !ParsePmcSide(fields, /*min_len=*/0, &token.hint.read)) {
+    return std::nullopt;
+  }
+  fields >> df;
+  if (fields.fail() || df > 1) {
+    return std::nullopt;
+  }
+  token.hint.df_leader = df == 1;
+  std::string writer_hex;
+  std::string reader_hex;
+  fields >> writer_hex >> reader_hex;
+  std::string extra;
+  if (fields.fail() || (fields >> extra)) {
+    return std::nullopt;
+  }
+  std::optional<std::string> writer_text = HexDecode(writer_hex);
+  std::optional<std::string> reader_text = HexDecode(reader_hex);
+  if (!writer_text.has_value() || !reader_text.has_value()) {
+    return std::nullopt;
+  }
+  std::optional<Program> writer = DeserializeProgram(*writer_text);
+  std::optional<Program> reader = DeserializeProgram(*reader_text);
+  if (!writer.has_value() || !reader.has_value()) {
+    return std::nullopt;
+  }
+  token.writer = std::move(*writer);
+  token.reader = std::move(*reader);
+  return token;
 }
 
 bool WriteStringToFile(const std::string& path, const std::string& contents) {

@@ -24,6 +24,7 @@
 #include "src/fuzz/program.h"
 #include "src/snowboard/explorer.h"
 #include "src/snowboard/pmc.h"
+#include "src/snowboard/replay.h"
 #include "src/snowboard/report.h"
 #include "src/snowboard/select.h"
 
@@ -98,6 +99,17 @@ std::optional<FindingsLog> DeserializeFindings(const std::string& text);
 
 std::string SerializePipelineResult(const PipelineResult& result);
 std::optional<PipelineResult> DeserializePipelineResult(const std::string& text);
+
+// --- Replay tokens (single-line shippable reproducers; see replay.h). ---
+// Format: "sb-replay-v1 <issue_id> <write_test> <read_test> <trial_seed>
+// <max_instructions> <fingerprint-16hex> <schedule|-> <hint: waddr wlen wsite wvalue
+// raddr rlen rsite rvalue df> <writer-hex> <reader-hex> <crc-16hex>", one line, where the
+// crc is FNV-1a over everything before it. ParseReplayToken follows the shared robustness
+// contract — wrong header, bad checksum, junk fields, truncation, or oversized input all
+// yield nullopt — because tokens cross trust boundaries (bug reports, checked-in corpora).
+
+std::string FormatReplayToken(const ReplayToken& token);
+std::optional<ReplayToken> ParseReplayToken(const std::string& text);
 
 // --- Byte-string hex coding (console lines and evidence embed arbitrary bytes). ---
 

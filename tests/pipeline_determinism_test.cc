@@ -96,6 +96,8 @@ void ExpectSameResults(const PipelineResult& result, const PipelineResult& base)
   EXPECT_EQ(result.tests_with_bug, base.tests_with_bug);
   EXPECT_EQ(result.channel_exercised, base.channel_exercised);
   EXPECT_EQ(result.total_trials, base.total_trials);
+  EXPECT_EQ(result.schedule_switches_orig, base.schedule_switches_orig);
+  EXPECT_EQ(result.schedule_switches_min, base.schedule_switches_min);
   EXPECT_EQ(result.findings.total_findings(), base.findings.total_findings());
   EXPECT_EQ(FindingsDigest(result.findings), FindingsDigest(base.findings));
 }
@@ -197,8 +199,13 @@ TEST(PipelineDeterminismTest, FullPipelineStatsAndFindingsInvariant) {
       EXPECT_EQ(finding.test_index, base_it->second.test_index);
       EXPECT_EQ(finding.trial, base_it->second.trial);
       EXPECT_EQ(finding.duplicate_input, base_it->second.duplicate_input);
+      // The shippable reproducer: the token (schedule, fingerprint, crc and all) must be
+      // byte-identical regardless of worker count.
+      EXPECT_EQ(finding.replay_token, base_it->second.replay_token);
       ++base_it;
     }
+    EXPECT_EQ(result.schedule_switches_orig, base.schedule_switches_orig);
+    EXPECT_EQ(result.schedule_switches_min, base.schedule_switches_min);
     EXPECT_EQ(FindingsDigest(result.findings), FindingsDigest(base.findings));
   }
 }

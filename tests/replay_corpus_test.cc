@@ -1,0 +1,176 @@
+// Replay regression corpus: the checked-in tokens under tests/corpus/ are shippable
+// reproducers for the findings the reference campaign surfaces. Three bars, held
+// forever once a token is checked in:
+//   1. Every corpus token still parses and replays to its exact recorded detector
+//      fingerprint — on a fresh VM, with delta restore on or off.
+//   2. Re-running the reference campaign reproduces the corpus tokens BYTE-identically,
+//      at 1/2/4 workers, under both the barrier and streaming engines. A token is part
+//      of the deterministic output surface, exactly like the serialized result.
+//   3. The deliberately-divergent token (valid checksum, flipped fingerprint) parses but
+//      fails fingerprint verification — the divergence path the CLI turns into exit 3.
+//
+// Regenerate after an intentional format or schedule change with:
+//   SB_UPDATE_CORPUS=1 ./sb_tests --gtest_filter='ReplayCorpusTest.*'
+// and commit the rewritten tests/corpus/*.token files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "src/snowboard/pipeline.h"
+#include "src/snowboard/replay.h"
+#include "src/snowboard/serialize.h"
+#include "src/util/fs.h"
+
+namespace snowboard {
+namespace {
+
+std::string CorpusDir() { return SB_TEST_CORPUS_DIR; }
+
+bool UpdateMode() {
+  const char* env = std::getenv("SB_UPDATE_CORPUS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// The reference campaign: identical to report_golden_test's BaseOptions, so the corpus
+// reproduces the same findings the report golden exercises.
+PipelineOptions BaseOptions(int num_workers) {
+  PipelineOptions options;
+  options.seed = 7;
+  options.corpus.seed = 42;
+  options.corpus.max_iterations = 40;
+  options.corpus.target_size = 32;
+  options.strategy = Strategy::kSInsPair;
+  options.max_concurrent_tests = 24;
+  options.explorer.num_trials = 8;
+  options.num_workers = num_workers;
+  return options;
+}
+
+// Runs the reference campaign and returns issue id -> replay token text.
+std::map<int, std::string> CampaignTokens(int num_workers, bool streaming) {
+  PipelineOptions options = BaseOptions(num_workers);
+  options.streaming = streaming;
+  PipelineResult result = RunSnowboardPipeline(options);
+  std::map<int, std::string> tokens;
+  for (const auto& [id, finding] : result.findings.first_findings()) {
+    EXPECT_FALSE(finding.replay_token.empty())
+        << "finding " << id << " shipped without a replay token";
+    tokens[id] = finding.replay_token;
+  }
+  return tokens;
+}
+
+std::string TrimTrailingWhitespace(std::string text) {
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r' ||
+                           text.back() == ' ' || text.back() == '\t')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+// Reads the checked-in issue-<id>.token files (divergent.token excluded).
+std::map<int, std::string> CheckedInTokens() {
+  std::map<int, std::string> tokens;
+  if (!std::filesystem::is_directory(CorpusDir())) {
+    return tokens;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(CorpusDir())) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("issue-", 0) != 0 || entry.path().extension() != ".token") {
+      continue;
+    }
+    int id = std::atoi(name.substr(6).c_str());
+    std::optional<std::string> contents = ReadFileContents(entry.path().string());
+    if (contents.has_value()) {
+      tokens[id] = TrimTrailingWhitespace(*contents);
+    }
+  }
+  return tokens;
+}
+
+// Rewrites the corpus from the 1-worker reference campaign (SB_UPDATE_CORPUS=1).
+void UpdateCorpus(const std::map<int, std::string>& tokens) {
+  ASSERT_TRUE(EnsureDirectory(CorpusDir()));
+  for (const auto& [id, token] : tokens) {
+    std::string path = CorpusDir() + "/issue-" + std::to_string(id) + ".token";
+    ASSERT_TRUE(WriteStringToFile(path, token + "\n")) << path;
+  }
+  // The divergent token: same trial, flipped expected fingerprint, valid checksum. It
+  // must parse but fail verification — the cli smoke test drives exit code 3 with it.
+  ASSERT_FALSE(tokens.empty());
+  std::optional<ReplayToken> first = ParseReplayToken(tokens.begin()->second);
+  ASSERT_TRUE(first.has_value());
+  first->fingerprint ^= 1;
+  ASSERT_TRUE(WriteStringToFile(CorpusDir() + "/divergent.token",
+                                FormatReplayToken(*first) + "\n"));
+}
+
+TEST(ReplayCorpusTest, CampaignTokensMatchCorpusAcrossWorkersAndEngines) {
+  std::map<int, std::string> base = CampaignTokens(/*num_workers=*/1, /*streaming=*/true);
+  ASSERT_FALSE(base.empty()) << "the reference campaign surfaced no findings";
+  if (UpdateMode()) {
+    UpdateCorpus(base);
+  }
+
+  std::map<int, std::string> corpus = CheckedInTokens();
+  EXPECT_EQ(corpus, base) << "checked-in corpus diverges from the reference campaign; "
+                             "regenerate with SB_UPDATE_CORPUS=1 if intentional";
+
+  // The token is part of the deterministic output surface: byte-identical at any worker
+  // count, under either engine.
+  for (bool streaming : {false, true}) {
+    for (int workers : {1, 2, 4}) {
+      if (streaming && workers == 1) {
+        continue;  // The base itself.
+      }
+      SCOPED_TRACE(testing::Message()
+                   << (streaming ? "streaming" : "barrier") << " workers=" << workers);
+      EXPECT_EQ(CampaignTokens(workers, streaming), base);
+    }
+  }
+}
+
+TEST(ReplayCorpusTest, CorpusTokensReplayToTheirFingerprint) {
+  std::map<int, std::string> corpus = CheckedInTokens();
+  ASSERT_FALSE(corpus.empty()) << "no tokens under " << CorpusDir()
+                               << " (run with SB_UPDATE_CORPUS=1 to generate)";
+  for (const auto& [id, text] : corpus) {
+    SCOPED_TRACE(testing::Message() << "issue " << id);
+    std::optional<ReplayToken> token = ParseReplayToken(text);
+    ASSERT_TRUE(token.has_value()) << text;
+    EXPECT_EQ(token->issue_id, id);
+
+    // Replay on a fresh VM reproduces the recorded fingerprint exactly.
+    KernelVm vm;
+    ReplayVerdict verdict = ReplayTokenTrial(vm, *token);
+    EXPECT_TRUE(verdict.completed);
+    EXPECT_TRUE(verdict.fingerprint_match)
+        << "expected " << token->fingerprint << ", observed " << verdict.fingerprint;
+
+    // Delta restore is a pure optimization: the reference full-restore path must replay
+    // to the identical fingerprint.
+    KernelVm::SetDeltaRestoreEnabled(false);
+    KernelVm full_vm;
+    ReplayVerdict full = ReplayTokenTrial(full_vm, *token);
+    KernelVm::SetDeltaRestoreEnabled(true);
+    EXPECT_EQ(full.fingerprint, verdict.fingerprint) << "delta-restore A/B divergence";
+    EXPECT_TRUE(full.fingerprint_match);
+  }
+}
+
+TEST(ReplayCorpusTest, DivergentTokenParsesButFailsVerification) {
+  std::optional<std::string> text = ReadFileContents(CorpusDir() + "/divergent.token");
+  ASSERT_TRUE(text.has_value()) << "missing divergent.token (run with SB_UPDATE_CORPUS=1)";
+  std::optional<ReplayToken> token = ParseReplayToken(TrimTrailingWhitespace(*text));
+  ASSERT_TRUE(token.has_value()) << "divergent.token must still be a well-formed token";
+  KernelVm vm;
+  ReplayVerdict verdict = ReplayTokenTrial(vm, *token);
+  EXPECT_FALSE(verdict.fingerprint_match)
+      << "the divergent token unexpectedly matched; was the corpus regenerated?";
+}
+
+}  // namespace
+}  // namespace snowboard

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "src/fuzz/generator.h"
+#include "src/snowboard/minimize.h"
 #include "src/snowboard/pipeline.h"
 #include "src/snowboard/replay.h"
+#include "src/snowboard/serialize.h"
 
 namespace snowboard {
 namespace {
@@ -38,8 +40,22 @@ TEST(RecordingSchedulerTest, RecordsInnerDecisions) {
   EXPECT_GT(switches, 10);  // Period 2: roughly half.
 }
 
+TEST(RecordedScheduleTest, FromStringRejectsJunk) {
+  // Any character outside the '.'/'S' alphabet is adversarial input, not a recording.
+  EXPECT_FALSE(RecordedSchedule::FromString("..X.S").has_value());
+  EXPECT_FALSE(RecordedSchedule::FromString("..s").has_value());  // Lowercase.
+  EXPECT_FALSE(RecordedSchedule::FromString(". S").has_value());
+  EXPECT_FALSE(RecordedSchedule::FromString("..S\n").has_value());
+  EXPECT_FALSE(RecordedSchedule::FromString(std::string(1, '\0')).has_value());
+  // Oversized: past the instruction-budget bound, reject instead of allocating.
+  EXPECT_FALSE(
+      RecordedSchedule::FromString(std::string(kMaxScheduleLength + 1, '.')).has_value());
+  ASSERT_TRUE(
+      RecordedSchedule::FromString(std::string(kMaxScheduleLength, '.')).has_value());
+}
+
 TEST(ReplaySchedulerTest, ReappliesDecisionsThenStops) {
-  ReplayScheduler replayer(RecordedSchedule::FromString("S.S"));
+  ReplayScheduler replayer(*RecordedSchedule::FromString("S.S"));
   replayer.SeedTrial(0);
   Access access;
   EXPECT_TRUE(replayer.AfterAccess(0, access));
@@ -104,8 +120,91 @@ TEST_F(ReplayE2eTest, CapsuleReplaysThePanic) {
 
   // And the string round-trip preserves it (a bug report attachment).
   BugCapsule from_text = capsule;
-  from_text.schedule = RecordedSchedule::FromString(capsule.schedule.ToString());
+  from_text.schedule = *RecordedSchedule::FromString(capsule.schedule.ToString());
   EXPECT_TRUE(ReplayCapsule(vm, from_text));
+}
+
+// The shippable-reproducer property: every capture the explorer records — after
+// delta-debugging minimization — renders to a token whose textual round trip is the
+// identity and whose replay produces the exact captured detector fingerprint.
+TEST_F(ReplayE2eTest, TokenRoundTripReproducesFingerprint) {
+  KernelVm vm;
+  ConcurrentTest test = BuildL2tpTest(vm);
+  ExplorerOptions options;
+  options.num_trials = 24;
+  ExploreOutcome outcome = ExploreConcurrentTest(vm, test, /*matcher=*/nullptr, options);
+  ASSERT_FALSE(outcome.captures.empty()) << "no finding captured within the trial budget";
+  for (const TrialCapture& capture : outcome.captures) {
+    EXPECT_LE(capture.min_switches, capture.orig_switches);
+    ReplayToken token;
+    token.issue_id = 1;
+    token.write_test = test.write_test;
+    token.read_test = test.read_test;
+    token.trial_seed = options.seed + static_cast<uint64_t>(capture.trial);
+    token.max_instructions = options.max_instructions;
+    token.fingerprint = capture.fingerprint;
+    token.schedule = *RecordedSchedule::FromString(capture.schedule);
+    token.hint = test.hint;
+    token.writer = test.writer;
+    token.reader = test.reader;
+
+    std::string text = FormatReplayToken(token);
+    std::optional<ReplayToken> parsed = ParseReplayToken(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, token);
+
+    ReplayVerdict verdict = ReplayTokenTrial(vm, *parsed);
+    EXPECT_TRUE(verdict.fingerprint_match)
+        << "capture kind " << static_cast<int>(capture.kind) << " trial " << capture.trial
+        << ": expected " << capture.fingerprint << ", observed " << verdict.fingerprint;
+  }
+}
+
+// Minimization must never return a schedule the probe did not accept: a probe that always
+// fails leaves the original recording untouched, and a probe that accepts everything
+// shrinks to the empty schedule.
+TEST(MinimizeScheduleTest, ProbeContract) {
+  RecordedSchedule schedule = *RecordedSchedule::FromString("..S.S..S.S..S...S..S");
+  MinimizeOptions options;
+  MinimizeStats stats;
+
+  RecordedSchedule untouched = MinimizeSchedule(
+      schedule, [](const RecordedSchedule&) { return false; }, options, &stats);
+  EXPECT_EQ(untouched, schedule);
+  EXPECT_FALSE(stats.reproduced);
+
+  RecordedSchedule empty = MinimizeSchedule(
+      schedule, [](const RecordedSchedule&) { return true; }, options, &stats);
+  EXPECT_TRUE(stats.reproduced);
+  EXPECT_EQ(empty.SwitchCount(), 0u);
+  EXPECT_EQ(stats.min_switches, 0u);
+  EXPECT_EQ(stats.orig_switches, 7u);
+}
+
+// ddmin against a ground-truth predicate: the finding "reproduces" iff switches survive at
+// two specific positions; the minimizer must isolate exactly that 2-preemption core.
+TEST(MinimizeScheduleTest, ShrinksToTheTwoLoadBearingSwitches) {
+  RecordedSchedule schedule;
+  schedule.switch_after.assign(64, false);
+  for (size_t i = 3; i < 64; i += 7) {
+    schedule.switch_after[i] = true;  // 9 switches; only two matter.
+  }
+  auto probe = [](const RecordedSchedule& candidate) {
+    auto has = [&](size_t i) {
+      return i < candidate.switch_after.size() && candidate.switch_after[i];
+    };
+    return has(10) && has(31);
+  };
+  MinimizeOptions options;
+  options.max_probes = 64;
+  MinimizeStats stats;
+  RecordedSchedule minimized = MinimizeSchedule(schedule, probe, options, &stats);
+  EXPECT_TRUE(stats.reproduced);
+  EXPECT_EQ(minimized.SwitchCount(), 2u);
+  EXPECT_EQ(stats.min_switches, 2u);
+  EXPECT_EQ(minimized.switch_after.size(), 32u);  // Truncated right after position 31.
+  EXPECT_TRUE(minimized.switch_after[10]);
+  EXPECT_TRUE(minimized.switch_after[31]);
 }
 
 TEST_F(ReplayE2eTest, CorruptedScheduleDoesNotReproduce) {
@@ -119,7 +218,7 @@ TEST_F(ReplayE2eTest, CorruptedScheduleDoesNotReproduce) {
   ASSERT_TRUE(captured);
   // Remove every switch: the serialized no-preemption run cannot hit the window.
   BugCapsule broken = capsule;
-  broken.schedule = RecordedSchedule::FromString(
+  broken.schedule = *RecordedSchedule::FromString(
       std::string(capsule.schedule.switch_after.size(), '.'));
   EXPECT_FALSE(ReplayCapsule(vm, broken));
 }

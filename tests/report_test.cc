@@ -104,9 +104,9 @@ TEST(ClassifyConsoleTest, PanicsAndFsErrors) {
 
 TEST(FindingsLogTest, KeepsEarliestPerIssue) {
   FindingsLog log;
-  log.Record(Finding{14, "later", 50, 3, false});
-  log.Record(Finding{14, "earlier", 10, 1, false});
-  log.Record(Finding{9, "only", 20, 0, true});
+  log.Record(Finding{14, "later", 50, 3, false, ""});
+  log.Record(Finding{14, "earlier", 10, 1, false, ""});
+  log.Record(Finding{9, "only", 20, 0, true, ""});
   EXPECT_EQ(log.total_findings(), 3u);
   ASSERT_TRUE(log.Found(14));
   EXPECT_EQ(log.first_findings().at(14).test_index, 10u);
@@ -118,9 +118,9 @@ TEST(FindingsLogTest, KeepsEarliestPerIssue) {
 TEST(FindingsLogTest, MergePrefersEarliest) {
   FindingsLog a;
   FindingsLog b;
-  a.Record(Finding{14, "a", 30, 0, false});
-  b.Record(Finding{14, "b", 5, 0, false});
-  b.Record(Finding{12, "b12", 7, 0, false});
+  a.Record(Finding{14, "a", 30, 0, false, ""});
+  b.Record(Finding{14, "b", 5, 0, false, ""});
+  b.Record(Finding{12, "b12", 7, 0, false, ""});
   a.Merge(b);
   EXPECT_EQ(a.first_findings().at(14).test_index, 5u);
   EXPECT_TRUE(a.Found(12));
@@ -129,8 +129,8 @@ TEST(FindingsLogTest, MergePrefersEarliest) {
 
 TEST(FindingsLogTest, SummaryMentionsIssues) {
   FindingsLog log;
-  log.Record(Finding{12, "BUG: ...", 3, 2, false});
-  log.Record(Finding{0, "data race: A / B", 4, 1, true});
+  log.Record(Finding{12, "BUG: ...", 3, 2, false, ""});
+  log.Record(Finding{0, "data race: A / B", 4, 1, true, ""});
   std::string summary = log.Summarize();
   EXPECT_NE(summary.find("#12"), std::string::npos);
   EXPECT_NE(summary.find("OV"), std::string::npos);

@@ -7,6 +7,7 @@
 // and to the atomic file primitives (a failed write leaves no partial file).
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -104,7 +105,37 @@ ExploreOutcome MakeOutcome() {
   outcome.console_hits.push_back("EXT4-fs error: checksum invalid at block 7");
   outcome.console_hits.push_back("");  // Empty strings must survive the hex token coding.
   outcome.panic_messages.push_back("BUG: unable to handle page fault at 0xdead");
+  TrialCapture capture;
+  capture.kind = 2;  // kPanic.
+  capture.finding_key = 0x9999888877776666ull;
+  capture.trial = 3;
+  capture.fingerprint = 0xabcdef0011223344ull;
+  capture.schedule = "..S.S";
+  capture.orig_len = 40;
+  capture.orig_switches = 6;
+  capture.min_switches = 2;
+  outcome.captures.push_back(capture);
+  TrialCapture bare;  // Empty schedule must survive the "-" coding.
+  bare.kind = 0;
+  bare.finding_key = 1;
+  bare.trial = 0;
+  outcome.captures.push_back(bare);
   return outcome;
+}
+
+ReplayToken MakeToken() {
+  ReplayToken token;
+  token.issue_id = 13;
+  token.write_test = 5;
+  token.read_test = 9;
+  token.trial_seed = 2021 + 7;
+  token.max_instructions = 400'000;
+  token.fingerprint = 0x0123456789abcdefull;
+  token.schedule = *RecordedSchedule::FromString("..S.S..S");
+  token.hint = MakeTest().hint;
+  token.writer = MakeProgram(1);
+  token.reader = MakeProgram(2);
+  return token;
 }
 
 FindingsLog MakeFindings() {
@@ -167,7 +198,10 @@ void ExpectTruncationsRejected(const std::string& text,
 void ExpectHeaderAndJunkRejected(const std::string& text,
                                  const std::function<bool(const std::string&)>& deserializes) {
   std::string flipped = text;
-  size_t v = flipped.find("-v1");
+  size_t v = flipped.find("-v");  // Any "-v<digit>" header version, not just v1.
+  while (v != std::string::npos && !(v + 2 < flipped.size() && isdigit(flipped[v + 2]))) {
+    v = flipped.find("-v", v + 1);
+  }
   ASSERT_NE(v, std::string::npos);
   flipped[v + 2] = '9';
   EXPECT_FALSE(deserializes(flipped)) << "flipped version header";
@@ -376,6 +410,43 @@ TEST(SerializeRobustnessTest, PipelineResultAdversarial) {
   ExpectHeaderAndJunkRejected(text, parses);
 }
 
+TEST(SerializeRobustnessTest, ReplayTokenRoundTrip) {
+  ReplayToken token = MakeToken();
+  std::string text = FormatReplayToken(token);
+  EXPECT_EQ(text.find('\n'), std::string::npos) << "tokens must be single-line";
+  std::optional<ReplayToken> parsed = ParseReplayToken(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, token);
+  EXPECT_EQ(FormatReplayToken(*parsed), text);
+
+  ReplayToken bare = token;  // Empty schedule codes as "-" and must round-trip.
+  bare.schedule = RecordedSchedule{};
+  std::optional<ReplayToken> bare_parsed = ParseReplayToken(FormatReplayToken(bare));
+  ASSERT_TRUE(bare_parsed.has_value());
+  EXPECT_EQ(*bare_parsed, bare);
+}
+
+TEST(SerializeRobustnessTest, ReplayTokenAdversarial) {
+  std::string text = FormatReplayToken(MakeToken());
+  EXPECT_FALSE(ParseReplayToken("").has_value());
+  EXPECT_FALSE(ParseReplayToken("sb-replay-v1").has_value());
+  EXPECT_FALSE(ParseReplayToken("complete garbage, not a token").has_value());
+  // Any truncation breaks the trailing checksum (or the field structure outright).
+  for (size_t cut = 1; cut < 8; cut++) {
+    EXPECT_FALSE(ParseReplayToken(text.substr(0, text.size() - cut)).has_value())
+        << "truncated by " << cut;
+  }
+  // A flipped byte anywhere — header, body, or inside the crc itself — must not parse.
+  for (size_t pos : {size_t{0}, text.size() / 2, text.size() - 4}) {
+    std::string bad = text;
+    bad[pos] = bad[pos] == 'x' ? 'y' : 'x';
+    EXPECT_FALSE(ParseReplayToken(bad).has_value()) << "flipped byte at " << pos;
+  }
+  EXPECT_FALSE(ParseReplayToken(text + " junk").has_value()) << "trailing junk";
+  EXPECT_FALSE(ParseReplayToken(text + std::string(2 << 20, '.')).has_value())
+      << "oversized input";
+}
+
 TEST(SerializeRobustnessTest, FieldCorruptionRejected) {
   // Flipping a count or a bounded field must be caught by validation, not crash.
   std::string outcome_text = SerializeExploreOutcome(MakeOutcome());
@@ -384,6 +455,27 @@ TEST(SerializeRobustnessTest, FieldCorruptionRejected) {
   ASSERT_NE(races_pos, std::string::npos);
   bad.replace(races_pos, 7, "races 9");
   EXPECT_FALSE(DeserializeExploreOutcome(bad).has_value()) << "inflated element count";
+
+  std::string capture_bad = outcome_text;
+  size_t cap_pos = capture_bad.find("captures 2");
+  ASSERT_NE(cap_pos, std::string::npos);
+  capture_bad.replace(cap_pos, 10, "captures 9");
+  EXPECT_FALSE(DeserializeExploreOutcome(capture_bad).has_value())
+      << "inflated capture count";
+
+  std::string kind_bad = outcome_text;
+  size_t kind_pos = kind_bad.find("\nk 2 ");
+  ASSERT_NE(kind_pos, std::string::npos);
+  kind_bad[kind_pos + 3] = '7';
+  EXPECT_FALSE(DeserializeExploreOutcome(kind_bad).has_value())
+      << "out-of-range capture kind";
+
+  std::string sched_bad = outcome_text;
+  size_t sched_pos = sched_bad.find("..S.S");
+  ASSERT_NE(sched_pos, std::string::npos);
+  sched_bad[sched_pos + 2] = 'X';
+  EXPECT_FALSE(DeserializeExploreOutcome(sched_bad).has_value())
+      << "junk in a captured schedule";
 
   std::string findings_text = SerializeFindings(MakeFindings());
   bad = findings_text;

@@ -2,10 +2,12 @@
 # Smoke test for snowboard_cli's argument surface: --help must print the full flag
 # reference and exit 0; unknown commands, unknown flags, and stray positionals must exit 2
 # (the CLI used to silently accept unknown flags and exit 0 — this keeps that regression
-# dead). Pass the CLI binary path as $1.
+# dead). Pass the CLI binary path as $1; optionally pass the replay-token corpus directory
+# (tests/corpus) as $2 to exercise `replay` end to end (success, divergence exit 3).
 set -u
 
-CLI="${1:?usage: cli_smoke_test.sh /path/to/snowboard_cli}"
+CLI="${1:?usage: cli_smoke_test.sh /path/to/snowboard_cli [corpus-dir]}"
+CORPUS="${2:-}"
 fails=0
 
 check_exit() {
@@ -19,9 +21,9 @@ check_exit() {
 }
 
 help_out=$("$CLI" --help 2>&1); check_exit "--help exits 0" 0 $?
-for needle in corpus identify run campaign strategies \
+for needle in corpus identify run campaign replay strategies \
     --trace-out --report-dir --checkpoint-dir --resume --inject-faults --fault-seed \
-    --strategy --budget --trials --workers --seed; do
+    --strategy --budget --trials --workers --seed --token --tokens-dir; do
   case "$help_out" in
     *"$needle"*) ;;
     *) echo "FAIL: --help output missing '$needle'"; fails=$((fails + 1)) ;;
@@ -42,6 +44,41 @@ done
 "$CLI" run --strategy NOPE --corpus /dev/null --pmcs /dev/null > /dev/null 2>&1
 check_exit "unknown strategy exits 2" 2 $?
 "$CLI" corpus > /dev/null 2>&1; check_exit "corpus without --out exits 2" 2 $?
+
+# --- replay: usage errors need no corpus. ---
+"$CLI" replay > /dev/null 2>&1; check_exit "replay without token exits 2" 2 $?
+"$CLI" replay /nonexistent/path.token > /dev/null 2>&1
+check_exit "replay with unreadable file exits 1" 1 $?
+"$CLI" replay sb-replay-v1-garbage > /dev/null 2>&1
+check_exit "replay with malformed token exits 2" 2 $?
+bad_token="${TMPDIR:-/tmp}/cli_smoke_bad.$$.token"
+echo "complete garbage, not a token" > "$bad_token"
+"$CLI" replay "$bad_token" > /dev/null 2>&1
+check_exit "replay with junk token file exits 2" 2 $?
+rm -f "$bad_token"
+
+# --- replay against the checked-in corpus: success and divergence paths. ---
+if [ -n "$CORPUS" ] && [ -d "$CORPUS" ]; then
+  good_token=$(ls "$CORPUS"/issue-*.token 2>/dev/null | head -n 1)
+  if [ -n "$good_token" ]; then
+    "$CLI" replay "$good_token" > /dev/null 2>&1
+    check_exit "replay of a corpus token exits 0" 0 $?
+    "$CLI" replay --token "$good_token" > /dev/null 2>&1
+    check_exit "replay via --token exits 0" 0 $?
+    "$CLI" replay "$good_token" --token "$good_token" > /dev/null 2>&1
+    check_exit "replay with both operand and --token exits 2" 2 $?
+  else
+    echo "FAIL: no issue-*.token under $CORPUS"; fails=$((fails + 1))
+  fi
+  if [ -f "$CORPUS/divergent.token" ]; then
+    "$CLI" replay "$CORPUS/divergent.token" > /dev/null 2>&1
+    check_exit "replay fingerprint divergence exits 3" 3 $?
+  else
+    echo "FAIL: no divergent.token under $CORPUS"; fails=$((fails + 1))
+  fi
+else
+  echo "note: no corpus dir supplied; skipping replay end-to-end checks"
+fi
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed"

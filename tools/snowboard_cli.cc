@@ -29,7 +29,9 @@
 #include "src/snowboard/report_html.h"
 #include "src/snowboard/serialize.h"
 #include "src/util/fault.h"
+#include "src/util/fs.h"
 #include "src/util/log.h"
+#include "src/util/strings.h"
 #include "src/util/trace.h"
 
 namespace snowboard {
@@ -88,6 +90,11 @@ constexpr FlagInfo kCampaignFlags[] = {
     {"fault-seed", "S", "fault-injection seed (default 1)"},
     {"trace-out", "FILE", "write a Chrome trace_event JSON of the campaign"},
     {"report-dir", "DIR", "write report.json + report.html for the campaign"},
+    {"tokens-dir", "DIR", "write each finding's replay token to DIR/issue-<id>.token"},
+};
+
+constexpr FlagInfo kReplayFlags[] = {
+    {"token", "FILE", "read the replay token from FILE (alternative to the operand)"},
 };
 
 constexpr CommandInfo kCommands[] = {
@@ -99,11 +106,14 @@ constexpr CommandInfo kCommands[] = {
      sizeof(kRunFlags) / sizeof(kRunFlags[0])},
     {"campaign", "run the whole pipeline end to end", kCampaignFlags,
      sizeof(kCampaignFlags) / sizeof(kCampaignFlags[0])},
+    {"replay", "re-execute a finding's replay token and verify its fingerprint",
+     kReplayFlags, sizeof(kReplayFlags) / sizeof(kReplayFlags[0])},
     {"strategies", "list the clustering strategies", nullptr, 0},
 };
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out, "usage: snowboard_cli <command> [--flag value]...\n");
+  std::fprintf(out, "       snowboard_cli replay <token-or-file>\n");
   std::fprintf(out, "       snowboard_cli --help\n\ncommands:\n");
   for (const CommandInfo& cmd : kCommands) {
     std::fprintf(out, "  %-11s %s\n", cmd.name, cmd.summary);
@@ -118,7 +128,8 @@ void PrintUsage(std::FILE* out) {
   }
   std::fprintf(out,
                "\nexit status: 0 success; 1 I/O or input error; 2 usage error; "
-               "42 injected crash (rerun with --resume).\n");
+               "3 replay fingerprint divergence; 42 injected crash (rerun with "
+               "--resume).\n");
 }
 
 const CommandInfo* FindCommand(const std::string& name) {
@@ -341,6 +352,54 @@ int CmdRun(const Args& args) {
   return 0;
 }
 
+// `operand` is the positional argument of `snowboard_cli replay <token-or-file>`: a
+// literal token when it starts with the token header, otherwise a path to a token file.
+int CmdReplay(const Args& args, const char* operand) {
+  const char* token_file = args.Get("token", nullptr);
+  if ((operand == nullptr) == (token_file == nullptr)) {
+    std::fprintf(stderr, "replay: provide exactly one of <token-or-file> or --token FILE\n");
+    return 2;
+  }
+  std::string text;
+  if (operand != nullptr && std::strncmp(operand, "sb-replay-", 10) == 0) {
+    text = operand;
+  } else {
+    const char* path = operand != nullptr ? operand : token_file;
+    std::optional<std::string> contents = ReadFileToString(path);
+    if (!contents.has_value()) {
+      std::fprintf(stderr, "replay: cannot read %s\n", path);
+      return 1;
+    }
+    text = *contents;
+  }
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r' ||
+                           text.back() == ' ' || text.back() == '\t')) {
+    text.pop_back();
+  }
+  std::optional<ReplayToken> token = ParseReplayToken(text);
+  if (!token.has_value()) {
+    std::fprintf(stderr, "replay: not a valid replay token (corrupt or truncated?)\n");
+    return 2;
+  }
+  std::printf("replaying issue #%d (tests %d/%d, %zu recorded decisions, %zu switches)\n",
+              token->issue_id, token->write_test, token->read_test,
+              token->schedule.switch_after.size(), token->schedule.SwitchCount());
+  KernelVm vm;
+  ReplayVerdict verdict = ReplayTokenTrial(vm, *token);
+  std::printf("detectors: %zu race(s), %zu console hit(s)%s\n", verdict.detectors.races.size(),
+              verdict.detectors.console_hits.size(),
+              verdict.detectors.panicked ? ", panicked" : "");
+  if (verdict.fingerprint_match) {
+    std::printf("fingerprint %016llx matches: finding reproduced\n",
+                static_cast<unsigned long long>(verdict.fingerprint));
+    return 0;
+  }
+  std::fprintf(stderr, "replay: fingerprint DIVERGED: expected %016llx, observed %016llx\n",
+               static_cast<unsigned long long>(token->fingerprint),
+               static_cast<unsigned long long>(verdict.fingerprint));
+  return 3;
+}
+
 int CmdCampaign(const Args& args) {
   auto strategy_it = StrategyTable().find(args.Get("strategy", "S-INS-PAIR"));
   if (strategy_it == StrategyTable().end()) {
@@ -408,6 +467,27 @@ int CmdCampaign(const Args& args) {
     }
     std::printf("report written to %s/report.html (+ report.json)\n", report_dir);
   }
+
+  const char* tokens_dir = args.Get("tokens-dir", nullptr);
+  if (tokens_dir != nullptr) {
+    if (!EnsureDirectory(tokens_dir)) {
+      std::fprintf(stderr, "campaign: cannot create %s\n", tokens_dir);
+      return 1;
+    }
+    size_t written = 0;
+    for (const auto& [issue_id, finding] : result.findings.first_findings()) {
+      if (finding.replay_token.empty()) {
+        continue;
+      }
+      std::string path = std::string(tokens_dir) + StrPrintf("/issue-%d.token", issue_id);
+      if (!WriteStringToFile(path, finding.replay_token + "\n")) {
+        std::fprintf(stderr, "campaign: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      written++;
+    }
+    std::printf("wrote %zu replay token(s) to %s\n", written, tokens_dir);
+  }
   return 0;
 }
 
@@ -435,13 +515,24 @@ int Main(int argc, char** argv) {
     return 2;
   }
   SetLogLevel(LogLevel::kInfo);
+  // `replay` takes one positional operand (the token, or a file holding it); every other
+  // command is flags-only.
+  const char* replay_operand = nullptr;
+  int first_flag = 2;
+  if (command == "replay" && argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
+    replay_operand = argv[2];
+    first_flag = 3;
+  }
   Args args;
-  if (!ParseArgs(argc, argv, 2, *cmd, &args)) {
+  if (!ParseArgs(argc, argv, first_flag, *cmd, &args)) {
     std::fprintf(stderr, "run `snowboard_cli --help` for the full flag reference\n");
     return 2;
   }
   if (command == "strategies") {
     return CmdStrategies();
+  }
+  if (command == "replay") {
+    return CmdReplay(args, replay_operand);
   }
   if (command == "corpus") {
     return CmdCorpus(args);
