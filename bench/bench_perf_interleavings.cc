@@ -240,6 +240,7 @@ int main(int argc, char** argv) {
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
       return 1;
     }
+    snowboard::bench::ReportEnvironment();
     benchmark::RunSpecifiedBenchmarks();
     return 0;
   }

@@ -194,6 +194,7 @@ BENCHMARK(BM_ExecutionThroughputSki);
 int main(int argc, char** argv) {
   snowboard::bench::PrintHeader("§5.4 — pipeline performance (see counters below)");
   benchmark::Initialize(&argc, argv);
+  snowboard::bench::ReportEnvironment();
   benchmark::RunSpecifiedBenchmarks();
   std::printf("\npaper reference points: generation >1000 tests/s ≫ execution; Snowboard "
               "193.8 vs SKI 170.3 exec/min;\nclustering dominated by S-FULL.\n");

@@ -62,7 +62,7 @@ KernelGlobals BootKernel(Engine& engine) {
 }
 
 KernelVm::KernelVm() : engine_(1u << 20) {
-  GlobalPipelineCounters().vm_boots.fetch_add(1, std::memory_order_relaxed);
+  ActiveCounters().vm_boots.fetch_add(1, std::memory_order_relaxed);
   globals_ = BootKernel(engine_);
   snapshot_ = engine_.mem().TakeSnapshot();
 }
@@ -97,12 +97,13 @@ void KernelVm::RestoreSnapshot() {
                                              .count());
   restore_seconds_ += static_cast<double>(nanos) * 1e-9;
 
-  PipelineCounters& counters = GlobalPipelineCounters();
+  PipelineCounters& counters = ActiveCounters();
   if (stats.full) {
     counters.snapshot_full_restores.fetch_add(1, std::memory_order_relaxed);
   } else {
     counters.snapshot_delta_restores.fetch_add(1, std::memory_order_relaxed);
     counters.snapshot_restored_pages.fetch_add(stats.dirty_pages, std::memory_order_relaxed);
+    counters.snapshot_skipped_pages.fetch_add(stats.skipped_pages, std::memory_order_relaxed);
   }
   counters.snapshot_restored_bytes.fetch_add(stats.bytes_copied, std::memory_order_relaxed);
   counters.snapshot_restore_nanos.fetch_add(nanos, std::memory_order_relaxed);

@@ -100,6 +100,10 @@ Memory::RestoreStats Memory::RestoreDirty(const Snapshot& snapshot) {
       uint32_t page = (word_index << 6) + bit;
       uint32_t begin = page * kDirtyPageSize;
       uint32_t len = page + 1 == num_pages ? size() - begin : kDirtyPageSize;
+      if (std::memcmp(bytes_.data() + begin, snapshot.bytes.data() + begin, len) == 0) {
+        stats.skipped_pages++;  // Stores landed here but wrote back identical bytes.
+        continue;
+      }
       std::memcpy(bytes_.data() + begin, snapshot.bytes.data() + begin, len);
       stats.bytes_copied += len;
       stats.dirty_pages++;

@@ -73,8 +73,9 @@ class Memory {
   // Per-restore accounting, surfaced up to PipelineCounters by KernelVm.
   struct RestoreStats {
     uint64_t bytes_copied = 0;
-    uint32_t dirty_pages = 0;  // Pages copied by a delta restore (0 for a full restore).
-    bool full = false;         // True if the whole arena was copied.
+    uint32_t dirty_pages = 0;    // Pages copied by a delta restore (0 for a full restore).
+    uint32_t skipped_pages = 0;  // Dirty pages whose bytes still matched (no copy-back).
+    bool full = false;           // True if the whole arena was copied.
   };
 
   // Captures the full guest state and re-anchors dirty tracking to it: after TakeSnapshot,
@@ -90,6 +91,14 @@ class Memory {
   // first restore after boot wrote pages under another snapshot, or snapshots are being
   // mixed), falls back to one full Restore, after which delta tracking covers `snapshot`.
   // Byte-equivalence with Restore() is locked in by tests/snapshot_delta_property_test.cc.
+  //
+  // Untouched-page skip: a dirty bit only means "a store landed here", not "the bytes
+  // changed" — trials routinely write back the value a lock word or counter already held.
+  // Each dirty page is memcmp'd against the snapshot first and the copy-back is skipped
+  // when it still matches (counted in RestoreStats::skipped_pages). An exact compare is
+  // used rather than stored per-page hashes: memcmp early-exits on the first differing
+  // byte (cheaper than hashing a full page on the changed-page path), needs no extra
+  // per-snapshot state, and cannot produce a false skip the way a hash collision could.
   RestoreStats RestoreDirty(const Snapshot& snapshot);
 
   // Dirty pages accumulated since the last TakeSnapshot/Restore/RestoreDirty (diagnostic).

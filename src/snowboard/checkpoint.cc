@@ -1,5 +1,6 @@
 #include "src/snowboard/checkpoint.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
@@ -31,6 +32,12 @@ CheckpointStore::CheckpointStore(const std::string& dir, FaultInjector* fault)
   if (ok_) {
     LoadManifest();
   }
+}
+
+CheckpointStore::~CheckpointStore() {
+  // Backstop: whatever is still buffered becomes durable before the store goes away, so
+  // batching stays invisible to callers that append and then destroy the store.
+  FlushJournals();
 }
 
 bool CheckpointStore::ValidName(const std::string& name) {
@@ -129,9 +136,8 @@ bool CheckpointStore::Put(const std::string& name, const std::string& contents) 
     entries_.erase(name);
     return false;
   }
-  GlobalPipelineCounters().checkpoint_writes.fetch_add(1, std::memory_order_relaxed);
-  GlobalPipelineCounters().checkpoint_bytes.fetch_add(contents.size(),
-                                                      std::memory_order_relaxed);
+  ActiveCounters().checkpoint_writes.fetch_add(1, std::memory_order_relaxed);
+  ActiveCounters().checkpoint_bytes.fetch_add(contents.size(), std::memory_order_relaxed);
   return true;
 }
 
@@ -156,7 +162,7 @@ std::optional<std::string> CheckpointStore::Get(const std::string& name) const {
                   << "truncated); recomputing";
     return std::nullopt;
   }
-  GlobalPipelineCounters().checkpoint_loads.fetch_add(1, std::memory_order_relaxed);
+  ActiveCounters().checkpoint_loads.fetch_add(1, std::memory_order_relaxed);
   return contents;
 }
 
@@ -166,6 +172,7 @@ bool CheckpointStore::Reset() {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  pending_.clear();  // Buffered journal records die with their journals.
   bool ok = WriteManifestLocked();
   std::error_code ec;
   for (const auto& dirent : std::filesystem::directory_iterator(dir_, ec)) {
@@ -184,7 +191,58 @@ bool CheckpointStore::AppendJournal(const std::string& name, const std::string& 
   }
   std::string line = HashHex(Fnv1a(record)) + " " + record;
   std::lock_guard<std::mutex> lock(mutex_);
-  return AppendLineDurable(JournalPathFor(name), line, fault_);
+  PendingJournal& pending = pending_[name];
+  pending.bytes += line.size();
+  pending.lines.push_back(std::move(line));
+  if (pending.lines.size() < journal_flush_records_ && pending.bytes < journal_flush_bytes_) {
+    return true;  // Buffered; a later threshold crossing or FlushJournals commits it.
+  }
+  return FlushJournalLocked(name);
+}
+
+void CheckpointStore::SetJournalBatch(size_t records, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_flush_records_ = records < 1 ? 1 : records;
+  journal_flush_bytes_ = bytes < 1 ? 1 : bytes;
+}
+
+bool CheckpointStore::FlushJournalLocked(const std::string& name) const {
+  auto it = pending_.find(name);
+  if (it == pending_.end() || it->second.lines.empty()) {
+    return true;
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::string> lines = std::move(it->second.lines);
+  it->second.lines.clear();
+  it->second.bytes = 0;
+  bool ok = AppendLinesDurable(JournalPathFor(name), lines, fault_);
+  if (ok) {
+    uint64_t nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             start)
+            .count());
+    PipelineCounters& counters = ActiveCounters();
+    counters.journal_batch_flushes.fetch_add(1, std::memory_order_relaxed);
+    counters.journal_batch_records.fetch_add(lines.size(), std::memory_order_relaxed);
+    counters.journal_flush_nanos.fetch_add(nanos, std::memory_order_relaxed);
+    TRACE_COUNTER("checkpoint.journal_batch_records", lines.size());
+  }
+  return ok;
+}
+
+bool CheckpointStore::FlushJournals() {
+  if (!ok_) {
+    return false;
+  }
+  if (fault_ != nullptr && fault_->crashed()) {
+    return false;  // A dead process writes nothing; the batch is lost, as in a real crash.
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool ok = true;
+  for (auto& [name, pending] : pending_) {
+    ok = FlushJournalLocked(name) && ok;
+  }
+  return ok;
 }
 
 std::vector<std::string> CheckpointStore::ReadJournal(const std::string& name) const {
@@ -192,6 +250,14 @@ std::vector<std::string> CheckpointStore::ReadJournal(const std::string& name) c
   std::vector<std::string> records;
   if (!ok_ || !ValidName(name)) {
     return records;
+  }
+  {
+    // Read-your-writes: commit this journal's still-buffered records first so batching
+    // never makes a same-process reader miss an append that returned true.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fault_ == nullptr || !fault_->crashed()) {
+      FlushJournalLocked(name);
+    }
   }
   std::optional<std::string> text = ReadFileContents(JournalPathFor(name));
   if (!text.has_value()) {

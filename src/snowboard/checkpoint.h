@@ -58,8 +58,27 @@ class CheckpointStore {
   // files are left to be overwritten; with the manifest gone they are unreachable.
   bool Reset();
 
-  // Durably appends one single-line record to journal `name` (checksummed per line).
+  // Appends one single-line record to journal `name` (checksummed per line). Records are
+  // group-committed: they buffer in memory and are written durably — one write(2) + one
+  // fsync for the whole batch — when the journal's pending count reaches the record
+  // threshold (or the byte threshold, a safety valve for oversized records), when
+  // FlushJournals() is called, or when the store is destroyed. The record-count trigger
+  // makes the number of durable commits (and therefore the fault-point count in the crash
+  // sweep) a pure function of how many records each journal receives, independent of which
+  // worker appended what when. A crash loses at most the current unflushed batch; the
+  // resumed run re-executes exactly those tests, deterministically.
   bool AppendJournal(const std::string& name, const std::string& record);
+
+  // Tunes the group-commit thresholds (records >= 1; records == 1 restores the old
+  // one-fsync-per-record behavior). Applies to subsequent appends.
+  void SetJournalBatch(size_t records, size_t bytes = 256 * 1024);
+
+  // Durably writes every pending journal record (one group commit per journal with
+  // pending records). Called at claim boundaries — the end of the explore stage — and by
+  // the destructor. No-op (false) after an injected crash: a dead process writes nothing.
+  bool FlushJournals();
+
+  ~CheckpointStore();
 
   // All records up to the first malformed/corrupt line (a crash-truncated tail or flipped
   // bytes end the replay there; everything before it is verified). Missing journal = empty.
@@ -70,11 +89,19 @@ class CheckpointStore {
     uint64_t size = 0;
     uint64_t hash = 0;
   };
+  struct PendingJournal {
+    std::vector<std::string> lines;  // Checksummed, newline-free, ready to write.
+    size_t bytes = 0;                // Sum of line sizes (newlines excluded).
+  };
 
   std::string PathFor(const std::string& name) const;
   std::string JournalPathFor(const std::string& name) const;
   std::string ManifestText() const;  // Caller holds mutex_.
   bool WriteManifestLocked();        // Caller holds mutex_.
+  // Group-commits journal `name`'s pending lines (no-op true when none). Caller holds
+  // mutex_. Const because ReadJournal (const) must flush its own pending records before
+  // reading the file back; it touches only the mutable pending_ map and the filesystem.
+  bool FlushJournalLocked(const std::string& name) const;
   void LoadManifest();
 
   std::string dir_;
@@ -82,6 +109,11 @@ class CheckpointStore {
   bool ok_ = false;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;  // Ordered: the manifest is deterministic.
+  // Journal group-commit state. `mutable` so ReadJournal (const) can flush its own
+  // pending records before reading the file back.
+  mutable std::map<std::string, PendingJournal> pending_;
+  size_t journal_flush_records_ = 8;
+  size_t journal_flush_bytes_ = 256 * 1024;
 };
 
 }  // namespace snowboard

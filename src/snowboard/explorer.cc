@@ -56,6 +56,7 @@ void PmcScheduler::ResetForTest(const PmcKey& initial_pmc) {
   current_pmcs_.clear();
   pmc_feature_hashes_.clear();
   flags_.clear();
+  addr_filter_.Clear();
   AddPmc(initial_pmc);
 }
 
@@ -70,6 +71,8 @@ void PmcScheduler::AddPmc(const PmcKey& pmc) {
   current_pmcs_.push_back(pmc);
   pmc_feature_hashes_.insert(SideFeatureHash(pmc.write, AccessType::kWrite));
   pmc_feature_hashes_.insert(SideFeatureHash(pmc.read, AccessType::kRead));
+  addr_filter_.Add(pmc.write.addr);
+  addr_filter_.Add(pmc.read.addr);
 }
 
 bool PmcScheduler::PerformedPmcAccess(const Access& access) const {
@@ -81,6 +84,17 @@ bool PmcScheduler::PmcAccessComing(const Access& access) const {
 }
 
 bool PmcScheduler::AfterAccess(VcpuId vcpu, const Access& access) {
+  // Fast path for the per-access hot site: nearly every access in a trial touches an
+  // address that is in neither the PMC watch set nor flags, which the address filter
+  // proves without computing the feature hash or probing either exact set. A filter miss
+  // can never be a real member (no false negatives), and the RNG is untouched on this
+  // path — the coin flips below happen exactly when they did before, so trial schedules
+  // are bit-for-bit unchanged. Algorithm 2 line 22 must still run.
+  if (!addr_filter_.MayContain(access.addr)) {
+    last_access_[vcpu] = access;
+    return false;
+  }
+
   bool do_switch = false;
 
   // Algorithm 2 lines 16-17: a flags hit means the PMC access is about to execute on this
@@ -94,6 +108,7 @@ bool PmcScheduler::AfterAccess(VcpuId vcpu, const Access& access) {
     const std::optional<Access>& previous = last_access_[vcpu];
     if (flags_enabled_ && previous.has_value()) {
       flags_.insert(AccessHash(*previous));
+      addr_filter_.Add(previous->addr);
     }
     if (rng_.Coin()) {
       do_switch = true;
@@ -240,7 +255,7 @@ ExploreOutcome RunTrialLoop(KernelVm& vm, const ConcurrentTest& test,
       }
       attempt++;
       outcome.trials_retried++;
-      GlobalPipelineCounters().trials_retried.fetch_add(1, std::memory_order_relaxed);
+      ActiveCounters().trials_retried.fetch_add(1, std::memory_order_relaxed);
       TRACE_INSTANT("explore.trial_retry", static_cast<uint64_t>(trial));
     }
     TRACE_COUNTER("explore.scheduler_switches", scheduler.switch_decisions());

@@ -102,6 +102,10 @@ class PmcScheduler : public TrialScheduler {
   std::vector<PmcKey> current_pmcs_;
   std::unordered_set<uint64_t> pmc_feature_hashes_;  // Both sides of every current PMC.
   std::unordered_set<uint64_t> flags_;               // Persist across trials of one test.
+  // Address-level prefilter over both exact sets above: AfterAccess early-exits when the
+  // access address provably belongs to neither PMC sides nor flags (the overwhelmingly
+  // common case), skipping the feature hash and both set probes.
+  AccessAddrFilter addr_filter_;
   std::optional<Access> last_access_[3];             // Up to kMaxTestVcpus threads.
   bool flags_enabled_ = true;
   Rng rng_;

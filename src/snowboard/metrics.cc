@@ -64,11 +64,18 @@ MetricsSnapshot CollectCampaignMetrics(const PipelineOptions& options,
   add("run.snapshot_delta_restores", counter(counters.snapshot_delta_restores));
   add("run.snapshot_restored_bytes", counter(counters.snapshot_restored_bytes));
   add("run.snapshot_restored_pages", counter(counters.snapshot_restored_pages));
+  add("run.snapshot_skipped_pages", counter(counters.snapshot_skipped_pages));
   add("run.snapshot_restore_seconds", counter(counters.snapshot_restore_nanos) * 1e-9);
   add("run.concurrent_tests_run", counter(counters.concurrent_tests_run));
   add("run.checkpoint_writes", counter(counters.checkpoint_writes));
   add("run.checkpoint_bytes", counter(counters.checkpoint_bytes));
   add("run.checkpoint_loads", counter(counters.checkpoint_loads));
+  // Journal group-commit health: flushes, records amortized across them, and time inside
+  // the fsyncs — a batching regression shows up as flushes approaching records (no
+  // amortization) or flush seconds growing toward execute_seconds.
+  add("run.journal_batch_flushes", counter(counters.journal_batch_flushes));
+  add("run.journal_batch_records", counter(counters.journal_batch_records));
+  add("run.journal_flush_seconds", counter(counters.journal_flush_nanos) * 1e-9);
 
   std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
             [](const Metric& a, const Metric& b) { return a.key < b.key; });

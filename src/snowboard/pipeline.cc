@@ -116,6 +116,9 @@ std::unique_ptr<CheckpointStore> OpenStore(const PipelineOptions& options) {
                   << "; running without checkpoints";
     return nullptr;
   }
+  store->SetJournalBatch(options.journal_flush_records > 0
+                             ? static_cast<size_t>(options.journal_flush_records)
+                             : 1);
   return store;
 }
 
@@ -284,8 +287,7 @@ std::vector<std::optional<OutcomeRecord>> BuildJournalTable(const StageRunner& r
     journaled[index] = std::move(*decoded);
   }
   if (dropped > 0) {
-    GlobalPipelineCounters().journal_records_dropped.fetch_add(dropped,
-                                                               std::memory_order_relaxed);
+    ActiveCounters().journal_records_dropped.fetch_add(dropped, std::memory_order_relaxed);
     SB_LOG(kWarn) << "checkpoint: dropped " << dropped << " journal record(s) of "
                   << journal_name << " with test indices past the " << num_tests
                   << "-test list (journal belongs to a different test set?)";
@@ -327,7 +329,7 @@ std::optional<OutcomeRecord> RunOneExploreTest(KernelVm& vm, const ConcurrentTes
       return std::nullopt;  // Died at the append; the on-disk journal decides what survived.
     }
   }
-  GlobalPipelineCounters().concurrent_tests_run.fetch_add(1, std::memory_order_relaxed);
+  ActiveCounters().concurrent_tests_run.fetch_add(1, std::memory_order_relaxed);
   return record;
 }
 
@@ -381,7 +383,7 @@ bool ExploreOneSlot(PoolWorker& worker, const std::vector<ConcurrentTest>& tests
     // never boots one).
     (*outcomes)[index] = journaled[index];
     (*resumed)[index] = 1;
-    GlobalPipelineCounters().tests_resumed.fetch_add(1, std::memory_order_relaxed);
+    ActiveCounters().tests_resumed.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   std::optional<OutcomeRecord> record =
@@ -445,6 +447,11 @@ class StreamingEngine {
     if (!all_done && !runner_.dead()) {
       WorkerPool::Global().Run(options_.ResolvedWorkers(),
                                [this](PoolWorker& worker) { WorkerLoop(worker); });
+    }
+    // Claim boundary: every outcome the explore stage journaled becomes durable before the
+    // campaign result is assembled (and before the result entry can be persisted).
+    if (runner_.store() != nullptr) {
+      runner_.store()->FlushJournals();
     }
     Fill(result);
   }
@@ -510,7 +517,14 @@ class StreamingEngine {
   void WorkerLoop(PoolWorker& worker) {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      if (crashed_ || AllDoneLocked()) {
+      if (crashed_.load(std::memory_order_acquire) || AllDoneLocked()) {
+        return;
+      }
+      if (explore_only_) {
+        // Every remaining item is an explore: stop taking mu_ per claim and drain the
+        // test list with an atomic cursor instead.
+        lock.unlock();
+        DrainExplore(worker);
         return;
       }
       Item item = ClaimLocked();
@@ -538,19 +552,61 @@ class StreamingEngine {
         CrashOut();
         return;
       }
+      // Item boundary: drain this worker's counter shard so the cross-stage restore-time
+      // marks (RestoreNanos reads the global block mid-job) stay item-accurate.
+      FlushCounterShard();
       lock.lock();
+    }
+  }
+
+  // The steady-state explore loop, entered once explore_only_ holds: claim by atomic
+  // fetch_add, no mutex anywhere on the per-test path. Overshooting cursors are harmless —
+  // every claim is bounds-checked, and an index past the list just ends the worker's loop.
+  void DrainExplore(PoolWorker& worker) {
+    FaultInjector* fault = runner_.fault();
+    for (;;) {
+      if (crashed_.load(std::memory_order_acquire)) {
+        return;
+      }
+      size_t index = explore_next_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= tests_.size()) {
+        return;
+      }
+      // Same kill point the locked claim path fires for explore items.
+      if (fault != nullptr && fault->At("execute.claim")) {
+        CrashOut();
+        return;
+      }
+      if (!ExploreOneSlot(worker, tests_, index, use_pmc_,
+                          matcher_.has_value() ? &*matcher_ : nullptr, options_, runner_,
+                          journal_name_, journaled_, &outcomes_, &resumed_)) {
+        CrashOut();
+        return;
+      }
+      explores_done_.fetch_add(1, std::memory_order_relaxed);
+      FlushCounterShard();  // Item boundary, as in the locked loop.
     }
   }
 
   void CrashOut() {
     std::lock_guard<std::mutex> lock(mu_);
-    crashed_ = true;
+    crashed_.store(true, std::memory_order_release);
     cv_.notify_all();
   }
 
   bool AllDoneLocked() const {
     return corpus_done_ && profiles_complete_ && pmcs_done_ && tests_ready_ &&
            explores_done_ == tests_.size();
+  }
+
+  // Caller holds mu_. Once every pre-explore stage has resolved, ClaimLocked can only ever
+  // hand out kExplore items — flag it so workers switch to the lock-free drain. The
+  // notify_all wakes workers parked in cv_.wait so none sleeps through the transition.
+  void UpdateExploreOnlyLocked() {
+    if (!explore_only_ && corpus_done_ && profiles_complete_ && pmcs_done_ && tests_ready_) {
+      explore_only_ = true;
+      cv_.notify_all();
+    }
   }
 
   // Work-claiming priority: cheap unblocking transitions first, then the long-running VM
@@ -587,8 +643,14 @@ class StreamingEngine {
     if (corpus_done_ && !profiles_loaded_ && profile_next_ < corpus_.size()) {
       return {Kind::kProfile, profile_next_++};
     }
-    if (tests_ready_ && explore_next_ < tests_.size()) {
-      return {Kind::kExplore, explore_next_++};
+    if (tests_ready_) {
+      // fetch_add (not load-then-store) because lock-free drainers may be bumping the
+      // cursor concurrently with this locked path during the handover window. A claim past
+      // the end is not an item; the cursor only ever moves forward, so overshoot is safe.
+      size_t index = explore_next_.fetch_add(1, std::memory_order_relaxed);
+      if (index < tests_.size()) {
+        return {Kind::kExplore, index};
+      }
     }
     return {Kind::kNone, 0};
   }
@@ -625,6 +687,7 @@ class StreamingEngine {
     t_corpus_ = std::chrono::steady_clock::now();
     restore_mark_corpus_ = RestoreNanos();
     TRACE_COUNTER("funnel.corpus_programs", corpus_.size());
+    UpdateExploreOnlyLocked();
     cv_.notify_all();
   }
 
@@ -695,6 +758,7 @@ class StreamingEngine {
     scan_ready_ = fold_into_accumulator_ && num_partitions_ > 0;
     t_profiles_ = std::chrono::steady_clock::now();
     restore_mark_profiles_ = RestoreNanos();
+    UpdateExploreOnlyLocked();
     cv_.notify_all();
     return true;
   }
@@ -713,6 +777,7 @@ class StreamingEngine {
     t_pmcs_ = std::chrono::steady_clock::now();
     TRACE_COUNTER("funnel.pmcs_identified", pmcs_.size());
     MaybeTestsReadyLocked();
+    UpdateExploreOnlyLocked();
     cv_.notify_all();
   }
 
@@ -739,6 +804,7 @@ class StreamingEngine {
     TRACE_COUNTER("funnel.clusters", cluster_count_);
     TRACE_COUNTER("funnel.tests_generated", tests_.size());
     MaybeTestsReadyLocked();
+    UpdateExploreOnlyLocked();
     cv_.notify_all();
   }
 
@@ -823,7 +889,9 @@ class StreamingEngine {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  bool crashed_ = false;
+  // Atomic (not mu_-guarded) so the lock-free explore drain can observe a crash raised by
+  // another worker without touching the mutex.
+  std::atomic<bool> crashed_{false};
 
   // Corpus.
   bool corpus_claimed_ = false;
@@ -864,9 +932,17 @@ class StreamingEngine {
   std::optional<PmcMatcher> matcher_;
   std::vector<std::optional<OutcomeRecord>> journaled_;
 
-  // Explore.
-  size_t explore_next_ = 0;
-  size_t explores_done_ = 0;
+  // Explore. The claim cursor and done count are atomics so that the steady-state explore
+  // loop — the campaign's hot path once every pre-explore stage has resolved — hands out
+  // work with one uncontended fetch_add instead of a mutex round trip (see DrainExplore).
+  // Slot outputs stay lock-free as before: each claimed index owns its outcomes_/resumed_
+  // slot exclusively, and the final fold reads them only after the pool job joins.
+  std::atomic<size_t> explore_next_{0};
+  std::atomic<size_t> explores_done_{0};
+  // True once corpus, profiles, PMCs, and the test list have all resolved: from then on
+  // kExplore items are the only claimable work, so workers leave the locked claim loop for
+  // the lock-free drain. Guarded by mu_; monotonic (never unset).
+  bool explore_only_ = false;
   std::vector<std::optional<OutcomeRecord>> outcomes_;
   std::vector<uint8_t> resumed_;
 
@@ -953,6 +1029,11 @@ void ExecuteCampaign(const std::vector<ConcurrentTest>& tests, bool use_pmc_hint
       }
     }
   });
+  // Claim boundary: group-commit whatever outcome records are still buffered before the
+  // stage's results are folded (and the result entry persisted).
+  if (runner.store() != nullptr) {
+    runner.store()->FlushJournals();
+  }
   FoldExploreOutcomes(outcomes, resumed, result);
   result->execute_seconds += timer.Seconds();
   result->execute_restore_seconds += timer.RestoreSeconds();

@@ -66,6 +66,12 @@ struct PipelineOptions {
   // crash fires, the pipeline unwinds at the next fault point of every worker and returns
   // a partial result — only the on-disk checkpoint state is meaningful afterwards.
   FaultInjector* fault = nullptr;
+  // Journal group-commit threshold: per-test outcome records buffer in the CheckpointStore
+  // and are fsynced in batches of this many (1 = the old fsync-per-record behavior). Like
+  // num_workers, it shapes no deterministic output — a crash just loses at most one
+  // unflushed batch, which the resumed run re-executes — so it is excluded from the
+  // checkpoint fingerprint.
+  int journal_flush_records = 8;
 
   // The single interpretation of num_workers, shared by every stage (profiling, the
   // identify "inherit" case, clustering, execution): non-positive means 1.

@@ -56,11 +56,11 @@ SequentialProfile ProfileTestCached(KernelVm& vm, const Program& program, int te
   TRACE_SPAN("profile.program", static_cast<uint64_t>(test_id));
   SequentialProfile profile;
   if (options.cache != nullptr && options.cache->Lookup(program, test_id, &profile)) {
-    GlobalPipelineCounters().profile_cache_hits++;
+    ActiveCounters().profile_cache_hits++;
     return profile;
   }
   if (options.cache != nullptr) {
-    GlobalPipelineCounters().profile_cache_misses++;
+    ActiveCounters().profile_cache_misses++;
   }
   profile = ProfileTest(vm, program, test_id, options);
   if (options.cache != nullptr) {
@@ -138,7 +138,7 @@ SequentialProfile ProfileTest(KernelVm& vm, const Program& program, int test_id,
   profile.test_id = test_id;
   profile.program = program;
 
-  GlobalPipelineCounters().vm_profile_runs++;
+  ActiveCounters().vm_profile_runs++;
   vm.RestoreSnapshot();
   Engine::RunOptions opts;
   opts.max_instructions = options.max_instructions;

@@ -119,6 +119,47 @@ bool AppendLineDurable(const std::string& path, const std::string& line,
   return ok;
 }
 
+bool AppendLinesDurable(const std::string& path, const std::vector<std::string>& lines,
+                        FaultInjector* fault) {
+  if (lines.empty()) {
+    return true;
+  }
+  std::string buffer;
+  size_t total = 0;
+  for (const std::string& line : lines) {
+    if (line.find('\n') != std::string::npos) {
+      SB_LOG(kWarn) << "fs: refusing to append multi-line record to " << path;
+      return false;
+    }
+    total += line.size() + 1;
+  }
+  buffer.reserve(total);
+  for (const std::string& line : lines) {
+    buffer += line;
+    buffer += '\n';
+  }
+  if (fault != nullptr && fault->At("journal.append")) {
+    return false;  // Died before the batch reached the file: every line in it is lost.
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    SB_LOG(kWarn) << "fs: open " << path << ": " << ErrnoText();
+    return false;
+  }
+  bool ok = WriteAll(fd, buffer.data(), buffer.size());
+  if (!ok) {
+    SB_LOG(kWarn) << "fs: append " << path << ": " << ErrnoText();
+  } else if (::fsync(fd) != 0) {
+    SB_LOG(kWarn) << "fs: fsync " << path << ": " << ErrnoText();
+    ok = false;
+  }
+  ::close(fd);
+  if (ok && fault != nullptr && fault->At("journal.appended")) {
+    return false;  // Died after the whole batch became durable.
+  }
+  return ok;
+}
+
 std::optional<std::string> ReadFileContents(const std::string& path) {
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {

@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace snowboard {
 
@@ -33,6 +34,14 @@ bool AtomicWriteFile(const std::string& path, const std::string& contents,
 // checksum rejects. Fault points "journal.append" / "journal.appended".
 bool AppendLineDurable(const std::string& path, const std::string& line,
                        FaultInjector* fault = nullptr);
+
+// Group-commit variant: appends every line (each plus '\n') in ONE write(2) followed by
+// ONE fsync, amortizing the durability cost across the batch. Same fault points as
+// AppendLineDurable, fired once per batch: a crash at "journal.append" loses the whole
+// batch (the file is untouched), a crash at "journal.appended" keeps it (the single
+// O_APPEND write plus fsync made all lines durable together). Empty batch is a no-op true.
+bool AppendLinesDurable(const std::string& path, const std::vector<std::string>& lines,
+                        FaultInjector* fault = nullptr);
 
 // Whole-file read; nullopt (with a kWarn log for errors other than ENOENT) on failure.
 std::optional<std::string> ReadFileContents(const std::string& path);

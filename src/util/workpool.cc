@@ -1,6 +1,7 @@
 #include "src/util/workpool.h"
 
 #include "src/util/assert.h"
+#include "src/util/counters.h"
 
 namespace snowboard {
 
@@ -57,7 +58,13 @@ void WorkerPool::ThreadMain(PoolThread* self) {
     self->last_job = job_id_;
     const std::function<void(PoolWorker&)>* job = job_;
     lock.unlock();
-    (*job)(self->worker);
+    {
+      // Per-job counter shard: hot-path counter bumps inside the job land on a cache line
+      // only this thread touches. The scope drains into the global block before we re-take
+      // the lock and signal done, so every read-after-Run of the global counters is exact.
+      CounterShardScope shard;
+      (*job)(self->worker);
+    }
     lock.lock();
     if (--remaining_ == 0) {
       done_cv_.notify_all();

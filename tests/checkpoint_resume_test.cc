@@ -249,6 +249,99 @@ TEST(CheckpointResumeTest, OutOfRangeJournalRecordsDroppedAndCounted) {
   std::filesystem::remove_all(count_options.checkpoint_dir);
 }
 
+// The group-commit sweep: with a batch threshold small enough to fire mid-stage
+// (journal_flush_records=2), crash at EVERY fault point and resume. Batching must change
+// only durability granularity — whole batches become durable or are lost together — never
+// the resumed bytes, and a resumed run may replay exactly what a committed batch put on
+// disk. This is the CrashAtEveryFaultPoint invariant restated under threshold flushes.
+TEST(CheckpointResumeTest, JournalBatchingCrashSweepResumesByteIdentical) {
+  constexpr int kFlushRecords = 2;
+  auto batched = [](int workers) {
+    PipelineOptions options = TinyOptions(workers);
+    options.journal_flush_records = kFlushRecords;
+    return options;
+  };
+
+  PipelineOptions plain = TinyOptions(2);
+  const std::string golden_text = SerializePipelineResult(RunSnowboardPipeline(plain));
+
+  // Fault-point totals depend on the flush threshold (one journal.append per BATCH), so
+  // count under the same batching configuration the sweep crashes.
+  FaultInjector::Plan no_crash;
+  FaultInjector point_counter(no_crash);
+  PipelineOptions count_options = batched(2);
+  count_options.checkpoint_dir = FreshDir("batchcount");
+  count_options.fault = &point_counter;
+  PipelineResult counted = RunSnowboardPipeline(count_options);
+  ASSERT_FALSE(point_counter.crashed());
+  ASSERT_EQ(SerializePipelineResult(counted), golden_text)
+      << "journal batching must not change deterministic results";
+  const size_t total_tests = counted.tests_generated;
+  const uint64_t total_points = point_counter.points_seen();
+  ASSERT_GT(total_points, 20u);
+
+  for (uint64_t crash_at = 0; crash_at < total_points; crash_at++) {
+    SCOPED_TRACE(testing::Message() << "crash_at=" << crash_at);
+    std::string dir = FreshDir("batchsweep");
+
+    FaultInjector::Plan plan;
+    plan.crash_at = static_cast<int64_t>(crash_at);
+    FaultInjector fault(plan);
+    PipelineOptions crash_options = batched(2);
+    crash_options.checkpoint_dir = dir;
+    crash_options.fault = &fault;
+    RunSnowboardPipeline(crash_options);
+    ASSERT_TRUE(fault.crashed());
+
+    size_t journaled = 0;
+    CountJournaled(dir, crash_options, total_tests, &journaled);
+
+    ResetPipelineCounters();
+    PipelineOptions resume_options = batched(2);
+    resume_options.checkpoint_dir = dir;
+    resume_options.resume = true;
+    PipelineResult resumed = RunSnowboardPipeline(resume_options);
+
+    EXPECT_EQ(SerializePipelineResult(resumed), golden_text);
+    EXPECT_EQ(GlobalPipelineCounters().tests_resumed.load(), journaled);
+    EXPECT_EQ(resumed.tests_resumed, journaled)
+        << "a resume may replay exactly the batches that committed";
+
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::remove_all(count_options.checkpoint_dir);
+}
+
+// Flush accounting: every journal record reaches disk through exactly one group commit,
+// so the batch counters must reconcile with the on-disk journal — records flushed equals
+// lines readable, flush count is bounded by batches of at most journal_flush_records, and
+// the timed fsync path registered real nanoseconds.
+TEST(CheckpointResumeTest, JournalBatchFlushAccountingReconciles) {
+  PipelineOptions options = TinyOptions(2);
+  options.checkpoint_dir = FreshDir("batchacct");
+  options.journal_flush_records = 2;
+  ResetPipelineCounters();
+  PipelineResult result = RunSnowboardPipeline(options);
+  ASSERT_GT(result.tests_executed, 0u);
+
+  size_t on_disk = 0;
+  {
+    CheckpointStore store(options.checkpoint_dir);
+    const std::string journal = std::string("execute.") + StrategyName(options.strategy);
+    on_disk = store.ReadJournal(journal).size();
+  }
+  ASSERT_GT(on_disk, 0u);
+
+  PipelineCounters& counters = GlobalPipelineCounters();
+  EXPECT_EQ(counters.journal_batch_records.load(), on_disk)
+      << "every record must be accounted to exactly one flush";
+  const uint64_t flushes = counters.journal_batch_flushes.load();
+  EXPECT_GE(flushes, (on_disk + 1) / 2) << "a batch holds at most journal_flush_records";
+  EXPECT_LE(flushes, on_disk) << "a flush carries at least one record";
+  EXPECT_GT(counters.journal_flush_nanos.load(), 0u);
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
 // The options fingerprint deliberately excludes the engine choice, so a campaign crashed
 // under one engine must resume byte-identically under the other — in both directions, at
 // sampled crash ordinals (the exhaustive per-point sweep is CrashAtEveryFaultPoint's job).

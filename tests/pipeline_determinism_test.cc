@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/snowboard/pipeline.h"
+#include "src/snowboard/report_html.h"
 #include "src/snowboard/serialize.h"
 #include "src/snowboard/stats.h"
 
@@ -151,6 +152,59 @@ TEST(PipelineDeterminismTest, StreamingAndBarrierEnginesByteIdentical) {
       PipelineOptions options = BaseOptions(workers);
       options.streaming = streaming;
       EXPECT_EQ(SerializePipelineResult(RunSnowboardPipeline(options)), golden);
+    }
+  }
+}
+
+// Sharded-merge determinism: per-worker counter shards drain into the global block with
+// commutative additions, so work-proportional counter TOTALS — profiles executed,
+// concurrent tests run, snapshot restores performed — must be exactly equal at any worker
+// count under either engine, and the masked report.json (whose deterministic portion
+// embeds the funnel those counters feed) must stay byte-identical. Only totals invariant
+// under scheduling are compared: the full/delta restore SPLIT varies with worker count
+// (each worker VM's first restore is a full one), so the sum is asserted, not the parts.
+TEST(PipelineDeterminismTest, ShardedCounterTotalsAndMaskedReportInvariant) {
+  struct Totals {
+    uint64_t profile_runs = 0;
+    uint64_t tests_run = 0;
+    uint64_t restores = 0;
+  };
+  auto run = [](const PipelineOptions& options, std::string* masked_report) {
+    ResetPipelineCounters();
+    PipelineResult result = RunSnowboardPipeline(options);
+    *masked_report = MaskReportVolatile(RenderReportJson(BuildCampaignReport(options, result)));
+    const PipelineCounters& counters = GlobalPipelineCounters();
+    Totals totals;
+    totals.profile_runs = counters.vm_profile_runs.load();
+    totals.tests_run = counters.concurrent_tests_run.load();
+    totals.restores =
+        counters.snapshot_full_restores.load() + counters.snapshot_delta_restores.load();
+    return totals;
+  };
+
+  PipelineOptions golden_options = BaseOptions(1);
+  golden_options.streaming = false;
+  std::string golden_report;
+  Totals golden = run(golden_options, &golden_report);
+  ASSERT_GT(golden.tests_run, 0u);
+  ASSERT_GT(golden.profile_runs, 0u);
+  ASSERT_GT(golden.restores, golden.tests_run);  // At least one restore per trial.
+
+  for (bool streaming : {false, true}) {
+    for (int workers : {1, 2, 4, 8}) {
+      if (!streaming && workers == 1) {
+        continue;  // The golden itself.
+      }
+      SCOPED_TRACE(testing::Message()
+                   << (streaming ? "streaming" : "barrier") << " workers=" << workers);
+      PipelineOptions options = BaseOptions(workers);
+      options.streaming = streaming;
+      std::string masked_report;
+      Totals totals = run(options, &masked_report);
+      EXPECT_EQ(masked_report, golden_report);
+      EXPECT_EQ(totals.profile_runs, golden.profile_runs);
+      EXPECT_EQ(totals.tests_run, golden.tests_run);
+      EXPECT_EQ(totals.restores, golden.restores);
     }
   }
 }

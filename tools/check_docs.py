@@ -5,6 +5,8 @@ Checks, each a one-way inclusion the fast CI lane enforces:
   1. Every --flag defined in tools/snowboard_cli.cc appears somewhere in README.md.
   2. Every tests/*_test.cc file is registered in tests/CMakeLists.txt (a test file that
      exists but never builds is silently dead coverage).
+  3. Every bench/bench_*.cc file is registered in bench/CMakeLists.txt (same dead-coverage
+     hazard as tests: an unregistered bench silently stops building).
 
 Usage: check_docs.py [repo_root]   (default: parent of this script's directory)
 """
@@ -43,12 +45,17 @@ def main() -> int:
         if test_file.name not in tests_cmake:
             errors.append(f"tests/CMakeLists.txt does not register {test_file.name}")
 
+    bench_cmake = (root / "bench" / "CMakeLists.txt").read_text()
+    for bench_file in sorted((root / "bench").glob("bench_*.cc")):
+        if f"sb_bench({bench_file.stem})" not in bench_cmake:
+            errors.append(f"bench/CMakeLists.txt does not register {bench_file.name}")
+
     if errors:
         for error in errors:
             print(f"check_docs: {error}", file=sys.stderr)
         print(f"check_docs: {len(errors)} doc-drift error(s)", file=sys.stderr)
         return 1
-    print("check_docs: CLI flags documented and test files registered; no drift")
+    print("check_docs: CLI flags documented, test and bench files registered; no drift")
     return 0
 
 
